@@ -1,0 +1,146 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper (in simulated time), then runs one Bechamel micro-benchmark per
+   table measuring the host-side cost of the simulation paths that
+   produce it.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables and figures (virtual time).  *)
+
+let regenerate_paper () =
+  print_endline "==================================================================";
+  print_endline " Reproduction of every table and figure (simulated virtual time)";
+  print_endline "==================================================================\n";
+  Experiments.Report.print_everything ~csv_dir:"results" ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel host-time micro-benchmarks, one per paper table.  *)
+
+(* Miniature configurations keep each benchmark iteration small enough
+   for Bechamel's sampling. *)
+
+let mini_machine = { Butterfly.Config.default with Butterfly.Config.processors = 4 }
+
+let one_sim f =
+  let sim = Butterfly.Sched.create mini_machine in
+  Butterfly.Sched.run sim f
+
+let bench_lock_cycle kind () =
+  (* One uncontended lock/unlock pair on a fresh simulated machine:
+     the unit of Tables 4 and 5. *)
+  one_sim (fun () ->
+      let lk = Locks.Lock.create ~home:0 kind in
+      Locks.Lock.lock lk;
+      Locks.Lock.unlock lk)
+
+let bench_locking_cycle kind () =
+  (* A contended handoff: the unit of Tables 6 and 7. *)
+  one_sim (fun () ->
+      let lk = Locks.Lock.create ~home:1 kind in
+      let owner =
+        Cthreads.Cthread.fork ~proc:2 (fun () ->
+            Locks.Lock.lock lk;
+            Cthreads.Cthread.work 200_000;
+            Locks.Lock.unlock lk)
+      in
+      let waiter =
+        Cthreads.Cthread.fork ~proc:3 (fun () ->
+            Cthreads.Cthread.work 50_000;
+            Locks.Lock.lock lk;
+            Locks.Lock.unlock lk)
+      in
+      Cthreads.Cthread.join owner;
+      Cthreads.Cthread.join waiter)
+
+let bench_configuration () =
+  (* The unit of Table 8: reconfiguration operations. *)
+  one_sim (fun () ->
+      let r = Locks.Reconfigurable_lock.create ~home:0 () in
+      ignore (Locks.Reconfigurable_lock.acquire_ownership r);
+      Locks.Reconfigurable_lock.release_ownership r;
+      Locks.Reconfigurable_lock.configure_waiting r ~spin_count:3 ();
+      Locks.Reconfigurable_lock.configure_scheduler r Locks.Lock_sched.Priority)
+
+let bench_fig1_point () =
+  (* One small critical-section-sweep cell: the unit of Figure 1. *)
+  ignore
+    (Workloads.Csweep.run
+       {
+         Workloads.Csweep.default with
+         Workloads.Csweep.processors = 4;
+         threads_per_proc = 2;
+         iterations = 5;
+         cs_ns = 20_000;
+       })
+
+let mini_tsp_spec =
+  {
+    Tsp.Parallel.default_spec with
+    Tsp.Parallel.cities = 14;
+    instance_seed = 3;
+    searchers = 4;
+    work_unit_ns = 20_000;
+  }
+
+let bench_tsp impl kind () =
+  (* A miniature parallel TSP run: the unit of Tables 1-3 and the
+     source of Figures 4-9. *)
+  ignore (Tsp.Parallel.run impl { mini_tsp_spec with Tsp.Parallel.lock_kind = kind })
+
+let bench_tsp_traced () =
+  ignore
+    (Tsp.Parallel.run Tsp.Parallel.Centralized
+       { mini_tsp_spec with Tsp.Parallel.trace_locks = true })
+
+let tests =
+  [
+    Test.make ~name:"table1: centralized TSP run (mini)"
+      (Staged.stage (bench_tsp Tsp.Parallel.Centralized Locks.Lock.Blocking));
+    Test.make ~name:"table2: distributed TSP run (mini)"
+      (Staged.stage (bench_tsp Tsp.Parallel.Distributed Locks.Lock.Blocking));
+    Test.make ~name:"table3: balanced TSP run (mini)"
+      (Staged.stage (bench_tsp Tsp.Parallel.Balanced Locks.Lock.Blocking));
+    Test.make ~name:"table4: uncontended lock+unlock (spin)"
+      (Staged.stage (bench_lock_cycle Locks.Lock.Spin));
+    Test.make ~name:"table5: uncontended lock+unlock (blocking)"
+      (Staged.stage (bench_lock_cycle Locks.Lock.Blocking));
+    Test.make ~name:"table6: contended handoff (blocking)"
+      (Staged.stage (bench_locking_cycle Locks.Lock.Blocking));
+    Test.make ~name:"table7: contended handoff (adaptive)"
+      (Staged.stage (bench_locking_cycle Locks.Lock.adaptive_default));
+    Test.make ~name:"table8: configuration operations"
+      (Staged.stage bench_configuration);
+    Test.make ~name:"fig1: one sweep cell" (Staged.stage bench_fig1_point);
+    Test.make ~name:"fig4-9: traced TSP run (mini)" (Staged.stage bench_tsp_traced);
+  ]
+
+let run_bechamel () =
+  print_endline "==================================================================";
+  print_endline " Bechamel: host-side cost of the simulation paths (ns per run)";
+  print_endline "==================================================================\n";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  Printf.printf "%-45s %15s %8s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let result = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock result in
+          let ns =
+            match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
+          in
+          let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
+          Printf.printf "%-45s %15.0f %8.3f\n%!" (Test.Elt.name elt) ns r2)
+        (Test.elements test))
+    tests
+
+let () =
+  regenerate_paper ();
+  run_bechamel ();
+  print_endline "\nbench: done (figure CSVs written to results/)"

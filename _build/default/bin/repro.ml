@@ -1,0 +1,127 @@
+(* The repro CLI: regenerate any table, figure or ablation of the paper
+   individually, or everything at once. *)
+
+open Cmdliner
+
+let csv_dir =
+  let doc = "Also write figure data as CSV files into $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
+
+let searchers =
+  let doc = "Number of searcher threads (dedicated processors) for TSP runs." in
+  Arg.(value & opt int Tsp.Parallel.default_spec.Tsp.Parallel.searchers
+       & info [ "searchers" ] ~docv:"N" ~doc)
+
+let cities =
+  let doc = "TSP instance size (cities)." in
+  Arg.(value & opt int Tsp.Parallel.default_spec.Tsp.Parallel.cities
+       & info [ "cities" ] ~docv:"N" ~doc)
+
+let instance_seed =
+  let doc = "TSP instance seed." in
+  Arg.(value & opt int Tsp.Parallel.default_spec.Tsp.Parallel.instance_seed
+       & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let tsp_spec searchers cities instance_seed =
+  { Tsp.Parallel.default_spec with Tsp.Parallel.searchers; cities; instance_seed }
+
+let simple name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ()) $ const ())
+
+let table_cmds =
+  [
+    simple "table4" "Table 4: Lock-operation cost" (fun () -> Experiments.Report.print_table4 ());
+    simple "table5" "Table 5: Unlock-operation cost" (fun () -> Experiments.Report.print_table5 ());
+    simple "table6" "Table 6: locking cycle, static locks" (fun () ->
+        Experiments.Report.print_table6 ());
+    simple "table7" "Table 7: locking cycle, adaptive lock" (fun () ->
+        Experiments.Report.print_table7 ());
+    simple "table8" "Table 8: configuration-operation costs" (fun () ->
+        Experiments.Report.print_table8 ());
+  ]
+
+let fig1_cmd =
+  let run csv_dir = Experiments.Report.print_fig1 ?csv_dir () in
+  Cmd.v (Cmd.info "fig1" ~doc:"Figure 1: critical-section sweep")
+    Term.(const run $ csv_dir)
+
+let tsp_cmd =
+  let doc = "Tables 1-3 and Figures 4-9 (the TSP evaluation)" in
+  let run csv_dir searchers cities seed =
+    Experiments.Report.print_tsp ?csv_dir ~spec:(tsp_spec searchers cities seed) ()
+  in
+  Cmd.v (Cmd.info "tsp" ~doc)
+    Term.(const run $ csv_dir $ searchers $ cities $ instance_seed)
+
+let single_fig_cmds =
+  List.map
+    (fun (number, impl, lock) ->
+      let name = Printf.sprintf "fig%d" number in
+      let doc = Experiments.Tsp_experiments.figure_description ~impl ~lock in
+      let run searchers cities seed =
+        let t =
+          Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
+        in
+        match Experiments.Tsp_experiments.figure t ~impl ~lock with
+        | None -> print_endline "no trace recorded"
+        | Some series ->
+          Printf.printf "Figure %d: %s\n%s\n" number doc (Repro_stats.Plot.series series)
+      in
+      Cmd.v (Cmd.info name ~doc) Term.(const run $ searchers $ cities $ instance_seed))
+    Experiments.Tsp_experiments.all_figures
+
+let single_table_cmds =
+  List.map
+    (fun (name, doc, impl) ->
+      let run searchers cities seed =
+        let t =
+          Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
+        in
+        let row = Experiments.Tsp_experiments.table t impl in
+        Printf.printf
+          "%s\n  sequential %.0f ms\n  blocking   %.0f ms\n  adaptive   %.0f ms\n  improvement %.1f%%\n"
+          doc row.Experiments.Tsp_experiments.sequential_ms
+          row.Experiments.Tsp_experiments.blocking_ms
+          row.Experiments.Tsp_experiments.adaptive_ms
+          row.Experiments.Tsp_experiments.improvement_pct
+      in
+      Cmd.v (Cmd.info name ~doc) Term.(const run $ searchers $ cities $ instance_seed))
+    [
+      ("table1", "Table 1: centralized TSP", Tsp.Parallel.Centralized);
+      ("table2", "Table 2: distributed TSP", Tsp.Parallel.Distributed);
+      ("table3", "Table 3: distributed TSP with load balancing", Tsp.Parallel.Balanced);
+    ]
+
+let ablation_cmds =
+  [
+    simple "ablation-sched" "Lock schedulers (FCFS/priority/handoff)" (fun () ->
+        Experiments.Report.print_schedulers ());
+    simple "ablation-coupling" "Closely vs loosely coupled adaptation" (fun () ->
+        Experiments.Report.print_coupling ());
+    simple "ablation-sampling" "Monitor sampling-rate sweep" (fun () ->
+        Experiments.Report.print_sampling ());
+    simple "ablation-threshold" "simple-adapt constants sweep" (fun () ->
+        Experiments.Report.print_threshold ());
+    simple "ablation-phases" "Phased contention, adaptive vs static" (fun () ->
+        Experiments.Report.print_phases ());
+    simple "ablation-architecture" "Lock implementations across UMA/NUMA" (fun () ->
+        Experiments.Report.print_architecture ());
+    simple "ablation-advisory" "Advisory locks on variable-length sections" (fun () ->
+        Experiments.Report.print_advisory ());
+  ]
+
+let all_cmd =
+  let run csv_dir = Experiments.Report.print_everything ?csv_dir () in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Every table, figure and ablation in paper order")
+    Term.(const run $ csv_dir)
+
+let () =
+  let doc = "Reproduce the tables and figures of Mukherjee & Schwan, GIT-CC-93/17" in
+  let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group ~default info
+          ((all_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
+          @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

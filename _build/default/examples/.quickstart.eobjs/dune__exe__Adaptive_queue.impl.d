@@ -1,0 +1,1 @@
+examples/adaptive_queue.ml: Adaptive_core Butterfly Config Cthread Cthreads List Printf Queue Sched Spin

@@ -1,0 +1,1 @@
+examples/phased_contention.ml: List Locks Printf Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Adaptive_core Butterfly Config Cthread Cthreads Format List Locks Printf Sched

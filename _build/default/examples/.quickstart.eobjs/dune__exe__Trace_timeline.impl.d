@@ -1,0 +1,1 @@
+examples/trace_timeline.ml: Butterfly Config Cthread Cthreads List Locks Monitoring Printf Sched

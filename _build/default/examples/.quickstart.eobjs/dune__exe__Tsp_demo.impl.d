@@ -1,0 +1,1 @@
+examples/tsp_demo.ml: List Locks Printf String Tsp

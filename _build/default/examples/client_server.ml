@@ -1,0 +1,23 @@
+(* Lock schedulers on a client-server program: the [MS93] experiment
+   the paper recaps in section 2 — priority lock scheduling should beat
+   handoff and FCFS because the (high-priority) server gets back into
+   the critical section ahead of queued clients.
+
+   Run with: dune exec examples/client_server.exe *)
+
+let () =
+  let spec = Workloads.Client_server.default in
+  Printf.printf
+    "%d clients submitting %d requests each; one high-priority server (service %d us)\n\n"
+    spec.Workloads.Client_server.clients spec.Workloads.Client_server.requests_per_client
+    (spec.Workloads.Client_server.service_ns / 1000);
+  Printf.printf "%-10s %18s %18s %12s\n" "scheduler" "mean response (us)"
+    "server wait (us)" "time (ms)";
+  List.iter
+    (fun (sched, (r : Workloads.Client_server.result)) ->
+      Printf.printf "%-10s %18.1f %18.1f %12.1f\n"
+        (Locks.Lock_sched.kind_name sched)
+        (r.Workloads.Client_server.mean_response_ns /. 1e3)
+        (r.Workloads.Client_server.server_mean_wait_ns /. 1e3)
+        (float_of_int r.Workloads.Client_server.total_ns /. 1e6))
+    (Workloads.Client_server.compare_schedulers spec)

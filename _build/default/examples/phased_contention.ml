@@ -1,0 +1,44 @@
+(* Phased contention: the workload's locking regime flips mid-run,
+   so no static waiting policy is right throughout — the scenario
+   motivating adaptive locks (paper section 2).
+
+   Run with: dune exec examples/phased_contention.exe *)
+
+let () =
+  let spec = Workloads.Phased.default in
+  Printf.printf
+    "Workload: %d workers on %d processors; phases (active threads, cs length, entries):\n"
+    spec.Workloads.Phased.workers spec.Workloads.Phased.processors;
+  List.iter
+    (fun (p : Workloads.Phased.phase) ->
+      Printf.printf "  %d threads x %d us sections x %d entries\n"
+        p.Workloads.Phased.active_threads
+        (p.Workloads.Phased.cs_ns / 1000)
+        p.Workloads.Phased.entries)
+    spec.Workloads.Phased.phases;
+  print_newline ();
+  let kinds =
+    [
+      Locks.Lock.Spin;
+      Locks.Lock.Blocking;
+      Locks.Lock.Combined 10;
+      Locks.Lock.adaptive_default;
+    ]
+  in
+  let results = Workloads.Phased.compare_kinds spec kinds in
+  Printf.printf "%-16s %12s %14s %12s\n" "lock" "time (ms)" "mean wait (us)" "adaptations";
+  List.iter
+    (fun (kind, (r : Workloads.Phased.result)) ->
+      Printf.printf "%-16s %12.1f %14.1f %12d\n" (Locks.Lock.kind_name kind)
+        (float_of_int r.Workloads.Phased.total_ns /. 1e6)
+        (r.Workloads.Phased.mean_wait_ns /. 1e3)
+        r.Workloads.Phased.adaptations)
+    results;
+  (* Show when the adaptive lock reconfigured. *)
+  match List.assoc_opt Locks.Lock.adaptive_default results with
+  | Some r when r.Workloads.Phased.adaptation_log <> [] ->
+    Printf.printf "\nadaptive lock reconfigurations:\n";
+    List.iter
+      (fun (t, label) -> Printf.printf "  %8.2f ms -> %s\n" (float_of_int t /. 1e6) label)
+      r.Workloads.Phased.adaptation_log
+  | _ -> ()

@@ -1,0 +1,34 @@
+(* Execution tracing: attach the structured event log to a machine and
+   render the per-processor execution timeline — the offline half of
+   the general-purpose monitoring story.
+
+   Run with: dune exec examples/trace_timeline.exe *)
+
+open Butterfly
+open Cthreads
+
+let () =
+  let machine = Sched.create { Config.default with Config.processors = 4 } in
+  let log = Monitoring.Event_log.attach machine in
+  Sched.run machine (fun () ->
+      let lk = Locks.Lock.create ~home:0 Locks.Lock.Blocking in
+      let worker i () =
+        for _ = 1 to 4 do
+          Cthread.work (40_000 * (i + 1));
+          Locks.Lock.lock lk;
+          Cthread.work 120_000;
+          Locks.Lock.unlock lk
+        done
+      in
+      let ts = List.init 6 (fun i -> Cthread.fork ~proc:(1 + (i mod 3)) (worker i)) in
+      Cthread.join_all ts);
+  let horizon = Sched.final_time machine in
+  print_string (Monitoring.Event_log.timeline log ~horizon);
+  Printf.printf "\nevents: %s\n" (Monitoring.Event_log.summary log);
+  Printf.printf "virtual time: %.2f ms, %d events recorded\n"
+    (float_of_int horizon /. 1e6)
+    (Monitoring.Event_log.length log);
+  (* Show how long thread 3 spent asleep on the lock. *)
+  let spans = Monitoring.Event_log.blocked_spans log 3 in
+  Printf.printf "thread 3 slept %d times, %.2f ms total\n" (List.length spans)
+    (float_of_int (List.fold_left (fun acc (a, b) -> acc + b - a) 0 spans) /. 1e6)

@@ -1,0 +1,42 @@
+(* Parallel branch-and-bound TSP on the simulated multiprocessor:
+   compare the three implementations and two lock families on a small
+   instance.
+
+   Run with: dune exec examples/tsp_demo.exe *)
+
+let () =
+  let spec =
+    {
+      Tsp.Parallel.default_spec with
+      Tsp.Parallel.cities = 20;
+      instance_seed = 5;
+      searchers = 6;
+      work_unit_ns = 12_000;
+    }
+  in
+  let inst = Tsp.Parallel.instance_of_spec spec in
+  let greedy_tour, greedy_cost = Tsp.Instance.nearest_neighbour inst in
+  Printf.printf "instance: %d cities (seed %d); nearest-neighbour tour costs %d\n"
+    spec.Tsp.Parallel.cities spec.Tsp.Parallel.instance_seed greedy_cost;
+  Printf.printf "greedy order: %s\n\n"
+    (String.concat "-" (List.map string_of_int greedy_tour));
+  let seq_ns, (opt, nodes) = Tsp.Parallel.run_sequential spec in
+  Printf.printf "sequential LMSK: optimum %d (%d nodes expanded, %.1f virtual ms)\n\n" opt
+    nodes
+    (float_of_int seq_ns /. 1e6);
+  Printf.printf "%-16s %-10s %10s %8s %8s %10s\n" "implementation" "locks" "time (ms)"
+    "speedup" "nodes" "optimum?";
+  List.iter
+    (fun impl ->
+      List.iter
+        (fun (kind, kname) ->
+          let r = Tsp.Parallel.run impl { spec with Tsp.Parallel.lock_kind = kind } in
+          Printf.printf "%-16s %-10s %10.1f %7.2fx %8d %10s\n"
+            (Tsp.Parallel.impl_name impl) kname
+            (float_of_int r.Tsp.Parallel.total_ns /. 1e6)
+            (float_of_int seq_ns /. float_of_int r.Tsp.Parallel.total_ns)
+            r.Tsp.Parallel.nodes_expanded
+            (if r.Tsp.Parallel.tour_cost = opt then "yes" else "NO");
+          ignore kname)
+        [ (Locks.Lock.Blocking, "blocking"); (Tsp.Parallel.tsp_adaptive_kind, "adaptive") ])
+    [ Tsp.Parallel.Centralized; Tsp.Parallel.Distributed; Tsp.Parallel.Balanced ]

@@ -1,0 +1,1 @@
+lib/butterfly/config.mli: Format

@@ -1,0 +1,1 @@
+lib/butterfly/memory.ml: Array Config Format Printf

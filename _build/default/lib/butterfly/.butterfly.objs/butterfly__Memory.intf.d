@@ -1,0 +1,1 @@
+lib/butterfly/memory.mli: Config Format

@@ -1,0 +1,1 @@
+lib/butterfly/ops.ml: Array Effect Memory

@@ -1,0 +1,1 @@
+lib/butterfly/ops.mli: Effect Memory

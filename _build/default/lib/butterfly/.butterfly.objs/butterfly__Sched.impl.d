@@ -1,0 +1,1 @@
+lib/butterfly/sched.ml: Array Config Effect Engine Hashtbl List Memory Ops Option Printf String

@@ -1,0 +1,1 @@
+lib/butterfly/sched.mli: Config Engine Memory

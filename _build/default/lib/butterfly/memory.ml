@@ -1,0 +1,121 @@
+type addr = { node : int; index : int }
+
+type bank = {
+  mutable words : int array;
+  mutable used : int;
+  mutable busy : int;  (* module occupied until this virtual time *)
+}
+
+type t = {
+  banks : bank array;
+  mutable remote : int;
+  mutable total : int;
+}
+
+let node_of a = a.node
+let index_of a = a.index
+let pp_addr ppf a = Format.fprintf ppf "%d:%d" a.node a.index
+
+let create (cfg : Config.t) =
+  let bank _ = { words = Array.make 256 0; used = 0; busy = 0 } in
+  { banks = Array.init cfg.processors bank; remote = 0; total = 0 }
+
+let nodes t = Array.length t.banks
+
+let check_node t node =
+  if node < 0 || node >= Array.length t.banks then
+    invalid_arg (Printf.sprintf "Memory: bad node %d" node)
+
+let alloc t ~node n =
+  check_node t node;
+  if n <= 0 then invalid_arg "Memory.alloc: need a positive word count";
+  let bank = t.banks.(node) in
+  let needed = bank.used + n in
+  if needed > Array.length bank.words then begin
+    let capacity = max needed (Array.length bank.words * 2) in
+    let words = Array.make capacity 0 in
+    Array.blit bank.words 0 words 0 bank.used;
+    bank.words <- words
+  end;
+  let base = bank.used in
+  bank.used <- needed;
+  Array.init n (fun i -> { node; index = base + i })
+
+let alloc1 t ~node = (alloc t ~node 1).(0)
+
+let bank_exn t a =
+  let bank = t.banks.(a.node) in
+  if a.index >= bank.used then
+    invalid_arg (Printf.sprintf "Memory: unallocated address %d:%d" a.node a.index);
+  bank
+
+let read t a = (bank_exn t a).words.(a.index)
+let write t a v = (bank_exn t a).words.(a.index) <- v
+
+let fetch_and_or t a v =
+  let bank = bank_exn t a in
+  let prev = bank.words.(a.index) in
+  bank.words.(a.index) <- prev lor v;
+  prev
+
+let fetch_and_add t a v =
+  let bank = bank_exn t a in
+  let prev = bank.words.(a.index) in
+  bank.words.(a.index) <- prev + v;
+  prev
+
+let swap t a v =
+  let bank = bank_exn t a in
+  let prev = bank.words.(a.index) in
+  bank.words.(a.index) <- v;
+  prev
+
+let compare_and_swap t a ~expected ~desired =
+  let bank = bank_exn t a in
+  if bank.words.(a.index) = expected then begin
+    bank.words.(a.index) <- desired;
+    true
+  end
+  else false
+
+type access = Read_access | Write_access | Atomic_access
+
+let latency (cfg : Config.t) ~from_node a access =
+  let local = from_node = a.node in
+  match access with
+  | Read_access -> if local then cfg.local_read_ns else cfg.remote_read_ns
+  | Write_access -> if local then cfg.local_write_ns else cfg.remote_write_ns
+  | Atomic_access ->
+    (* A read-modify-write occupies the module for a read plus a write,
+       plus the interlock overhead. *)
+    if local then cfg.local_read_ns + cfg.local_write_ns + cfg.atomic_extra_ns
+    else cfg.remote_read_ns + cfg.local_write_ns + cfg.atomic_extra_ns
+
+let reserve t (cfg : Config.t) ~from_node a access ~start =
+  let _ = bank_exn t a in
+  t.total <- t.total + 1;
+  if from_node <> a.node then t.remote <- t.remote + 1;
+  let wire = latency cfg ~from_node a access in
+  if not cfg.contention then start + wire
+  else begin
+    let bank = t.banks.(a.node) in
+    let grant = max start bank.busy in
+    let service =
+      match access with
+      | Atomic_access -> 2 * cfg.module_service_ns
+      | Read_access | Write_access -> cfg.module_service_ns
+    in
+    bank.busy <- grant + service;
+    grant + wire
+  end
+
+let busy_until t ~node =
+  check_node t node;
+  t.banks.(node).busy
+
+let words_used t ~node =
+  check_node t node;
+  t.banks.(node).used
+
+let remote_accesses t = t.remote
+let total_accesses t = t.total

@@ -1,0 +1,78 @@
+(** Simulated NUMA memory: one module (bank) of words per node.
+
+    A word holds an OCaml [int]. Addresses are (node, index) pairs;
+    accesses from the owning node are "local", others are "remote" and
+    pay the interconnect latency from {!Config}. When contention
+    modelling is enabled, each module serializes accesses: a module
+    busy serving one access delays the next one, which is how hot-spot
+    contention on a centralized lock or queue manifests.
+
+    This module only implements the state machine (values, allocation,
+    module occupancy). It charges no virtual time itself — the
+    scheduler computes costs from {!Config} and {!reserve}. *)
+
+type t
+
+type addr
+(** An allocated word. *)
+
+val node_of : addr -> int
+(** Owning node (memory module) of an address. *)
+
+val index_of : addr -> int
+
+val pp_addr : Format.formatter -> addr -> unit
+
+val create : Config.t -> t
+
+val nodes : t -> int
+
+val alloc : t -> node:int -> int -> addr array
+(** [alloc mem ~node n] allocates [n] fresh zero-initialized words in
+    [node]'s module and returns their addresses (consecutive indices).
+    Raises [Invalid_argument] on a bad node id. *)
+
+val alloc1 : t -> node:int -> addr
+(** Allocate a single word. *)
+
+(** {1 Value operations}
+
+    These mutate/inspect word values instantly; the scheduler invokes
+    them at each operation's virtual completion time so that operations
+    linearize in virtual-time order. *)
+
+val read : t -> addr -> int
+val write : t -> addr -> int -> unit
+
+val fetch_and_or : t -> addr -> int -> int
+(** The Butterfly's [atomior]: returns the previous value. *)
+
+val fetch_and_add : t -> addr -> int -> int
+val swap : t -> addr -> int -> int
+
+val compare_and_swap : t -> addr -> expected:int -> desired:int -> bool
+
+(** {1 Timing} *)
+
+type access = Read_access | Write_access | Atomic_access
+
+val latency : Config.t -> from_node:int -> addr -> access -> int
+(** Raw wire+module latency of an access, ignoring contention. *)
+
+val reserve : t -> Config.t -> from_node:int -> addr -> access -> start:int -> int
+(** [reserve mem cfg ~from_node a kind ~start] books the access on the
+    target module beginning no earlier than [start] and returns its
+    completion time. With contention disabled this is
+    [start + latency]; with contention enabled the access also waits
+    for the module to be free and occupies it for the configured
+    service time. *)
+
+val busy_until : t -> node:int -> int
+(** Current occupancy horizon of a module (for tests/metrics). *)
+
+val words_used : t -> node:int -> int
+
+val remote_accesses : t -> int
+(** Count of remote (inter-node) accesses reserved so far. *)
+
+val total_accesses : t -> int

@@ -1,0 +1,56 @@
+type tid = int
+
+type fork_spec = { f : unit -> unit; proc : int option; prio : int; name : string }
+
+type _ Effect.t +=
+  | E_alloc : int option * int -> Memory.addr array Effect.t
+  | E_read : Memory.addr -> int Effect.t
+  | E_write : Memory.addr * int -> unit Effect.t
+  | E_fetch_and_or : Memory.addr * int -> int Effect.t
+  | E_fetch_and_add : Memory.addr * int -> int Effect.t
+  | E_swap : Memory.addr * int -> int Effect.t
+  | E_cas : Memory.addr * int * int -> bool Effect.t
+  | E_work : int -> unit Effect.t
+  | E_work_instrs : int -> unit Effect.t
+  | E_delay : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_fork : fork_spec -> tid Effect.t
+  | E_join : tid -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_block : unit Effect.t
+  | E_wakeup : tid -> unit Effect.t
+  | E_self : tid Effect.t
+  | E_my_processor : int Effect.t
+  | E_set_priority : tid * int -> unit Effect.t
+  | E_priority_of : tid -> int Effect.t
+  | E_processors : int Effect.t
+  | E_random : int -> int Effect.t
+  | E_trace : string -> unit Effect.t
+
+let alloc ?node n = Effect.perform (E_alloc (node, n))
+let alloc1 ?node () = (Effect.perform (E_alloc (node, 1))).(0)
+let read a = Effect.perform (E_read a)
+let write a v = Effect.perform (E_write (a, v))
+let fetch_and_or a v = Effect.perform (E_fetch_and_or (a, v))
+let fetch_and_add a v = Effect.perform (E_fetch_and_add (a, v))
+let swap a v = Effect.perform (E_swap (a, v))
+let compare_and_swap a ~expected ~desired = Effect.perform (E_cas (a, expected, desired))
+let test_and_set a = fetch_and_or a 1 = 0
+
+let work ns = if ns > 0 then Effect.perform (E_work ns)
+let work_instrs n = if n > 0 then Effect.perform (E_work_instrs n)
+let delay ns = if ns > 0 then Effect.perform (E_delay ns)
+let now () = Effect.perform E_now
+
+let fork spec = Effect.perform (E_fork spec)
+let join tid = Effect.perform (E_join tid)
+let yield () = Effect.perform E_yield
+let block () = Effect.perform E_block
+let wakeup tid = Effect.perform (E_wakeup tid)
+let self () = Effect.perform E_self
+let my_processor () = Effect.perform E_my_processor
+let set_priority tid prio = Effect.perform (E_set_priority (tid, prio))
+let priority_of tid = Effect.perform (E_priority_of tid)
+let processors () = Effect.perform E_processors
+let random bound = Effect.perform (E_random bound)
+let trace msg = Effect.perform (E_trace msg)

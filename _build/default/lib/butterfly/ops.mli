@@ -1,0 +1,117 @@
+(** Operations available to code running {e inside} the simulated
+    machine.
+
+    Each function performs an OCaml effect handled by the scheduler
+    ({!Sched}): the calling fiber is suspended, virtual time is
+    charged according to the machine {!Config}, and the fiber resumes
+    when its operation completes in virtual time. Calling any of these
+    outside a running simulation raises [Effect.Unhandled] (wrapped by
+    [Sched] entry points into a clearer error).
+
+    Thread identifiers are plain ints ({!tid}); the higher-level
+    {!Cthreads} library wraps them in a friendlier API. *)
+
+type tid = int
+
+type fork_spec = {
+  f : unit -> unit;
+  proc : int option;  (** pin to a processor, or let the machine place it *)
+  prio : int;  (** larger = more important; default 0 *)
+  name : string;
+}
+
+(** The raw effect constructors, exposed so {!Sched} can handle them.
+    Client code should use the wrapper functions below instead. *)
+type _ Effect.t +=
+  | E_alloc : int option * int -> Memory.addr array Effect.t
+  | E_read : Memory.addr -> int Effect.t
+  | E_write : Memory.addr * int -> unit Effect.t
+  | E_fetch_and_or : Memory.addr * int -> int Effect.t
+  | E_fetch_and_add : Memory.addr * int -> int Effect.t
+  | E_swap : Memory.addr * int -> int Effect.t
+  | E_cas : Memory.addr * int * int -> bool Effect.t
+  | E_work : int -> unit Effect.t
+  | E_work_instrs : int -> unit Effect.t
+  | E_delay : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_fork : fork_spec -> tid Effect.t
+  | E_join : tid -> unit Effect.t
+  | E_yield : unit Effect.t
+  | E_block : unit Effect.t
+  | E_wakeup : tid -> unit Effect.t
+  | E_self : tid Effect.t
+  | E_my_processor : int Effect.t
+  | E_set_priority : tid * int -> unit Effect.t
+  | E_priority_of : tid -> int Effect.t
+  | E_processors : int Effect.t
+  | E_random : int -> int Effect.t
+  | E_trace : string -> unit Effect.t
+
+(** {1 Memory} *)
+
+val alloc : ?node:int -> int -> Memory.addr array
+(** Allocate words in a memory module ([node] defaults to the calling
+    thread's current processor). Charged as one local write. *)
+
+val alloc1 : ?node:int -> unit -> Memory.addr
+
+val read : Memory.addr -> int
+val write : Memory.addr -> int -> unit
+
+val fetch_and_or : Memory.addr -> int -> int
+(** The hardware [atomior] primitive (returns the previous value);
+    [test_and_set] below is the common idiom. *)
+
+val fetch_and_add : Memory.addr -> int -> int
+val swap : Memory.addr -> int -> int
+val compare_and_swap : Memory.addr -> expected:int -> desired:int -> bool
+
+val test_and_set : Memory.addr -> bool
+(** [test_and_set a] is [fetch_and_or a 1 = 0]: true iff the caller
+    obtained the flag. *)
+
+(** {1 Time} *)
+
+val work : int -> unit
+(** [work ns] consumes [ns] nanoseconds of pure computation on the
+    calling thread's processor. *)
+
+val work_instrs : int -> unit
+(** Computation expressed in modeled instructions. *)
+
+val delay : int -> unit
+(** [delay ns] waits without occupying the processor: other ready
+    threads on the same processor may run meanwhile. This is the
+    back-off primitive. *)
+
+val now : unit -> int
+(** Current virtual time (free of charge). *)
+
+(** {1 Threads} *)
+
+val fork : fork_spec -> tid
+val join : tid -> unit
+val yield : unit -> unit
+
+val block : unit -> unit
+(** Deschedule the calling thread until some other thread calls
+    {!wakeup} on it. A wakeup that arrives first is not lost: the next
+    [block] returns immediately. *)
+
+val wakeup : tid -> unit
+
+val self : unit -> tid
+val my_processor : unit -> int
+val set_priority : tid -> int -> unit
+val priority_of : tid -> int
+
+val processors : unit -> int
+(** Number of processors of the running machine. *)
+
+val random : int -> int
+(** Deterministic draw from the simulation's RNG stream, uniform in
+    [\[0, bound)]. Free of virtual-time charge. *)
+
+val trace : string -> unit
+(** Emit a debug trace line (visible when the simulation's [on_trace]
+    hook is installed). Free of charge. *)

@@ -1,0 +1,516 @@
+exception Deadlock of string
+exception Event_limit_exceeded
+exception Thread_crash of string * exn
+
+type tstate = Ready | Running | Blocked | Joining | Finished
+
+type event_kind = Ev_fork | Ev_switch | Ev_preempt | Ev_block | Ev_wakeup | Ev_finish
+
+let event_kind_name = function
+  | Ev_fork -> "fork"
+  | Ev_switch -> "switch"
+  | Ev_preempt -> "preempt"
+  | Ev_block -> "block"
+  | Ev_wakeup -> "wakeup"
+  | Ev_finish -> "finish"
+
+type event = { time : int; proc : int; tid : int; kind : event_kind }
+
+type pending = Pending : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> pending
+
+type thread = {
+  tid : int;
+  name : string;
+  mutable prio : int;
+  mutable state : tstate;
+  mutable proc : int;
+  mutable pending : pending option;
+  mutable start_fn : (unit -> unit) option;
+  mutable wake_at : int;
+  mutable wake_tokens : int;
+  mutable joiners : int list;
+  mutable work_left : int;
+  mutable cpu_ns : int;
+}
+
+type proc = {
+  pid : int;
+  mutable pnow : int;
+  runq : thread Engine.Pqueue.t;
+  mutable cont : thread option;
+      (* non-preemptive continuation: the thread currently occupying
+         the processor, resumed ahead of queued threads until it
+         blocks, delays, yields or exhausts its quantum *)
+  mutable slice_ns : int;  (* cpu consumed since the last scheduling point *)
+  mutable last_tid : int;
+  mutable busy_ns : int;
+}
+
+type t = {
+  cfg : Config.t;
+  mem : Memory.t;
+  procs : proc array;
+  threads : (int, thread) Hashtbl.t;
+  mutable next_tid : int;
+  mutable live : int;
+  mutable events : int;
+  mutable current : thread option;
+  counters : Engine.Counters.t;
+  rng : Engine.Rng.t;
+  mutable trace_hook : (time:int -> tid:int -> string -> unit) option;
+  mutable event_hook : (event -> unit) option;
+  mutable started : bool;
+  mutable final : int;
+  mutable place_cursor : int;
+}
+
+let create (cfg : Config.t) =
+  if cfg.processors <= 0 then invalid_arg "Sched.create: need at least one processor";
+  {
+    cfg;
+    mem = Memory.create cfg;
+    procs =
+      Array.init cfg.processors (fun pid ->
+          {
+            pid;
+            pnow = 0;
+            runq = Engine.Pqueue.create ();
+            cont = None;
+            slice_ns = 0;
+            last_tid = -1;
+            busy_ns = 0;
+          });
+    threads = Hashtbl.create 64;
+    next_tid = 0;
+    live = 0;
+    events = 0;
+    current = None;
+    counters = Engine.Counters.create ();
+    rng = Engine.Rng.create cfg.seed;
+    trace_hook = None;
+    event_hook = None;
+    started = false;
+    final = 0;
+    place_cursor = 0;
+  }
+
+let config t = t.cfg
+let memory t = t.mem
+let counters t = t.counters
+let final_time t = t.final
+let processor_busy_ns t = Array.map (fun p -> p.busy_ns) t.procs
+let runq_length t pid =
+  let p = t.procs.(pid) in
+  Engine.Pqueue.size p.runq + match p.cont with Some _ -> 1 | None -> 0
+let live_threads t = t.live
+let set_trace_hook t hook = t.trace_hook <- Some hook
+let set_event_hook t hook = t.event_hook <- Some hook
+
+let emit t ~time ~proc ~tid kind =
+  match t.event_hook with
+  | Some hook -> hook { time; proc; tid; kind }
+  | None -> ()
+
+let thread_report t =
+  Hashtbl.fold (fun _ th acc -> (th.tid, th.name, th.cpu_ns) :: acc) t.threads []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+let current_thread t =
+  match t.current with
+  | Some th -> th
+  | None -> invalid_arg "Butterfly: operation performed outside a running thread"
+
+let make_ready t th ~at =
+  th.state <- Ready;
+  th.wake_at <- at;
+  Engine.Pqueue.add t.procs.(th.proc).runq ~key:at th
+
+(* The currently-running thread keeps its processor (non-preemptive
+   execution), unless a preemption quantum is configured and its slice
+   is exhausted — then it is demoted behind the queued threads. *)
+let continue_on t p th ~at =
+  th.state <- Ready;
+  th.wake_at <- at;
+  match t.cfg.quantum_ns with
+  | Some quantum when p.slice_ns >= quantum ->
+    p.slice_ns <- 0;
+    Engine.Counters.incr t.counters "sched.preemptions";
+    emit t ~time:at ~proc:p.pid ~tid:th.tid Ev_preempt;
+    Engine.Pqueue.add p.runq ~key:at th
+  | _ -> p.cont <- Some th
+
+(* Charge [ns] of processor occupancy ending at the thread's next wake
+   time: the processor is busy until then (its clock advances), and the
+   fiber is suspended and rescheduled at the completion time. *)
+let charge_and_resume t th p ~ns (Pending _ as pend) =
+  th.pending <- Some pend;
+  th.cpu_ns <- th.cpu_ns + ns;
+  p.busy_ns <- p.busy_ns + ns;
+  p.pnow <- p.pnow + ns;
+  p.slice_ns <- p.slice_ns + ns;
+  continue_on t p th ~at:p.pnow
+
+let suspend_value t th p ~ns k value =
+  charge_and_resume t th p ~ns (Pending (k, value))
+
+let suspend_unit t th p ~ns k = suspend_value t th p ~ns k (fun () -> ())
+
+(* Thread placement for unpinned forks: round-robin, skipping processor
+   load imbalance concerns (deterministic and uniform). *)
+let place t =
+  let pid = t.place_cursor in
+  t.place_cursor <- (t.place_cursor + 1) mod Array.length t.procs;
+  pid
+
+let new_thread t ~name ~proc ~prio fn =
+  let tid = t.next_tid in
+  t.next_tid <- tid + 1;
+  let th =
+    {
+      tid;
+      name;
+      prio;
+      state = Ready;
+      proc;
+      pending = None;
+      start_fn = Some fn;
+      wake_at = 0;
+      wake_tokens = 0;
+      joiners = [];
+      work_left = 0;
+      cpu_ns = 0;
+    }
+  in
+  Hashtbl.add t.threads tid th;
+  t.live <- t.live + 1;
+  th
+
+let finish t th =
+  th.state <- Finished;
+  emit t ~time:t.procs.(th.proc).pnow ~proc:th.proc ~tid:th.tid Ev_finish;
+  t.live <- t.live - 1;
+  let p = t.procs.(th.proc) in
+  let wake_time = p.pnow + t.cfg.join_ns in
+  List.iter
+    (fun jtid ->
+      let joiner = Hashtbl.find t.threads jtid in
+      if joiner.state = Joining then make_ready t joiner ~at:wake_time)
+    th.joiners;
+  th.joiners <- []
+
+let find_thread t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some th -> th
+  | None -> invalid_arg (Printf.sprintf "Butterfly: unknown thread %d" tid)
+
+let mem_access_kind = function
+  | `Read -> Memory.Read_access
+  | `Write -> Memory.Write_access
+  | `Atomic -> Memory.Atomic_access
+
+let counter_of_kind = function
+  | `Read -> "mem.read"
+  | `Write -> "mem.write"
+  | `Atomic -> "mem.atomic"
+
+(* Reserve a memory access starting now and suspend the fiber until its
+   completion time; the value thunk (which performs the actual word
+   mutation) runs at dispatch, i.e. in global virtual-time order. *)
+let memory_op : type r.
+    t -> thread -> proc -> kind:_ -> Memory.addr -> (unit -> r) -> (r, unit) Effect.Deep.continuation -> unit =
+ fun t th p ~kind addr value k ->
+  Engine.Counters.incr t.counters (counter_of_kind kind);
+  let complete =
+    Memory.reserve t.mem t.cfg ~from_node:p.pid addr (mem_access_kind kind) ~start:p.pnow
+  in
+  suspend_value t th p ~ns:(complete - p.pnow) k value
+
+let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
+ fun t eff ->
+  let cfg = t.cfg in
+  match eff with
+  | Ops.E_read addr ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Read addr (fun () -> Memory.read t.mem addr) k)
+  | Ops.E_write (addr, v) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Write addr (fun () -> Memory.write t.mem addr v) k)
+  | Ops.E_fetch_and_or (addr, v) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.fetch_and_or t.mem addr v) k)
+  | Ops.E_fetch_and_add (addr, v) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.fetch_and_add t.mem addr v) k)
+  | Ops.E_swap (addr, v) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.swap t.mem addr v) k)
+  | Ops.E_cas (addr, expected, desired) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        memory_op t th p ~kind:`Atomic addr
+          (fun () -> Memory.compare_and_swap t.mem addr ~expected ~desired)
+          k)
+  | Ops.E_alloc (node, n) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        let node = match node with Some node -> node | None -> th.proc in
+        let addrs = Memory.alloc t.mem ~node n in
+        suspend_value t th p ~ns:cfg.local_write_ns k (fun () -> addrs))
+  | Ops.E_work ns ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        let chunk = match cfg.quantum_ns with Some q -> min ns q | None -> ns in
+        th.work_left <- ns - chunk;
+        suspend_unit t th p ~ns:chunk k)
+  | Ops.E_work_instrs n ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        let ns = Config.instrs cfg n in
+        let chunk = match cfg.quantum_ns with Some q -> min ns q | None -> ns in
+        th.work_left <- ns - chunk;
+        suspend_unit t th p ~ns:chunk k)
+  | Ops.E_delay ns ->
+    Some
+      (fun k ->
+        (* A delay releases the processor: no cpu charge, later wake. *)
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        p.slice_ns <- 0;
+        th.pending <- Some (Pending (k, fun () -> ()));
+        make_ready t th ~at:(p.pnow + ns))
+  | Ops.E_now ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        Effect.Deep.continue k t.procs.(th.proc).pnow)
+  | Ops.E_fork spec ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        Engine.Counters.incr t.counters "sched.forks";
+        let proc =
+          match spec.proc with
+          | Some pid ->
+            if pid < 0 || pid >= Array.length t.procs then
+              invalid_arg (Printf.sprintf "fork: bad processor %d" pid);
+            pid
+          | None -> place t
+        in
+        let child = new_thread t ~name:spec.name ~proc ~prio:spec.prio spec.f in
+        emit t ~time:p.pnow ~proc ~tid:child.tid Ev_fork;
+        make_ready t child ~at:(p.pnow + cfg.fork_ns + cfg.wakeup_latency_ns);
+        suspend_value t th p ~ns:cfg.fork_ns k (fun () -> child.tid))
+  | Ops.E_join tid ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        let target = find_thread t tid in
+        if target.state = Finished then suspend_unit t th p ~ns:cfg.join_ns k
+        else begin
+          th.state <- Joining;
+          th.pending <- Some (Pending (k, fun () -> ()));
+          target.joiners <- th.tid :: target.joiners
+        end)
+  | Ops.E_yield ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        Engine.Counters.incr t.counters "sched.yields";
+        th.pending <- Some (Pending (k, fun () -> ()));
+        th.cpu_ns <- th.cpu_ns + cfg.yield_ns;
+        p.busy_ns <- p.busy_ns + cfg.yield_ns;
+        p.pnow <- p.pnow + cfg.yield_ns;
+        p.slice_ns <- 0;
+        make_ready t th ~at:p.pnow)
+  | Ops.E_block ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        Engine.Counters.incr t.counters "sched.blocks";
+        if th.wake_tokens > 0 then begin
+          (* A wakeup already arrived: absorb it and keep running. *)
+          th.wake_tokens <- th.wake_tokens - 1;
+          suspend_unit t th p ~ns:0 k
+        end
+        else begin
+          th.state <- Blocked;
+          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid Ev_block;
+          th.pending <- Some (Pending (k, fun () -> ()));
+          (* The processor spends [block_ns] saving the context. *)
+          p.pnow <- p.pnow + cfg.block_ns;
+          p.busy_ns <- p.busy_ns + cfg.block_ns;
+          th.cpu_ns <- th.cpu_ns + cfg.block_ns;
+          p.slice_ns <- 0
+        end)
+  | Ops.E_wakeup tid ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = t.procs.(th.proc) in
+        Engine.Counters.incr t.counters "sched.wakeups";
+        let target = find_thread t tid in
+        (match target.state with
+        | Blocked ->
+          target.state <- Ready;
+          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid Ev_wakeup;
+          make_ready t target ~at:(p.pnow + cfg.unblock_ns + cfg.wakeup_latency_ns)
+        | Finished -> Engine.Counters.incr t.counters "sched.wakeups_late"
+        | Ready | Running | Joining -> target.wake_tokens <- target.wake_tokens + 1);
+        suspend_unit t th p ~ns:cfg.unblock_ns k)
+  | Ops.E_self -> Some (fun k -> Effect.Deep.continue k (current_thread t).tid)
+  | Ops.E_my_processor -> Some (fun k -> Effect.Deep.continue k (current_thread t).proc)
+  | Ops.E_set_priority (tid, prio) ->
+    Some
+      (fun k ->
+        (find_thread t tid).prio <- prio;
+        Effect.Deep.continue k ())
+  | Ops.E_priority_of tid -> Some (fun k -> Effect.Deep.continue k (find_thread t tid).prio)
+  | Ops.E_processors -> Some (fun k -> Effect.Deep.continue k (Array.length t.procs))
+  | Ops.E_random bound -> Some (fun k -> Effect.Deep.continue k (Engine.Rng.int t.rng bound))
+  | Ops.E_trace msg ->
+    Some
+      (fun k ->
+        (match t.trace_hook with
+        | Some hook ->
+          let th = current_thread t in
+          hook ~time:t.procs.(th.proc).pnow ~tid:th.tid msg
+        | None -> ());
+        Effect.Deep.continue k ())
+  | _ -> None
+
+let run_fiber t th fn =
+  Effect.Deep.match_with fn ()
+    {
+      retc = (fun () -> finish t th);
+      exnc = (fun e -> raise (Thread_crash (th.name, e)));
+      effc = (fun eff -> handle_effect t eff);
+    }
+
+(* Pick the processor whose next runnable thread executes earliest.
+   Ties break toward the lowest processor id, keeping runs
+   deterministic. *)
+let pick t =
+  let best = ref None in
+  Array.iter
+    (fun p ->
+      let next_wake =
+        match p.cont with
+        | Some th -> Some th.wake_at
+        | None -> Engine.Pqueue.min_key p.runq
+      in
+      match next_wake with
+      | None -> ()
+      | Some wake ->
+        let key = max p.pnow wake in
+        (match !best with
+        | Some (bkey, _) when bkey <= key -> ()
+        | _ -> best := Some (key, p)))
+    t.procs;
+  match !best with Some (_, p) -> Some p | None -> None
+
+let dispatch t p =
+  let taken =
+    match p.cont with
+    | Some th ->
+      p.cont <- None;
+      Some th
+    | None -> Option.map snd (Engine.Pqueue.pop_min p.runq)
+  in
+  match taken with
+  | None -> assert false
+  | Some th ->
+    let start = max p.pnow th.wake_at in
+    let start =
+      if p.last_tid >= 0 && p.last_tid <> th.tid then begin
+        Engine.Counters.incr t.counters "sched.switches";
+        emit t ~time:start ~proc:p.pid ~tid:th.tid Ev_switch;
+        p.busy_ns <- p.busy_ns + t.cfg.switch_ns;
+        p.slice_ns <- 0;
+        start + t.cfg.switch_ns
+      end
+      else start
+    in
+    p.last_tid <- th.tid;
+    p.pnow <- start;
+    if th.work_left > 0 then begin
+      (* Preemption quantum: slice the remaining computation. *)
+      let chunk =
+        match t.cfg.quantum_ns with Some q -> min th.work_left q | None -> th.work_left
+      in
+      th.work_left <- th.work_left - chunk;
+      th.cpu_ns <- th.cpu_ns + chunk;
+      p.busy_ns <- p.busy_ns + chunk;
+      p.pnow <- start + chunk;
+      p.slice_ns <- p.slice_ns + chunk;
+      continue_on t p th ~at:p.pnow
+    end
+    else begin
+      th.state <- Running;
+      t.current <- Some th;
+      (match (th.start_fn, th.pending) with
+      | Some fn, None ->
+        th.start_fn <- None;
+        run_fiber t th fn
+      | None, Some (Pending (k, value)) ->
+        th.pending <- None;
+        Effect.Deep.continue k (value ())
+      | _ -> assert false);
+      t.current <- None
+    end
+
+let deadlock_report t =
+  let stuck =
+    Hashtbl.fold
+      (fun _ th acc ->
+        match th.state with
+        | Blocked -> Printf.sprintf "%s(#%d blocked)" th.name th.tid :: acc
+        | Joining -> Printf.sprintf "%s(#%d joining)" th.name th.tid :: acc
+        | Ready | Running | Finished -> acc)
+      t.threads []
+  in
+  String.concat ", " (List.sort String.compare stuck)
+
+let run ?(main_name = "main") t main =
+  if t.started then invalid_arg "Sched.run: this machine already ran";
+  t.started <- true;
+  let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
+  make_ready t main_thread ~at:0;
+  let continue = ref true in
+  while !continue do
+    t.events <- t.events + 1;
+    Engine.Counters.incr t.counters "sched.events";
+    if t.events > t.cfg.max_events then raise Event_limit_exceeded;
+    match pick t with
+    | Some p -> dispatch t p
+    | None ->
+      if t.live > 0 then raise (Deadlock (deadlock_report t));
+      continue := false
+  done;
+  t.final <- Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs

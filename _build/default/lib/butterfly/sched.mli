@@ -1,0 +1,81 @@
+(** The discrete-event scheduler: runs effect-handled fibers over the
+    simulated machine in deterministic virtual time.
+
+    One [t] value is one machine instance. {!run} starts a main thread
+    on processor 0 and drives the event loop until every thread has
+    finished (or a deadlock / event-limit abort). The dispatch rule
+    always picks the processor whose next runnable thread has the
+    smallest virtual timestamp, so memory operations linearize in
+    virtual-time order across the whole machine and runs are
+    bit-for-bit reproducible.
+
+    A [t] is single-use: create a fresh machine per experiment. *)
+
+type t
+
+exception Deadlock of string
+(** No thread is runnable but blocked/joining threads remain. The
+    payload lists them. *)
+
+exception Event_limit_exceeded
+(** The configured [max_events] safety valve fired. *)
+
+exception Thread_crash of string * exn
+(** A simulated thread raised; payload is the thread name and the
+    original exception. *)
+
+val create : Config.t -> t
+
+val run : ?main_name:string -> t -> (unit -> unit) -> unit
+(** [run t main] executes [main] as the first thread (on processor 0)
+    and returns when all simulated threads have terminated. Raises
+    [Invalid_argument] if this machine already ran. *)
+
+val config : t -> Config.t
+val memory : t -> Memory.t
+
+val counters : t -> Engine.Counters.t
+(** Machine-level event counters: ["mem.read"], ["mem.write"],
+    ["mem.atomic"], ["sched.switches"], ["sched.blocks"],
+    ["sched.wakeups"], ["sched.forks"], ["sched.events"], ... *)
+
+val final_time : t -> int
+(** Virtual time at which the last event executed (valid after
+    {!run}). *)
+
+val processor_busy_ns : t -> int array
+(** Per-processor busy time (cpu actually consumed by threads),
+    valid after {!run}. *)
+
+val runq_length : t -> int -> int
+(** Number of runnable threads currently queued on a processor (used
+    by advisory waiting policies and monitors). *)
+
+val live_threads : t -> int
+
+val set_trace_hook : t -> (time:int -> tid:int -> string -> unit) -> unit
+(** Install the sink for {!Ops.trace} messages. *)
+
+(** {1 Structured scheduling events}
+
+    A low-overhead instrumentation stream in the spirit of the paper's
+    general-purpose thread monitor: when a hook is installed, the
+    scheduler emits one event per scheduling action. With no hook
+    installed the cost is a single branch. *)
+
+type event_kind =
+  | Ev_fork  (** thread created ([tid] is the child) *)
+  | Ev_switch  (** processor switched to a different thread *)
+  | Ev_preempt  (** quantum expired; thread demoted behind its queue *)
+  | Ev_block  (** thread went to sleep *)
+  | Ev_wakeup  (** thread was made runnable again *)
+  | Ev_finish  (** thread terminated *)
+
+val event_kind_name : event_kind -> string
+
+type event = { time : int; proc : int; tid : int; kind : event_kind }
+
+val set_event_hook : t -> (event -> unit) -> unit
+
+val thread_report : t -> (int * string * int) list
+(** [(tid, name, cpu_ns)] for every thread that ran, sorted by tid. *)

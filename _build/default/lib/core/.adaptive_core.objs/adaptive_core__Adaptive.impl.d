@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Butterfly Cost List Policy Sensor

@@ -1,0 +1,1 @@
+lib/core/attribute.ml: Butterfly Memory Ops

@@ -1,0 +1,1 @@
+lib/core/formal.ml: Cost Format List String

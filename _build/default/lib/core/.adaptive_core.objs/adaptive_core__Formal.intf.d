@@ -1,0 +1,1 @@
+lib/core/formal.mli: Cost Format

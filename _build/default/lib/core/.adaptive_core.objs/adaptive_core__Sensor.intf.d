@@ -1,0 +1,1 @@
+lib/core/sensor.mli: Engine

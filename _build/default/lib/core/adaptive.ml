@@ -1,0 +1,48 @@
+type 'obs t = {
+  obj_name : string;
+  sensor : 'obs Sensor.t;
+  mutable policy : 'obs Policy.t;
+  scratch : Butterfly.Memory.addr;
+  mutable policy_run_count : int;
+  mutable adaptation_count : int;
+  mutable adaptation_log : (int * string) list;  (* newest first *)
+  mutable cost_sum : Cost.t;
+}
+
+let create ?(name = "adaptive-object") ~home ~sensor ~policy () =
+  {
+    obj_name = name;
+    sensor;
+    policy;
+    scratch = Butterfly.Ops.alloc1 ~node:home ();
+    policy_run_count = 0;
+    adaptation_count = 0;
+    adaptation_log = [];
+    cost_sum = Cost.zero;
+  }
+
+let name t = t.obj_name
+
+let decide t obs =
+  t.policy_run_count <- t.policy_run_count + 1;
+  match t.policy obs with
+  | Policy.No_change -> false
+  | Policy.Reconfigure { label; cost; apply } ->
+    Cost.charge ~scratch:t.scratch cost;
+    apply ();
+    t.adaptation_count <- t.adaptation_count + 1;
+    t.adaptation_log <- (Butterfly.Ops.now (), label) :: t.adaptation_log;
+    t.cost_sum <- Cost.( + ) t.cost_sum cost;
+    true
+
+let tick t =
+  match Sensor.tick t.sensor with None -> false | Some obs -> decide t obs
+
+let feed t obs = decide t obs
+let set_policy t p = t.policy <- p
+let samples t = Sensor.samples_taken t.sensor
+let policy_runs t = t.policy_run_count
+let adaptations t = t.adaptation_count
+let last_label t = match t.adaptation_log with [] -> None | (_, l) :: _ -> Some l
+let log t = List.rev t.adaptation_log
+let total_cost t = t.cost_sum

@@ -1,0 +1,57 @@
+(** The adaptive-object feedback loop: monitor -> policy -> reconfigure.
+
+    An ['obs t] ties together a {!Sensor} (the built-in monitor
+    module), a {!Policy} (user-provided adaptation policy) and the
+    reconfiguration mechanism (the decision's [apply] closure, charged
+    per its declared {!Cost} at the object's home node). The loop is
+    {b closely coupled}: {!tick} is called from within the object's own
+    methods (e.g. every unlock), so a decision always acts on the
+    current object state — the property §3 argues is needed to avoid
+    adaptation lag. The {b loosely coupled} alternative feeds
+    observations from an external monitoring thread through {!feed};
+    the [Monitoring] library builds that variant and the coupling
+    ablation compares the two. *)
+
+type 'obs t
+
+val create :
+  ?name:string ->
+  home:int ->
+  sensor:'obs Sensor.t ->
+  policy:'obs Policy.t ->
+  unit ->
+  'obs t
+(** Must run inside a simulation: allocates the scratch word used to
+    charge reconfiguration costs at [home]. *)
+
+val name : 'obs t -> string
+
+val tick : 'obs t -> bool
+(** One instrumentation event (closely-coupled path). Runs the sensor
+    at its sampling rate; when a sample is produced, runs the policy
+    and applies (and charges) any reconfiguration. Returns [true] iff
+    a reconfiguration was applied. *)
+
+val feed : 'obs t -> 'obs -> bool
+(** Inject an observation directly (loosely-coupled path). Runs the
+    policy on it, bypassing the sensor. *)
+
+val set_policy : 'obs t -> 'obs Policy.t -> unit
+
+val samples : 'obs t -> int
+(** Samples actually taken by the sensor via this loop. *)
+
+val policy_runs : 'obs t -> int
+
+val adaptations : 'obs t -> int
+(** Reconfigurations applied. *)
+
+val last_label : 'obs t -> string option
+(** Label of the most recent reconfiguration. *)
+
+val log : 'obs t -> (int * string) list
+(** All applied reconfigurations as (virtual time, label), oldest
+    first. *)
+
+val total_cost : 'obs t -> Cost.t
+(** Sum of the declared costs of applied reconfigurations. *)

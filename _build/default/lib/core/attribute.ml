@@ -1,0 +1,55 @@
+open Butterfly
+
+exception Immutable_attribute of string
+exception Not_owner of string
+
+(* The ownership word holds [tid + 1] of the owning thread, 0 when
+   free, so that thread 0 can own attributes too. *)
+type 'a t = {
+  attr_name : string;
+  mutable value : 'a;
+  mutable is_mutable : bool;
+  owner_word : Memory.addr;
+  mutable update_count : int;
+}
+
+let make_at ~name ?(mutable_ = true) ~node v =
+  {
+    attr_name = name;
+    value = v;
+    is_mutable = mutable_;
+    owner_word = Ops.alloc1 ~node ();
+    update_count = 0;
+  }
+
+let make ~name ?mutable_ v =
+  let node = Ops.my_processor () in
+  make_at ~name ?mutable_ ~node v
+
+let name t = t.attr_name
+let get t = t.value
+
+let set t v =
+  if not t.is_mutable then raise (Immutable_attribute t.attr_name);
+  let owner = Ops.read t.owner_word in
+  if owner <> 0 && owner <> Ops.self () + 1 then raise (Not_owner t.attr_name);
+  t.value <- v;
+  t.update_count <- t.update_count + 1
+
+let mutability t = t.is_mutable
+let set_mutability t b = t.is_mutable <- b
+
+let acquire t =
+  let me = Ops.self () + 1 in
+  Ops.compare_and_swap t.owner_word ~expected:0 ~desired:me
+  || Ops.read t.owner_word = me
+
+let release t =
+  let me = Ops.self () + 1 in
+  if not (Ops.compare_and_swap t.owner_word ~expected:me ~desired:0) then
+    raise (Not_owner t.attr_name)
+
+let owner t =
+  match Ops.read t.owner_word with 0 -> None | v -> Some (v - 1)
+
+let updates t = t.update_count

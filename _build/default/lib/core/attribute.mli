@@ -1,0 +1,55 @@
+(** Mutable object attributes (the paper's [CV] set).
+
+    An attribute is a named, typed cell characterizing part of an
+    object's internal implementation (e.g. a lock's [spin-time]). It
+    carries the two time-dependent properties of §3: {b mutability} —
+    whether its value may currently be changed — and {b ownership} —
+    which thread, if any, holds the exclusive right to reconfigure it.
+
+    Ownership is acquired implicitly (the object's own methods
+    reconfigure while holding the object) or explicitly through
+    {!acquire} by an external agent such as a monitoring thread; the
+    paper's Table 8 prices that acquisition like a test-and-set, which
+    is exactly how it is implemented here. *)
+
+type 'a t
+
+val make : name:string -> ?mutable_:bool -> 'a -> 'a t
+(** A fresh attribute. [mutable_] defaults to [true]. Must be created
+    inside a simulation (it allocates its ownership word at the
+    caller's node). *)
+
+val make_at : name:string -> ?mutable_:bool -> node:int -> 'a -> 'a t
+(** Like {!make} but placing the ownership word at [node]. *)
+
+val name : 'a t -> string
+
+val get : 'a t -> 'a
+(** Raw value read (host-side; callers charge simulated cost at the
+    granularity of whole reconfiguration operations, per §3.1). *)
+
+val set : 'a t -> 'a -> unit
+(** Raw value update. Raises [Immutable_attribute] when the attribute
+    is currently immutable, and [Not_owner] when it is owned by a
+    thread other than the caller. *)
+
+exception Immutable_attribute of string
+exception Not_owner of string
+
+val mutability : 'a t -> bool
+val set_mutability : 'a t -> bool -> unit
+
+val acquire : 'a t -> bool
+(** Explicit ownership acquisition by the calling thread (an atomic
+    test-and-set on the attribute's ownership word). Returns false if
+    another thread holds it. *)
+
+val release : 'a t -> unit
+(** Release ownership. Raises [Not_owner] if the caller does not hold
+    it. *)
+
+val owner : 'a t -> int option
+(** Owning thread id, if any (reads the ownership word). *)
+
+val updates : 'a t -> int
+(** How many times {!set} succeeded (for monitors and tests). *)

@@ -1,0 +1,66 @@
+type config = { gamma : string; phi : (string * string) list }
+
+let config ?(phi = []) gamma =
+  { gamma; phi = List.sort (fun (a, _) (b, _) -> String.compare a b) phi }
+
+let config_equal a b = a.gamma = b.gamma && a.phi = b.phi
+
+let pp_config ppf c =
+  Format.fprintf ppf "%s" c.gamma;
+  if c.phi <> [] then
+    Format.fprintf ppf "{%s}"
+      (String.concat "; " (List.map (fun (k, v) -> k ^ "=" ^ v) c.phi))
+
+type transition = { at : int; from_ : config; to_ : config; cost : Cost.t }
+
+type space = { members : config list; edges : (string * string) list option }
+
+let space ~configs ?edges () =
+  let rec dup = function
+    | [] -> None
+    | c :: rest -> if List.exists (config_equal c) rest then Some c else dup rest
+  in
+  (match dup configs with
+  | Some c -> invalid_arg (Format.asprintf "Formal.space: duplicate %a" pp_config c)
+  | None -> ());
+  { members = configs; edges }
+
+(* A candidate matches a member when gammas agree and every attribute
+   the member pins has the same value in the candidate. *)
+let matches ~member ~candidate =
+  member.gamma = candidate.gamma
+  && List.for_all
+       (fun (k, v) -> List.assoc_opt k candidate.phi = Some v)
+       member.phi
+
+let mem s candidate = List.exists (fun member -> matches ~member ~candidate) s.members
+
+let edge_allowed s ~from_ ~to_ =
+  match s.edges with
+  | None -> mem s from_ && mem s to_
+  | Some edges ->
+    mem s from_ && mem s to_ && List.mem (from_.gamma, to_.gamma) edges
+
+let validate s ~initial transitions =
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  if not (mem s initial) then fail "initial configuration %a not in space" pp_config initial
+  else begin
+    let rec walk current last_time = function
+      | [] -> Ok ()
+      | tr :: rest ->
+        if tr.at < last_time then fail "transition at %d out of time order" tr.at
+        else if not (config_equal tr.from_ current) then
+          fail "transition at %d departs from %a but object is in %a" tr.at pp_config
+            tr.from_ pp_config current
+        else if not (mem s tr.to_) then
+          fail "transition at %d reaches %a, outside the space" tr.at pp_config tr.to_
+        else if not (edge_allowed s ~from_:tr.from_ ~to_:tr.to_) then
+          fail "transition at %d uses forbidden edge %s -> %s" tr.at tr.from_.gamma
+            tr.to_.gamma
+        else walk tr.to_ tr.at rest
+    in
+    walk initial min_int transitions
+  end
+
+let total_cost transitions =
+  List.fold_left (fun acc tr -> Cost.( + ) acc tr.cost) Cost.zero transitions

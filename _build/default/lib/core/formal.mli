@@ -1,0 +1,58 @@
+(** The paper's formal characterization of configurable objects (§3.1).
+
+    An object's state is [SV = IV ∪ CV]: internal variables plus the
+    mutable attributes. The attribute instances form the policy set Φ,
+    the method implementations the set Γ, and the configuration space
+    is [C = Γ × Φ]. Three operation kinds act on it:
+
+    - Υ (state transition) touches only [IV],
+    - Ψ (reconfiguration) moves between configurations,
+    - I (initialization) resets everything,
+
+    each with a cost [t = n1 R n2 W] ({!Cost.t}).
+
+    This module gives those notions a concrete, checkable form: declare
+    a configuration space, then validate that an adaptive object's
+    reconfiguration log stays inside it and only takes allowed edges.
+    The test suite uses it to check the adaptive lock's [simple-adapt]
+    trajectories against the waiting-policy space of §5.1. *)
+
+type config = {
+  gamma : string;  (** method-implementation family, e.g. ["combined"] *)
+  phi : (string * string) list;  (** attribute values, sorted by name *)
+}
+
+val config : ?phi:(string * string) list -> string -> config
+(** [config g] is the configuration with family [g]; [phi] entries are
+    normalized (sorted by attribute name). *)
+
+val config_equal : config -> config -> bool
+val pp_config : Format.formatter -> config -> unit
+
+type transition = { at : int; from_ : config; to_ : config; cost : Cost.t }
+(** One applied Ψ, timestamped in virtual ns. *)
+
+type space
+
+val space :
+  configs:config list -> ?edges:(string * string) list -> unit -> space
+(** Declare the configuration space. [edges] restricts Ψ to the listed
+    (from-gamma, to-gamma) pairs; omitted, any pair of member
+    configurations is allowed. Raises [Invalid_argument] on duplicate
+    member configurations. *)
+
+val mem : space -> config -> bool
+(** Membership considers only declared attribute names: a candidate
+    matches a member when the gammas are equal and every attribute the
+    member declares has the same value in the candidate. *)
+
+val edge_allowed : space -> from_:config -> to_:config -> bool
+
+val validate : space -> initial:config -> transition list -> (unit, string) result
+(** Check a Ψ log: the chain must start at [initial], be contiguous
+    (each [from_] equals the previous [to_]), be time-ordered, and use
+    only member configurations and allowed edges. Returns a
+    human-readable reason on failure. *)
+
+val total_cost : transition list -> Cost.t
+(** Costs of composite reconfigurations add (§3.1). *)

@@ -1,0 +1,28 @@
+type decision =
+  | No_change
+  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> unit }
+
+type 'obs t = 'obs -> decision
+
+let no_op _ = No_change
+
+let reconfigure ~label ?(cost = Cost.reads_writes 1 1) apply =
+  Reconfigure { label; cost; apply }
+
+let compose p q obs = match p obs with No_change -> q obs | d -> d
+
+let with_hysteresis ~min_gap policy =
+  let last_applied = ref None in
+  fun obs ->
+    match policy obs with
+    | No_change -> No_change
+    | Reconfigure _ as d ->
+      let now = Butterfly.Ops.now () in
+      let too_soon =
+        match !last_applied with Some t -> now - t < min_gap | None -> false
+      in
+      if too_soon then No_change
+      else begin
+        last_applied := Some now;
+        d
+      end

@@ -1,0 +1,34 @@
+(** Adaptation policies and reconfiguration decisions.
+
+    A policy is the user-provided component of an adaptive object: it
+    consumes an observation from the monitor module and decides whether
+    (and how) to reconfigure. A decision carries the reconfiguration
+    closure (the paper's Psi operation) together with its declared
+    {!Cost.t}, which the feedback loop charges at the object's home
+    node when applying it. *)
+
+type decision =
+  | No_change
+  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> unit }
+      (** [label] names the transition for traces and tests; [apply]
+          performs the actual attribute/method changes. *)
+
+type 'obs t = 'obs -> decision
+(** A policy maps monitor observations to decisions. *)
+
+val no_op : 'obs t
+(** Never reconfigures (turns an adaptive object into a merely
+    monitored one — the baseline in overhead ablations). *)
+
+val reconfigure : label:string -> ?cost:Cost.t -> (unit -> unit) -> decision
+(** Convenience constructor; [cost] defaults to the paper's simple
+    waiting-policy reconfiguration, 1R 1W. *)
+
+val compose : 'obs t -> 'obs t -> 'obs t
+(** [compose p q] consults [p] first and falls back to [q] when [p]
+    decides [No_change]. *)
+
+val with_hysteresis : min_gap:int -> 'obs t -> 'obs t
+(** Suppress reconfigurations closer than [min_gap] virtual ns to the
+    previous applied one (a guard against thrashing; must run inside
+    the simulation because it reads the virtual clock). *)

@@ -1,0 +1,1 @@
+lib/cthreads/barrier.ml: Butterfly List Memory Ops Spin

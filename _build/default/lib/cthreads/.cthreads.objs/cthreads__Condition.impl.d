@@ -1,0 +1,1 @@
+lib/cthreads/condition.ml: Butterfly List Ops Spin

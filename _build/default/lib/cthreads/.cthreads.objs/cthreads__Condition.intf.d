@@ -1,0 +1,1 @@
+lib/cthreads/condition.mli: Spin

@@ -1,0 +1,1 @@
+lib/cthreads/cthread.ml: Butterfly Format List Ops Printf

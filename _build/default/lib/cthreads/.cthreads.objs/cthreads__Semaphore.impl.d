@@ -1,0 +1,1 @@
+lib/cthreads/semaphore.ml: Butterfly Memory Ops Queue Spin

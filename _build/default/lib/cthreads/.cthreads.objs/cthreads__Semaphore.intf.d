@@ -1,0 +1,1 @@
+lib/cthreads/semaphore.mli:

@@ -1,0 +1,20 @@
+open Butterfly
+
+type t = Memory.addr
+
+(* Gap between failed probes: long enough to keep the event count sane,
+   short enough not to distort latencies (one local read's worth). *)
+let probe_gap_ns = 600
+
+let create ?node () = Ops.alloc1 ?node ()
+let try_lock t = Ops.test_and_set t
+
+let lock t =
+  (* Busy-wait: the gap between probes occupies the processor, as real
+     spinning does. *)
+  while not (Ops.test_and_set t) do
+    Ops.work probe_gap_ns
+  done
+
+let unlock t = Ops.write t 0
+let home t = Memory.node_of t

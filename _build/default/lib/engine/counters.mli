@@ -1,0 +1,30 @@
+(** Named integer counters.
+
+    Lightweight event counting shared by the machine, the thread
+    package, the lock family, and the monitors. A [t] is a bag of
+    counters addressed by string name; reading a counter that was never
+    incremented yields 0. *)
+
+type t
+
+val create : unit -> t
+
+val incr : t -> string -> unit
+(** Increment a counter by one. *)
+
+val add : t -> string -> int -> unit
+(** Add an arbitrary (possibly negative) amount. *)
+
+val get : t -> string -> int
+(** Current value, 0 if never touched. *)
+
+val set : t -> string -> int -> unit
+
+val reset : t -> unit
+(** Zero every counter (names are kept). *)
+
+val to_list : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit
+(** One [name = value] line per counter, sorted by name. *)

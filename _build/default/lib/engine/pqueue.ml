@@ -1,0 +1,113 @@
+type 'a t = {
+  mutable keys : int array;
+  mutable seqs : int array;
+  mutable vals : 'a option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 64) () =
+  let capacity = max capacity 1 in
+  {
+    keys = Array.make capacity 0;
+    seqs = Array.make capacity 0;
+    vals = Array.make capacity None;
+    size = 0;
+    next_seq = 0;
+  }
+
+let size q = q.size
+let is_empty q = q.size = 0
+
+(* (key, seq) lexicographic order: smaller key wins; on equal keys the
+   earlier insertion (smaller seq) wins, giving FIFO stability. *)
+let less q i j =
+  q.keys.(i) < q.keys.(j) || (q.keys.(i) = q.keys.(j) && q.seqs.(i) < q.seqs.(j))
+
+let swap q i j =
+  let k = q.keys.(i) in
+  q.keys.(i) <- q.keys.(j);
+  q.keys.(j) <- k;
+  let s = q.seqs.(i) in
+  q.seqs.(i) <- q.seqs.(j);
+  q.seqs.(j) <- s;
+  let v = q.vals.(i) in
+  q.vals.(i) <- q.vals.(j);
+  q.vals.(j) <- v
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less q i parent then begin
+      swap q i parent;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let left = (2 * i) + 1 in
+  if left < q.size then begin
+    let right = left + 1 in
+    let smallest = if right < q.size && less q right left then right else left in
+    if less q smallest i then begin
+      swap q i smallest;
+      sift_down q smallest
+    end
+  end
+
+let grow q =
+  let capacity = Array.length q.keys in
+  let capacity' = capacity * 2 in
+  let keys = Array.make capacity' 0 in
+  let seqs = Array.make capacity' 0 in
+  let vals = Array.make capacity' None in
+  Array.blit q.keys 0 keys 0 q.size;
+  Array.blit q.seqs 0 seqs 0 q.size;
+  Array.blit q.vals 0 vals 0 q.size;
+  q.keys <- keys;
+  q.seqs <- seqs;
+  q.vals <- vals
+
+let add q ~key v =
+  if q.size = Array.length q.keys then grow q;
+  let i = q.size in
+  q.keys.(i) <- key;
+  q.seqs.(i) <- q.next_seq;
+  q.vals.(i) <- Some v;
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q i
+
+let value_exn = function Some v -> v | None -> assert false
+
+let peek_min q = if q.size = 0 then None else Some (q.keys.(0), value_exn q.vals.(0))
+let min_key q = if q.size = 0 then None else Some q.keys.(0)
+
+let pop_min q =
+  if q.size = 0 then None
+  else begin
+    let key = q.keys.(0) and v = value_exn q.vals.(0) in
+    let last = q.size - 1 in
+    swap q 0 last;
+    q.vals.(last) <- None;
+    q.size <- last;
+    sift_down q 0;
+    Some (key, v)
+  end
+
+let clear q =
+  for i = 0 to q.size - 1 do
+    q.vals.(i) <- None
+  done;
+  q.size <- 0
+
+let drain q =
+  let rec loop acc =
+    match pop_min q with None -> List.rev acc | Some entry -> loop (entry :: acc)
+  in
+  loop []
+
+let iter q f =
+  for i = 0 to q.size - 1 do
+    f q.keys.(i) (value_exn q.vals.(i))
+  done

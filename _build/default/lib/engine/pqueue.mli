@@ -1,0 +1,42 @@
+(** Binary min-heap priority queue with stable (FIFO) tie-breaking.
+
+    The event queue at the heart of the discrete-event simulator. Keys
+    are virtual timestamps (non-negative integers). Two entries with
+    equal keys are popped in insertion order, which keeps simulations
+    deterministic without requiring callers to invent tie-breakers. *)
+
+type 'a t
+(** A mutable priority queue holding values of type ['a]. *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] is an empty queue. [capacity] pre-sizes the backing
+    array (default 64); the queue grows automatically. *)
+
+val add : 'a t -> key:int -> 'a -> unit
+(** [add q ~key v] inserts [v] with priority [key]. O(log n). *)
+
+val pop_min : 'a t -> (int * 'a) option
+(** [pop_min q] removes and returns the entry with the smallest key
+    (ties: earliest inserted first), or [None] if empty. O(log n). *)
+
+val peek_min : 'a t -> (int * 'a) option
+(** [peek_min q] is the entry [pop_min] would return, without removing
+    it. O(1). *)
+
+val min_key : 'a t -> int option
+(** [min_key q] is the smallest key present, if any. O(1). *)
+
+val size : 'a t -> int
+(** Number of entries currently in the queue. *)
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Remove every entry. Does not shrink the backing array. *)
+
+val drain : 'a t -> (int * 'a) list
+(** [drain q] pops everything, returning entries in priority order.
+    Leaves [q] empty. Intended for tests and shutdown paths. *)
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Iterate over entries in unspecified order (heap order). *)

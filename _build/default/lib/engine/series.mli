@@ -1,0 +1,53 @@
+(** Growable time series: (virtual timestamp, value) samples.
+
+    Used by lock tracing (Figures 4–9 plot the number of waiting
+    threads over time), monitor modules, and the workload harness.
+    Timestamps are virtual nanoseconds and must be appended in
+    non-decreasing order; values are floats. *)
+
+type t
+
+val create : ?capacity:int -> name:string -> unit -> t
+(** Fresh empty series. [name] labels CSV columns and plots. *)
+
+val name : t -> string
+
+val add : t -> t:int -> v:float -> unit
+(** Append a sample. Raises [Invalid_argument] if [t] is smaller than
+    the previous sample's timestamp (series must be time-ordered). *)
+
+val length : t -> int
+
+val get : t -> int -> int * float
+(** [get s i] is the [i]-th sample. Raises [Invalid_argument] when out
+    of bounds. *)
+
+val last : t -> (int * float) option
+
+val iter : t -> (int -> float -> unit) -> unit
+
+val fold : t -> init:'a -> f:('a -> int -> float -> 'a) -> 'a
+
+val to_list : t -> (int * float) list
+
+val max_value : t -> float option
+val min_value : t -> float option
+
+val mean_value : t -> float option
+(** Unweighted mean of the sample values. *)
+
+val time_weighted_mean : t -> float option
+(** Mean of the value weighted by the time it was held, treating each
+    sample as holding until the next sample's timestamp. [None] when
+    fewer than two samples. *)
+
+val resample : t -> buckets:int -> (int * float) array
+(** [resample s ~buckets] reduces the series to [buckets] points by
+    averaging samples inside equal-width time windows spanning the
+    series; empty windows repeat the previous value. Used to render
+    compact figures from long traces. *)
+
+val output_csv : out_channel -> t list -> unit
+(** Write series sharing a CSV file: a header row [time,name1,name2...]
+    followed by the union of sample times (missing values carried
+    forward, empty until first sample). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Barrier Butterfly Config Cthread Cthreads List Locks Memory Monitoring Sched Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Buffer List Locks Paper Printf Repro_stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/lock_tables.ml: Adaptive_core Butterfly Config Cthread Cthreads List Locks Sched

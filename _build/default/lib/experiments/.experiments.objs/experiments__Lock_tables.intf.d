@@ -1,0 +1,1 @@
+lib/experiments/lock_tables.mli:

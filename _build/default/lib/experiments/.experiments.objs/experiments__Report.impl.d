@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Ablations Engine Fig1 Filename Float Format Fun List Lock_tables Locks Paper Printf Repro_stats Sys Tsp Tsp_experiments

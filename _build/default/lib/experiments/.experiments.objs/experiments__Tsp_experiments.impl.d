@@ -1,0 +1,1 @@
+lib/experiments/tsp_experiments.ml: List Locks Option Printf String Tsp

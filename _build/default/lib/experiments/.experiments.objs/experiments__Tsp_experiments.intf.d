@@ -1,0 +1,1 @@
+lib/experiments/tsp_experiments.mli: Butterfly Engine Tsp

@@ -1,0 +1,339 @@
+open Butterfly
+open Cthreads
+
+type sched_row = {
+  sched : Locks.Lock_sched.kind;
+  total_ns : int;
+  mean_response_us : float;
+  server_wait_us : float;
+  client_wait_us : float;
+}
+
+let schedulers ?machine () =
+  let results = Workloads.Client_server.compare_schedulers ?machine Workloads.Client_server.default in
+  List.map
+    (fun (sched, (r : Workloads.Client_server.result)) ->
+      {
+        sched;
+        total_ns = r.Workloads.Client_server.total_ns;
+        mean_response_us = r.Workloads.Client_server.mean_response_ns /. 1000.0;
+        server_wait_us = r.Workloads.Client_server.server_mean_wait_ns /. 1000.0;
+        client_wait_us = r.Workloads.Client_server.client_mean_wait_ns /. 1000.0;
+      })
+    results
+
+type coupling_row = {
+  coupling : string;
+  total_ns : int;
+  adaptations : int;
+  max_lag_us : float;
+}
+
+(* A phased workload driven through an abstract lock interface so the
+   closely- and loosely-coupled adaptive locks run the identical
+   program. Six workers on processors 1-6; processor 7 is reserved for
+   the loose variant's monitor thread. *)
+let coupling_workload ~lock ~unlock =
+  (* Twelve workers, two per processor (1-6): spinning in the storm
+     phase starves the co-located compute threads, so adaptation
+     timeliness matters. *)
+  let workers = 12 in
+  let barrier = Barrier.create ~node:0 workers in
+  let phase active cs entries idx =
+    Barrier.await barrier;
+    if idx < active then
+      for _ = 1 to entries do
+        lock ();
+        Cthread.work cs;
+        unlock ();
+        Cthread.work 10_000
+      done
+    else Cthread.work (entries * (cs + 10_000))
+  in
+  let body idx () =
+    phase 1 4_000 50 idx;
+    phase 12 150_000 10 idx;
+    phase 1 4_000 50 idx
+  in
+  let threads =
+    List.init workers (fun i -> Cthread.fork ~proc:(1 + (i mod 6)) (body i))
+  in
+  Cthread.join_all threads
+
+let coupling ?machine () =
+  let cfg =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let cfg = { cfg with Config.processors = max cfg.Config.processors 8 } in
+  let close () =
+    let sim = Sched.create cfg in
+    let adaptations = ref 0 in
+    Sched.run sim (fun () ->
+        let lk = Locks.Adaptive_lock.create ~home:0 () in
+        coupling_workload
+          ~lock:(fun () -> Locks.Adaptive_lock.lock lk)
+          ~unlock:(fun () -> Locks.Adaptive_lock.unlock lk);
+        adaptations := Locks.Adaptive_lock.adaptations lk);
+    {
+      coupling = "closely-coupled";
+      total_ns = Sched.final_time sim;
+      adaptations = !adaptations;
+      max_lag_us = 0.0;
+    }
+  in
+  let loose () =
+    let sim = Sched.create cfg in
+    let adaptations = ref 0 and lag = ref 0 in
+    Sched.run sim (fun () ->
+        let lk =
+          (* The general-purpose monitor batches trace records: its
+             polling granularity is far coarser than the lock's
+             event rate, which is what produces the adaptation lag. *)
+          Monitoring.Loose_adaptive_lock.create ~home:0 ~monitor_proc:7
+            ~poll_interval_ns:2_000_000 ()
+        in
+        coupling_workload
+          ~lock:(fun () -> Monitoring.Loose_adaptive_lock.lock lk)
+          ~unlock:(fun () -> Monitoring.Loose_adaptive_lock.unlock lk);
+        adaptations := Monitoring.Loose_adaptive_lock.adaptations lk;
+        lag := Monitoring.Loose_adaptive_lock.max_lag_ns lk;
+        Monitoring.Loose_adaptive_lock.shutdown lk);
+    {
+      coupling = "loosely-coupled";
+      total_ns = Sched.final_time sim;
+      adaptations = !adaptations;
+      max_lag_us = float_of_int !lag /. 1000.0;
+    }
+  in
+  [ close (); loose () ]
+
+type sampling_row = { period : int; total_ns : int; samples : int; adaptations : int }
+
+let contended_adaptive_run ?machine ~params () =
+  let cfg =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let sim = Sched.create cfg in
+  let samples = ref 0 and adaptations = ref 0 and blocks = ref 0 and spins = ref 0 in
+  Sched.run sim (fun () ->
+      let lk = Locks.Adaptive_lock.create ~home:0 ~params () in
+      let body i () =
+        Cthread.work (i * 3_000);
+        for _ = 1 to 30 do
+          Locks.Adaptive_lock.lock lk;
+          Cthread.work 30_000;
+          Locks.Adaptive_lock.unlock lk;
+          Cthread.work 40_000
+        done
+      in
+      let threads = List.init 6 (fun i -> Cthread.fork ~proc:(1 + (i mod 7)) (body i)) in
+      Cthread.join_all threads;
+      samples := Locks.Adaptive_lock.samples lk;
+      adaptations := Locks.Adaptive_lock.adaptations lk;
+      blocks := Locks.Lock_stats.blocks (Locks.Adaptive_lock.stats lk);
+      spins := Locks.Lock_stats.spin_probes (Locks.Adaptive_lock.stats lk));
+  (Sched.final_time sim, !samples, !adaptations, !blocks, !spins)
+
+let sampling ?machine ~periods () =
+  List.map
+    (fun period ->
+      let params = { Locks.Adaptive_lock.default_params with Locks.Adaptive_lock.sample_period = period } in
+      let total_ns, samples, adaptations, _, _ = contended_adaptive_run ?machine ~params () in
+      { period; total_ns; samples; adaptations })
+    periods
+
+type threshold_row = {
+  waiting_threshold : int;
+  n : int;
+  total_ns : int;
+  blocks : int;
+  spin_probes : int;
+}
+
+let threshold ?machine ~thresholds ~ns () =
+  List.concat_map
+    (fun waiting_threshold ->
+      List.map
+        (fun n ->
+          let params =
+            { Locks.Adaptive_lock.default_params with
+              Locks.Adaptive_lock.waiting_threshold; n }
+          in
+          let total_ns, _, _, blocks, spin_probes =
+            contended_adaptive_run ?machine ~params ()
+          in
+          { waiting_threshold; n; total_ns; blocks; spin_probes })
+        ns)
+    thresholds
+
+type phase_row = {
+  kind : Locks.Lock.kind;
+  total_ns : int;
+  adaptations : int;
+  mean_wait_us : float;
+}
+
+let phases ?machine () =
+  let kinds =
+    [
+      Locks.Lock.Spin;
+      Locks.Lock.Blocking;
+      Locks.Lock.Combined 10;
+      Locks.Lock.adaptive_default;
+    ]
+  in
+  Workloads.Phased.compare_kinds ?machine Workloads.Phased.default kinds
+  |> List.map (fun (kind, (r : Workloads.Phased.result)) ->
+         {
+           kind;
+           total_ns = r.Workloads.Phased.total_ns;
+           adaptations = r.Workloads.Phased.adaptations;
+           mean_wait_us = r.Workloads.Phased.mean_wait_ns /. 1000.0;
+         })
+
+type arch_row = {
+  arch : string;
+  lock_impl : string;
+  total_ns : int;
+  remote_accesses : int;
+  mean_wait_us : float;
+}
+
+(* MS93's second recap experiment: implementation-specific lock
+   configurations re-targeted across architectures. A heavily contended
+   short critical section, run with four lock implementations on the
+   NUMA machine and on its UMA variant. *)
+let architecture ?machine () =
+  let base =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let machines = [ ("NUMA", base); ("UMA", Config.uma base) ] in
+  let workers = 6 and iterations = 40 in
+  let drive ~lock ~unlock =
+    let body i () =
+      Cthread.work (i * 2_000);
+      for _ = 1 to iterations do
+        lock ();
+        Cthread.work 20_000;
+        unlock ();
+        Cthread.work 10_000
+      done
+    in
+    let threads = List.init workers (fun i -> Cthread.fork ~proc:(i + 1) (body i)) in
+    Cthread.join_all threads
+  in
+  let run_one arch cfg (impl_name, make) =
+    let sim = Sched.create cfg in
+    let wait = ref 0.0 in
+    Sched.run sim (fun () ->
+        let lock, unlock, stats, cleanup = make () in
+        drive ~lock ~unlock;
+        wait := Locks.Lock_stats.mean_wait_ns stats /. 1000.0;
+        cleanup ());
+    {
+      arch;
+      lock_impl = impl_name;
+      total_ns = Sched.final_time sim;
+      remote_accesses = Memory.remote_accesses (Sched.memory sim);
+      mean_wait_us = !wait;
+    }
+  in
+  let implementations =
+    [
+      ( "centralized spin",
+        fun () ->
+          let lk = Locks.Lock.create ~home:1 Locks.Lock.Spin in
+          ( (fun () -> Locks.Lock.lock lk),
+            (fun () -> Locks.Lock.unlock lk),
+            Locks.Lock.stats lk,
+            fun () -> () ) );
+      ( "local-spin (distributed)",
+        fun () ->
+          let lk = Locks.Local_spin_lock.create ~home:1 () in
+          ( (fun () -> Locks.Local_spin_lock.lock lk),
+            (fun () -> Locks.Local_spin_lock.unlock lk),
+            Locks.Local_spin_lock.stats lk,
+            fun () -> () ) );
+      ( "blocking",
+        fun () ->
+          let lk = Locks.Lock.create ~home:1 Locks.Lock.Blocking in
+          ( (fun () -> Locks.Lock.lock lk),
+            (fun () -> Locks.Lock.unlock lk),
+            Locks.Lock.stats lk,
+            fun () -> () ) );
+      ( "active (server thread)",
+        fun () ->
+          let lk = Locks.Active_lock.create ~server_proc:7 () in
+          ( (fun () -> Locks.Active_lock.lock lk),
+            (fun () -> Locks.Active_lock.unlock lk),
+            Locks.Active_lock.stats lk,
+            fun () -> Locks.Active_lock.shutdown lk ) );
+    ]
+  in
+  List.concat_map
+    (fun (arch, cfg) -> List.map (run_one arch cfg) implementations)
+    machines
+
+type advisory_row = {
+  advisory_lock : string;
+  total_ns : int;
+  blocks : int;
+  spin_probes : int;
+  mean_wait_advisory_us : float;
+}
+
+(* Section 2's claim that "a speculative or advisory lock performs well
+   for variable length critical sections": each critical section is
+   randomly short (spin is right) or long (sleeping is right); only the
+   owner knows which, and the advisory lock lets it tell the waiters. *)
+let advisory ?machine () =
+  let cfg =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let short_ns = 8_000 and long_ns = 8_000_000 in
+  let run_one (label, kind) =
+    let sim = Sched.create cfg in
+    let stats = ref None in
+    Sched.run sim (fun () ->
+        let lk = Locks.Lock.create ~home:0 kind in
+        let body i () =
+          Cthread.work (i * 2_000);
+          for _ = 1 to 18 do
+            (* One in six sections is long. *)
+            let long = Cthread.random 6 = 0 in
+            Locks.Lock.lock lk;
+            (match Locks.Lock.kind lk with
+            | Locks.Lock.Advisory ->
+              Locks.Lock.advise lk
+                (Some
+                   (if long then Locks.Lock_core.Advise_sleep
+                    else Locks.Lock_core.Advise_spin))
+            | _ -> ());
+            Cthread.work (if long then long_ns else short_ns);
+            Locks.Lock.unlock lk;
+            Cthread.work 20_000
+          done
+        in
+        (* Two workers per processor: spinning through a long section
+           starves the co-located holder. *)
+        let threads =
+          List.init 12 (fun i -> Cthread.fork ~proc:(1 + (i mod 6)) (body i))
+        in
+        Cthread.join_all threads;
+        stats := Some (Locks.Lock.stats lk));
+    let s = match !stats with Some s -> s | None -> assert false in
+    {
+      advisory_lock = label;
+      total_ns = Sched.final_time sim;
+      blocks = Locks.Lock_stats.blocks s;
+      spin_probes = Locks.Lock_stats.spin_probes s;
+      mean_wait_advisory_us = Locks.Lock_stats.mean_wait_ns s /. 1000.0;
+    }
+  in
+  List.map run_one
+    [
+      ("pure spin", Locks.Lock.Spin);
+      ("pure blocking", Locks.Lock.Blocking);
+      ("combined(10)", Locks.Lock.Combined 10);
+      ("advisory", Locks.Lock.Advisory);
+    ]

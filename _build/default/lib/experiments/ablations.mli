@@ -1,0 +1,95 @@
+(** Ablations beyond the paper's tables: the design-choice studies
+    DESIGN.md calls out.
+
+    - {!schedulers}: the [MS93] client-server lock-scheduler comparison
+      (FCFS vs Priority vs Handoff; priority should win, FCFS lose).
+    - {!coupling}: closely-coupled (in-line) vs loosely-coupled
+      (monitor thread + ring buffer) adaptation on a phased workload —
+      quantifies the adaptation lag that made the paper build the
+      customized lock monitor.
+    - {!sampling}: monitor sampling-rate sweep (quality of adaptation
+      vs monitoring overhead, §3).
+    - {!threshold}: [Waiting-Threshold]/[n] sweep of [simple-adapt]
+      (the paper's stated next research step).
+    - {!phases}: adaptive vs static locks across contention phases
+      (§2's "optimal waiting policy might differ during different
+      phases"). *)
+
+type sched_row = {
+  sched : Locks.Lock_sched.kind;
+  total_ns : int;
+  mean_response_us : float;  (** submit-to-served latency (headline) *)
+  server_wait_us : float;
+  client_wait_us : float;
+}
+
+val schedulers : ?machine:Butterfly.Config.t -> unit -> sched_row list
+
+type coupling_row = {
+  coupling : string;  (** "closely-coupled" or "loosely-coupled" *)
+  total_ns : int;
+  adaptations : int;
+  max_lag_us : float;  (** observation staleness; 0 for closely-coupled *)
+}
+
+val coupling : ?machine:Butterfly.Config.t -> unit -> coupling_row list
+
+type sampling_row = {
+  period : int;  (** sample every k-th unlock *)
+  total_ns : int;
+  samples : int;
+  adaptations : int;
+}
+
+val sampling : ?machine:Butterfly.Config.t -> periods:int list -> unit -> sampling_row list
+
+type threshold_row = {
+  waiting_threshold : int;
+  n : int;
+  total_ns : int;
+  blocks : int;
+  spin_probes : int;
+}
+
+val threshold :
+  ?machine:Butterfly.Config.t ->
+  thresholds:int list ->
+  ns:int list ->
+  unit ->
+  threshold_row list
+
+type phase_row = {
+  kind : Locks.Lock.kind;
+  total_ns : int;
+  adaptations : int;
+  mean_wait_us : float;
+}
+
+val phases : ?machine:Butterfly.Config.t -> unit -> phase_row list
+
+type arch_row = {
+  arch : string;  (** "NUMA" or "UMA" *)
+  lock_impl : string;
+  total_ns : int;
+  remote_accesses : int;  (** inter-node memory accesses of the run *)
+  mean_wait_us : float;
+}
+
+val architecture : ?machine:Butterfly.Config.t -> unit -> arch_row list
+(** [MS93]'s implementation-retargeting experiment: centralized spin vs
+    local-spin (distributed) vs blocking vs active locks on the NUMA
+    machine and its UMA variant. Local spinning should pay off only on
+    NUMA. *)
+
+type advisory_row = {
+  advisory_lock : string;
+  total_ns : int;
+  blocks : int;
+  spin_probes : int;
+  mean_wait_advisory_us : float;
+}
+
+val advisory : ?machine:Butterfly.Config.t -> unit -> advisory_row list
+(** Section 2's advisory-lock claim: on a workload of randomly short or
+    long critical sections, the owner's advice (spin for short, sleep
+    for long) should beat any fixed waiting policy. *)

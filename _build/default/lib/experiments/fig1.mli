@@ -1,0 +1,26 @@
+(** Figure 1: application execution time vs critical-section length for
+    pure spin, pure blocking, and combined(1/10/50) locks. *)
+
+type point = { cs_ns : int; total_ns : int }
+
+type curve = { kind : Locks.Lock.kind; points : point list }
+
+val default_cs_lengths : int list
+(** Sweep points, about 5 us to 800 us. *)
+
+val run :
+  ?machine:Butterfly.Config.t ->
+  ?base:Workloads.Csweep.spec ->
+  ?cs_lengths:int list ->
+  unit ->
+  curve list
+
+val crossover_summary : curve list -> string
+(** A textual check of the figure's claims: spin wins for short
+    sections, blocking for long ones, combined(10) beats combined(1)
+    somewhere, combined(50) loses to combined(10) somewhere. *)
+
+val to_plot : curve list -> string
+(** ASCII rendering of the figure. *)
+
+val to_csv : curve list -> out_channel -> unit

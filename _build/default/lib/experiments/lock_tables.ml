@@ -1,0 +1,232 @@
+open Butterfly
+open Cthreads
+
+type row = { op : string; local_us : float; remote_us : float }
+
+let cfg = { Config.default with Config.processors = 6 }
+
+let run main =
+  let sim = Sched.create cfg in
+  Sched.run sim main
+
+let us ns_total iters = float_of_int ns_total /. float_of_int iters /. 1000.0
+
+(* Average uncontended lock/unlock latency measured from [proc] on a
+   lock homed at [home]. *)
+let measure_ops ~make ~proc ~home =
+  let iters = 10 in
+  let lock_ns = ref 0 and unlock_ns = ref 0 in
+  run (fun () ->
+      let lk = make ~home in
+      let t =
+        Cthread.fork ~proc (fun () ->
+            for _ = 1 to iters do
+              let t0 = Cthread.now () in
+              (match lk with
+              | `Lock l -> Locks.Lock.lock l
+              | `Core c -> Locks.Lock_core.lock c);
+              let t1 = Cthread.now () in
+              (match lk with
+              | `Lock l -> Locks.Lock.unlock l
+              | `Core c -> Locks.Lock_core.unlock c);
+              let t2 = Cthread.now () in
+              lock_ns := !lock_ns + (t1 - t0);
+              unlock_ns := !unlock_ns + (t2 - t1);
+              Cthread.work 5_000
+            done)
+      in
+      Cthread.join t);
+  (us !lock_ns iters, us !unlock_ns iters)
+
+let kinds =
+  [
+    ("atomior", `Atomior);
+    ("spin-lock", `Kind Locks.Lock.Spin);
+    ("spin-with-backoff", `Kind Locks.Lock.Backoff);
+    ("blocking-lock", `Kind Locks.Lock.Blocking);
+    ("adaptive lock", `Kind Locks.Lock.adaptive_default);
+  ]
+
+let make_of = function
+  | `Atomior ->
+    fun ~home ->
+      `Core
+        (Locks.Lock_core.create ~name:"atomior" ~home
+           ~policy:(Locks.Waiting.pure_spin ~node:home ())
+           ~costs:Locks.Lock_costs.atomior ())
+  | `Kind kind -> fun ~home -> `Lock (Locks.Lock.create ~home kind)
+
+let lock_unlock_tables () =
+  List.map
+    (fun (name, spec) ->
+      let make = make_of spec in
+      let local_lock, local_unlock = measure_ops ~make ~proc:1 ~home:1 in
+      let remote_lock, remote_unlock = measure_ops ~make ~proc:2 ~home:1 in
+      (name, (local_lock, remote_lock), (local_unlock, remote_unlock)))
+    kinds
+
+let table4 () =
+  List.map
+    (fun (name, (l, r), _) -> { op = name; local_us = l; remote_us = r })
+    (lock_unlock_tables ())
+
+let table5 () =
+  List.filter_map
+    (fun (name, _, (l, r)) ->
+      if name = "atomior" then None else Some { op = name; local_us = l; remote_us = r })
+    (lock_unlock_tables ())
+
+(* Locking cycle: time from the owner's unlock to the waiter's
+   completed acquisition on an already-locked lock. *)
+let measure_cycle ~make ~waiter_proc ~home =
+  let unlock_at = ref 0 and acquired_at = ref 0 in
+  run (fun () ->
+      let lk = make ~home in
+      let do_lock () =
+        match lk with `Lock l -> Locks.Lock.lock l | `Core c -> Locks.Lock_core.lock c
+      and do_unlock () =
+        match lk with
+        | `Lock l -> Locks.Lock.unlock l
+        | `Core c -> Locks.Lock_core.unlock c
+      in
+      let owner_has_lock = ref false in
+      let owner =
+        Cthread.fork ~proc:3 (fun () ->
+            do_lock ();
+            owner_has_lock := true;
+            (* Hold long enough for the waiter to settle into its
+               waiting mode. *)
+            Cthread.work 800_000;
+            unlock_at := Cthread.now ();
+            do_unlock ())
+      in
+      let waiter =
+        Cthread.fork ~proc:waiter_proc (fun () ->
+            while not !owner_has_lock do
+              Cthread.delay 5_000
+            done;
+            do_lock ();
+            acquired_at := Cthread.now ();
+            do_unlock ())
+      in
+      Cthread.join owner;
+      Cthread.join waiter);
+  float_of_int (!acquired_at - !unlock_at) /. 1000.0
+
+let table6 () =
+  let static = [ ("spin", `Kind Locks.Lock.Spin);
+                 ("spin-with-backoff", `Kind Locks.Lock.Backoff);
+                 ("blocking-lock", `Kind Locks.Lock.Blocking) ] in
+  List.map
+    (fun (name, spec) ->
+      let make = make_of spec in
+      {
+        op = name;
+        local_us = measure_cycle ~make ~waiter_proc:1 ~home:1;
+        remote_us = measure_cycle ~make ~waiter_proc:2 ~home:1;
+      })
+    static
+
+let table7 () =
+  let adaptive_configured configure ~home =
+    (* An adaptive lock pinned to one configuration: the no-op policy
+       keeps the feedback loop from re-tuning it mid-measurement. *)
+    let al =
+      Locks.Adaptive_lock.create ~home ~policy:Adaptive_core.Policy.no_op ()
+    in
+    let r = Locks.Adaptive_lock.reconfigurable al in
+    configure r;
+    `Reconf r
+  in
+  let spin_cfg r =
+    Locks.Reconfigurable_lock.configure_waiting r ~spin_count:max_int ~sleep:false ()
+  in
+  let block_cfg r =
+    Locks.Reconfigurable_lock.configure_waiting r ~spin_count:0 ~sleep:true ()
+  in
+  let measure configure ~waiter_proc =
+    let unlock_at = ref 0 and acquired_at = ref 0 in
+    run (fun () ->
+        match adaptive_configured configure ~home:1 with
+        | `Reconf r ->
+          let owner_has_lock = ref false in
+          let owner =
+            Cthread.fork ~proc:3 (fun () ->
+                Locks.Reconfigurable_lock.lock r;
+                owner_has_lock := true;
+                Cthread.work 800_000;
+                unlock_at := Cthread.now ();
+                Locks.Reconfigurable_lock.unlock r)
+          in
+          let waiter =
+            Cthread.fork ~proc:waiter_proc (fun () ->
+                while not !owner_has_lock do
+                  Cthread.delay 5_000
+                done;
+                Locks.Reconfigurable_lock.lock r;
+                acquired_at := Cthread.now ();
+                Locks.Reconfigurable_lock.unlock r)
+          in
+          Cthread.join owner;
+          Cthread.join waiter);
+    float_of_int (!acquired_at - !unlock_at) /. 1000.0
+  in
+  [
+    {
+      op = "spin";
+      local_us = measure spin_cfg ~waiter_proc:1;
+      remote_us = measure spin_cfg ~waiter_proc:2;
+    };
+    {
+      op = "blocking";
+      local_us = measure block_cfg ~waiter_proc:1;
+      remote_us = measure block_cfg ~waiter_proc:2;
+    };
+  ]
+
+let table8 () =
+  let timed ~proc f =
+    let dt = ref 0 in
+    run (fun () ->
+        let r = Locks.Reconfigurable_lock.create ~home:1 () in
+        let t =
+          Cthread.fork ~proc (fun () ->
+              let t0 = Cthread.now () in
+              f r;
+              dt := Cthread.now () - t0)
+        in
+        Cthread.join t);
+    float_of_int !dt /. 1000.0
+  in
+  let acquisition r = ignore (Locks.Reconfigurable_lock.acquire_ownership r) in
+  let conf_waiting r = Locks.Reconfigurable_lock.configure_waiting r ~spin_count:5 () in
+  let conf_sched r =
+    Locks.Reconfigurable_lock.configure_scheduler r Locks.Lock_sched.Priority
+  in
+  let monitor_sample r =
+    let core = Locks.Reconfigurable_lock.core r in
+    let sensor =
+      Adaptive_core.Sensor.make ~name:"no-of-waiting-threads"
+        ~overhead_instrs:Locks.Lock_costs.monitor_sample_instrs (fun () ->
+          Locks.Lock_core.waiting_now core)
+    in
+    ignore (Adaptive_core.Sensor.force sensor)
+  in
+  [
+    {
+      op = "acquisition";
+      local_us = timed ~proc:1 acquisition;
+      remote_us = timed ~proc:2 acquisition;
+    };
+    {
+      op = "configure(waiting policy)";
+      local_us = timed ~proc:1 conf_waiting;
+      remote_us = timed ~proc:2 conf_waiting;
+    };
+    {
+      op = "configure(scheduler)";
+      local_us = timed ~proc:1 conf_sched;
+      remote_us = timed ~proc:2 conf_sched;
+    };
+    { op = "monitor (one state variable)"; local_us = timed ~proc:1 monitor_sample; remote_us = nan };
+  ]

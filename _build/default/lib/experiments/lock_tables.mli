@@ -1,0 +1,29 @@
+(** Reproduction of the lock microbenchmark tables (Tables 4–8).
+
+    Every measurement is taken on a fresh simulated machine in virtual
+    time. "Local" means the measuring thread runs on the lock's home
+    node; "remote" on a different node. *)
+
+type row = { op : string; local_us : float; remote_us : float }
+
+val table4 : unit -> row list
+(** Uncontended Lock-operation latency per lock kind (averaged over a
+    few acquisitions). *)
+
+val table5 : unit -> row list
+(** Uncontended Unlock-operation latency. *)
+
+val table6 : unit -> row list
+(** Locking cycle — time from the owner's unlock to a waiting thread's
+    completed acquisition — for the static locks (spin, back-off,
+    blocking). *)
+
+val table7 : unit -> row list
+(** Locking cycle for the adaptive lock pre-configured as pure spin
+    and as pure blocking. *)
+
+val table8 : unit -> row list
+(** Configuration-operation costs: attribute acquisition,
+    configure(waiting policy), configure(scheduler), and one
+    general-monitor sample (local only; remote is [nan] as in the
+    paper). *)

@@ -1,0 +1,69 @@
+type lock_op_row = { lock_name : string; local_us : float; remote_us : float }
+
+let table4 =
+  [
+    { lock_name = "atomior"; local_us = 30.73; remote_us = 33.86 };
+    { lock_name = "spin-lock"; local_us = 40.79; remote_us = 41.10 };
+    { lock_name = "spin-with-backoff"; local_us = 40.79; remote_us = 41.15 };
+    { lock_name = "blocking-lock"; local_us = 88.59; remote_us = 91.73 };
+    { lock_name = "adaptive lock"; local_us = 40.79; remote_us = 41.17 };
+  ]
+
+let table5 =
+  [
+    { lock_name = "spin-lock"; local_us = 4.99; remote_us = 7.23 };
+    { lock_name = "spin-with-backoff"; local_us = 5.01; remote_us = 7.25 };
+    { lock_name = "blocking-lock"; local_us = 62.32; remote_us = 73.45 };
+    { lock_name = "adaptive lock"; local_us = 50.07; remote_us = 61.69 };
+  ]
+
+let table6 =
+  [
+    { lock_name = "spin"; local_us = 45.13; remote_us = 47.89 };
+    { lock_name = "spin-with-backoff"; local_us = 320.36; remote_us = 356.95 };
+    { lock_name = "blocking-lock"; local_us = 510.55; remote_us = 563.79 };
+  ]
+
+let table7 =
+  [
+    { lock_name = "spin"; local_us = 90.21; remote_us = 101.38 };
+    { lock_name = "blocking"; local_us = 565.16; remote_us = 625.63 };
+  ]
+
+let table8 =
+  [
+    { lock_name = "acquisition"; local_us = 30.75; remote_us = 33.92 };
+    { lock_name = "configure(waiting policy)"; local_us = 9.87; remote_us = 14.45 };
+    { lock_name = "configure(scheduler)"; local_us = 12.51; remote_us = 20.83 };
+    { lock_name = "monitor (one state variable)"; local_us = 66.03; remote_us = nan };
+  ]
+
+type tsp_row = {
+  sequential_ms : float option;
+  blocking_ms : float;
+  adaptive_ms : float;
+  improvement_pct : float;
+}
+
+let table1 =
+  {
+    sequential_ms = Some 20666.0;
+    blocking_ms = 3207.0;
+    adaptive_ms = 2636.0;
+    improvement_pct = 17.8;
+  }
+
+let table2 =
+  { sequential_ms = None; blocking_ms = 2973.0; adaptive_ms = 2596.0; improvement_pct = 12.7 }
+
+let table3 =
+  { sequential_ms = None; blocking_ms = 2054.0; adaptive_ms = 1921.0; improvement_pct = 6.5 }
+
+let figure1_lock_kinds =
+  [
+    Locks.Lock.Spin;
+    Locks.Lock.Blocking;
+    Locks.Lock.Combined 1;
+    Locks.Lock.Combined 10;
+    Locks.Lock.Combined 50;
+  ]

@@ -1,0 +1,42 @@
+(** Reference values from the paper, for paper-vs-measured reporting.
+
+    Latencies are in microseconds, application times in milliseconds,
+    exactly as printed in GIT-CC-93/17. *)
+
+type lock_op_row = { lock_name : string; local_us : float; remote_us : float }
+
+val table4 : lock_op_row list
+(** Cost of the Lock operation. *)
+
+val table5 : lock_op_row list
+(** Cost of the Unlock operation. *)
+
+val table6 : lock_op_row list
+(** Locking cycle (unlock then lock on a locked lock), static locks. *)
+
+val table7 : lock_op_row list
+(** Locking cycle of the adaptive lock configured as spin/blocking. *)
+
+val table8 : lock_op_row list
+(** Configuration-operation costs (remote monitor cost is not reported
+    in the paper: [nan]). *)
+
+type tsp_row = {
+  sequential_ms : float option;  (** only Table 1 reports it *)
+  blocking_ms : float;
+  adaptive_ms : float;
+  improvement_pct : float;
+}
+
+val table1 : tsp_row
+(** Centralized implementation. *)
+
+val table2 : tsp_row
+(** Distributed implementation. *)
+
+val table3 : tsp_row
+(** Distributed with load balancing. *)
+
+val figure1_lock_kinds : Locks.Lock.kind list
+(** The five locks Figure 1 compares: pure spin, pure blocking, and
+    combined with 1, 10 and 50 initial spins. *)

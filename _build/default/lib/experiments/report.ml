@@ -1,0 +1,337 @@
+let std = Format.std_formatter
+
+let fus v = if Float.is_nan v then "-" else Printf.sprintf "%.2f" v
+
+let print_lock_table out ~title ~paper rows =
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:
+        [ "operation"; "local (us)"; "paper"; "remote (us)"; "paper" ]
+  in
+  List.iter
+    (fun (row : Lock_tables.row) ->
+      let reference =
+        List.find_opt (fun (p : Paper.lock_op_row) -> p.Paper.lock_name = row.Lock_tables.op) paper
+      in
+      let p_local, p_remote =
+        match reference with
+        | Some p -> (p.Paper.local_us, p.Paper.remote_us)
+        | None -> (nan, nan)
+      in
+      Repro_stats.Table.add_row tbl
+        [
+          row.Lock_tables.op;
+          fus row.Lock_tables.local_us;
+          fus p_local;
+          fus row.Lock_tables.remote_us;
+          fus p_remote;
+        ])
+    rows;
+  Format.fprintf out "%s@." (Repro_stats.Table.render ~title tbl)
+
+let print_table4 ?(out = std) () =
+  print_lock_table out ~title:"Table 4: cost of the Lock operation"
+    ~paper:Paper.table4 (Lock_tables.table4 ())
+
+let print_table5 ?(out = std) () =
+  print_lock_table out ~title:"Table 5: cost of the Unlock operation"
+    ~paper:Paper.table5 (Lock_tables.table5 ())
+
+let print_table6 ?(out = std) () =
+  print_lock_table out
+    ~title:"Table 6: unlock+lock cycle on a locked lock (static locks)"
+    ~paper:Paper.table6 (Lock_tables.table6 ())
+
+let print_table7 ?(out = std) () =
+  print_lock_table out
+    ~title:"Table 7: unlock+lock cycle on a locked adaptive lock"
+    ~paper:Paper.table7 (Lock_tables.table7 ())
+
+let print_table8 ?(out = std) () =
+  print_lock_table out ~title:"Table 8: cost of lock configuration operations"
+    ~paper:Paper.table8 (Lock_tables.table8 ())
+
+let with_csv csv_dir name f =
+  match csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir name in
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+let print_fig1 ?(out = std) ?csv_dir () =
+  let curves = Fig1.run () in
+  Format.fprintf out
+    "Figure 1: critical-section length vs application execution time@.%s@."
+    (Fig1.to_plot curves);
+  Format.fprintf out "Claims check:@.%s@." (Fig1.crossover_summary curves);
+  with_csv csv_dir "fig1.csv" (Fig1.to_csv curves)
+
+let tsp_table_title = function
+  | Tsp.Parallel.Centralized -> "Table 1: centralized implementation"
+  | Tsp.Parallel.Distributed -> "Table 2: distributed implementation"
+  | Tsp.Parallel.Balanced -> "Table 3: distributed implementation with load balancing"
+
+let paper_tsp = function
+  | Tsp.Parallel.Centralized -> Paper.table1
+  | Tsp.Parallel.Distributed -> Paper.table2
+  | Tsp.Parallel.Balanced -> Paper.table3
+
+let fms v = Printf.sprintf "%.0f" v
+
+let print_tsp_table out (row : Tsp_experiments.table) =
+  let p = paper_tsp row.Tsp_experiments.impl in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "quantity"; "measured"; "paper" ]
+  in
+  (match (row.Tsp_experiments.impl, p.Paper.sequential_ms) with
+  | Tsp.Parallel.Centralized, Some seq ->
+    Repro_stats.Table.add_row tbl
+      [ "sequential (ms)"; fms row.Tsp_experiments.sequential_ms; fms seq ]
+  | _ -> ());
+  Repro_stats.Table.add_rows tbl
+    [
+      [ "blocking lock (ms)"; fms row.Tsp_experiments.blocking_ms; fms p.Paper.blocking_ms ];
+      [ "adaptive lock (ms)"; fms row.Tsp_experiments.adaptive_ms; fms p.Paper.adaptive_ms ];
+      [
+        "improvement";
+        Repro_stats.Table.pct row.Tsp_experiments.improvement_pct;
+        Repro_stats.Table.pct p.Paper.improvement_pct;
+      ];
+      [
+        "speedup (blocking)";
+        Printf.sprintf "%.2fx" row.Tsp_experiments.speedup_blocking;
+        (match p.Paper.sequential_ms with
+        | Some seq -> Printf.sprintf "%.2fx" (seq /. p.Paper.blocking_ms)
+        | None -> "-");
+      ];
+    ];
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render ~title:(tsp_table_title row.Tsp_experiments.impl) tbl)
+
+let print_tsp ?(out = std) ?csv_dir ?spec () =
+  let t = Tsp_experiments.run_all ?spec () in
+  Format.fprintf out
+    "TSP setup: %d cities (seed %d), %d searchers, optimum %d, sequential expanded %d \
+     nodes in %.0f ms@.@."
+    t.Tsp_experiments.spec.Tsp.Parallel.cities
+    t.Tsp_experiments.spec.Tsp.Parallel.instance_seed
+    t.Tsp_experiments.spec.Tsp.Parallel.searchers t.Tsp_experiments.sequential_cost
+    t.Tsp_experiments.sequential_nodes
+    (float_of_int t.Tsp_experiments.sequential_ns /. 1e6);
+  List.iter (print_tsp_table out) t.Tsp_experiments.tables;
+  (* Wait-time distributions of the contended locks (blocking runs). *)
+  List.iter
+    (fun (row : Tsp_experiments.table) ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name row.Tsp_experiments.blocking_result.Tsp.Parallel.lock_reports with
+          | Some s when Locks.Lock_stats.contended s > 0 ->
+            Format.fprintf out "%s %s waits: %s@."
+              (Tsp.Parallel.impl_name row.Tsp_experiments.impl)
+              name
+              (Repro_stats.Histogram.summary (Locks.Lock_stats.wait_histogram s))
+          | _ -> ())
+        [ "qlock"; "glob-act-lock" ])
+    t.Tsp_experiments.tables;
+  Format.fprintf out "@.";
+  List.iter
+    (fun (number, impl, lock) ->
+      match Tsp_experiments.figure t ~impl ~lock with
+      | None -> Format.fprintf out "Figure %d: (no trace recorded)@." number
+      | Some series ->
+        Format.fprintf out "Figure %d: %s@.%s@." number
+          (Tsp_experiments.figure_description ~impl ~lock)
+          (Repro_stats.Plot.series series);
+        let waiting_max =
+          match Engine.Series.max_value series with Some v -> v | None -> 0.0
+        in
+        let waiting_mean =
+          match Engine.Series.time_weighted_mean series with Some v -> v | None -> 0.0
+        in
+        Format.fprintf out "  peak waiting=%.0f, time-weighted mean=%.2f, samples=%d@.@."
+          waiting_max waiting_mean (Engine.Series.length series);
+        with_csv csv_dir
+          (Printf.sprintf "fig%d.csv" number)
+          (fun oc -> Engine.Series.output_csv oc [ series ]))
+    Tsp_experiments.all_figures
+
+let print_schedulers ?(out = std) () =
+  let rows = Ablations.schedulers () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:
+        [ "scheduler"; "mean response (us)"; "server wait (us)"; "total (ms)" ]
+  in
+  List.iter
+    (fun (r : Ablations.sched_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          Locks.Lock_sched.kind_name r.Ablations.sched;
+          Printf.sprintf "%.1f" r.Ablations.mean_response_us;
+          Printf.sprintf "%.1f" r.Ablations.server_wait_us;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: lock schedulers on a client-server workload ([MS93]: priority best, \
+          FCFS worst)"
+       tbl)
+
+let print_coupling ?(out = std) () =
+  let rows = Ablations.coupling () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "feedback loop"; "total (ms)"; "adaptations"; "max observation lag (us)" ]
+  in
+  List.iter
+    (fun (r : Ablations.coupling_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          r.Ablations.coupling;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.adaptations;
+          Printf.sprintf "%.1f" r.Ablations.max_lag_us;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: closely- vs loosely-coupled adaptation (the paper's case for the \
+          customized lock monitor)"
+       tbl)
+
+let print_sampling ?(out = std) () =
+  let rows = Ablations.sampling ~periods:[ 1; 2; 4; 8; 16; 64 ] () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "sampling period"; "total (ms)"; "samples"; "adaptations" ]
+  in
+  List.iter
+    (fun (r : Ablations.sampling_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          string_of_int r.Ablations.period;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.samples;
+          string_of_int r.Ablations.adaptations;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:"Ablation: monitor sampling rate (cost vs quality of adaptation, section 3)"
+       tbl)
+
+let print_threshold ?(out = std) () =
+  let rows = Ablations.threshold ~thresholds:[ 1; 3; 6; 10 ] ~ns:[ 2; 6; 12 ] () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "Waiting-Threshold"; "n"; "total (ms)"; "blocks"; "spin probes" ]
+  in
+  List.iter
+    (fun (r : Ablations.threshold_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          string_of_int r.Ablations.waiting_threshold;
+          string_of_int r.Ablations.n;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.blocks;
+          string_of_int r.Ablations.spin_probes;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:"Ablation: simple-adapt constants (Waiting-Threshold and n, section 4)"
+       tbl)
+
+let print_advisory ?(out = std) () =
+  let rows = Ablations.advisory () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "lock"; "total (ms)"; "blocks"; "spin probes"; "mean wait (us)" ]
+  in
+  List.iter
+    (fun (r : Ablations.advisory_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          r.Ablations.advisory_lock;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.blocks;
+          string_of_int r.Ablations.spin_probes;
+          Printf.sprintf "%.1f" r.Ablations.mean_wait_advisory_us;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: advisory locks on variable-length critical sections (section 2: the \
+          owner advises waiters to spin or sleep)"
+       tbl)
+
+let print_architecture ?(out = std) () =
+  let rows = Ablations.architecture () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "arch"; "lock"; "total (ms)"; "remote accesses"; "mean wait (us)" ]
+  in
+  List.iter
+    (fun (r : Ablations.arch_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          r.Ablations.arch;
+          r.Ablations.lock_impl;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.remote_accesses;
+          Printf.sprintf "%.1f" r.Ablations.mean_wait_us;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: lock implementations re-targeted across architectures ([MS93]: \
+          distributed/local-spin pays off on NUMA only)"
+       tbl)
+
+let print_phases ?(out = std) () =
+  let rows = Ablations.phases () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "lock"; "total (ms)"; "adaptations"; "mean wait (us)" ]
+  in
+  List.iter
+    (fun (r : Ablations.phase_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          Locks.Lock.kind_name r.Ablations.kind;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.adaptations;
+          Printf.sprintf "%.1f" r.Ablations.mean_wait_us;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:"Ablation: phased contention (adaptive vs static waiting policies)" tbl)
+
+let print_everything ?(out = std) ?csv_dir () =
+  Format.fprintf out "=== Lock operation microbenchmarks (Tables 4-8) ===@.@.";
+  print_table4 ~out ();
+  print_table5 ~out ();
+  print_table6 ~out ();
+  print_table7 ~out ();
+  print_table8 ~out ();
+  Format.fprintf out "=== Figure 1 ===@.@.";
+  print_fig1 ~out ?csv_dir ();
+  Format.fprintf out "=== TSP application (Tables 1-3, Figures 4-9) ===@.@.";
+  print_tsp ~out ?csv_dir ();
+  Format.fprintf out "=== Ablations ===@.@.";
+  print_schedulers ~out ();
+  print_coupling ~out ();
+  print_sampling ~out ();
+  print_threshold ~out ();
+  print_phases ~out ();
+  print_advisory ~out ();
+  print_architecture ~out ()

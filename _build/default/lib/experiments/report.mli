@@ -1,0 +1,31 @@
+(** Rendering of every experiment as paper-style text (and CSV files).
+
+    Each [print_*] function runs the experiment and writes a formatted
+    paper-vs-measured table (or figure) to the given formatter. These
+    are shared by the [repro] CLI and the benchmark harness. *)
+
+val print_lock_table :
+  Format.formatter -> title:string -> paper:Paper.lock_op_row list -> Lock_tables.row list -> unit
+
+val print_table4 : ?out:Format.formatter -> unit -> unit
+val print_table5 : ?out:Format.formatter -> unit -> unit
+val print_table6 : ?out:Format.formatter -> unit -> unit
+val print_table7 : ?out:Format.formatter -> unit -> unit
+val print_table8 : ?out:Format.formatter -> unit -> unit
+
+val print_fig1 : ?out:Format.formatter -> ?csv_dir:string -> unit -> unit
+
+val print_tsp : ?out:Format.formatter -> ?csv_dir:string -> ?spec:Tsp.Parallel.spec -> unit -> unit
+(** Tables 1–3 plus Figures 4–9 from one set of runs. With [csv_dir],
+    figure series are also written as CSV. *)
+
+val print_schedulers : ?out:Format.formatter -> unit -> unit
+val print_coupling : ?out:Format.formatter -> unit -> unit
+val print_sampling : ?out:Format.formatter -> unit -> unit
+val print_threshold : ?out:Format.formatter -> unit -> unit
+val print_phases : ?out:Format.formatter -> unit -> unit
+val print_advisory : ?out:Format.formatter -> unit -> unit
+val print_architecture : ?out:Format.formatter -> unit -> unit
+
+val print_everything : ?out:Format.formatter -> ?csv_dir:string -> unit -> unit
+(** All tables, figures and ablations, in paper order. *)

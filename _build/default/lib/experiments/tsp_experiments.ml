@@ -1,0 +1,104 @@
+type table = {
+  impl : Tsp.Parallel.impl;
+  sequential_ms : float;
+  blocking_ms : float;
+  adaptive_ms : float;
+  improvement_pct : float;
+  speedup_blocking : float;
+  speedup_adaptive : float;
+  blocking_result : Tsp.Parallel.result;
+  adaptive_result : Tsp.Parallel.result;
+}
+
+type t = {
+  spec : Tsp.Parallel.spec;
+  sequential_ns : int;
+  sequential_cost : int;
+  sequential_nodes : int;
+  tables : table list;
+}
+
+let ms ns = float_of_int ns /. 1_000_000.0
+
+let run_all ?spec ?machine () =
+  let spec =
+    match spec with Some s -> s | None -> Tsp.Parallel.default_spec
+  in
+  let spec = { spec with Tsp.Parallel.trace_locks = true } in
+  let sequential_ns, (sequential_cost, sequential_nodes) =
+    Tsp.Parallel.run_sequential ?machine spec
+  in
+  let one impl =
+    let blocking_result =
+      Tsp.Parallel.run ?machine impl
+        { spec with Tsp.Parallel.lock_kind = Locks.Lock.Blocking }
+    in
+    let adaptive_result =
+      Tsp.Parallel.run ?machine impl
+        { spec with Tsp.Parallel.lock_kind = Tsp.Parallel.tsp_adaptive_kind }
+    in
+    let b = blocking_result.Tsp.Parallel.total_ns in
+    let a = adaptive_result.Tsp.Parallel.total_ns in
+    {
+      impl;
+      sequential_ms = ms sequential_ns;
+      blocking_ms = ms b;
+      adaptive_ms = ms a;
+      improvement_pct = 100.0 *. (1.0 -. (float_of_int a /. float_of_int b));
+      speedup_blocking = float_of_int sequential_ns /. float_of_int b;
+      speedup_adaptive = float_of_int sequential_ns /. float_of_int a;
+      blocking_result;
+      adaptive_result;
+    }
+  in
+  {
+    spec;
+    sequential_ns;
+    sequential_cost;
+    sequential_nodes;
+    tables =
+      [ one Tsp.Parallel.Centralized; one Tsp.Parallel.Distributed; one Tsp.Parallel.Balanced ];
+  }
+
+let table t impl = List.find (fun row -> row.impl = impl) t.tables
+
+(* For the distributed implementations the queue locks are
+   per-processor; the figure plots the busiest one. *)
+let representative_qlock reports =
+  let qlocks =
+    List.filter (fun (name, _) -> String.length name >= 5 && String.sub name 0 5 = "qlock") reports
+  in
+  let busiest =
+    List.fold_left
+      (fun acc (name, s) ->
+        match acc with
+        | Some (_, best) when Locks.Lock_stats.contended best >= Locks.Lock_stats.contended s
+          -> acc
+        | _ -> Some (name, s))
+      None qlocks
+  in
+  Option.map snd busiest
+
+let figure t ~impl ~lock =
+  let row = table t impl in
+  let reports = row.blocking_result.Tsp.Parallel.lock_reports in
+  let stats =
+    if lock = "qlock" then representative_qlock reports
+    else List.assoc_opt lock reports
+  in
+  match stats with None -> None | Some s -> Locks.Lock_stats.trace s
+
+let figure_description ~impl ~lock =
+  Printf.sprintf "Locking Pattern for \"%s\" in the %s Implementation"
+    (String.uppercase_ascii lock)
+    (String.capitalize_ascii (Tsp.Parallel.impl_name impl))
+
+let all_figures =
+  [
+    (4, Tsp.Parallel.Centralized, "qlock");
+    (5, Tsp.Parallel.Centralized, "glob-act-lock");
+    (6, Tsp.Parallel.Distributed, "qlock");
+    (7, Tsp.Parallel.Distributed, "glob-act-lock");
+    (8, Tsp.Parallel.Balanced, "qlock");
+    (9, Tsp.Parallel.Balanced, "glob-act-lock");
+  ]

@@ -1,0 +1,1 @@
+lib/locks/active_lock.ml: Array Butterfly List Lock_stats Memory Ops Queue

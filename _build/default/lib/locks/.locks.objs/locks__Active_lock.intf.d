@@ -1,0 +1,1 @@
+lib/locks/active_lock.mli: Lock_stats

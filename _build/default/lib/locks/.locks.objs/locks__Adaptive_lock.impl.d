@@ -1,0 +1,1 @@
+lib/locks/adaptive_lock.ml: Adaptive_core Lock_core Lock_costs Lock_stats Reconfigurable_lock Spin_budget Waiting

@@ -1,0 +1,1 @@
+lib/locks/adaptive_lock.mli: Adaptive_core Lock_sched Lock_stats Reconfigurable_lock

@@ -1,0 +1,1 @@
+lib/locks/local_spin_lock.ml: Array Butterfly Lock_costs Lock_stats Memory Ops

@@ -1,0 +1,1 @@
+lib/locks/local_spin_lock.mli: Lock_stats

@@ -1,0 +1,1 @@
+lib/locks/lock.ml: Adaptive_lock Cthreads Lock_core Lock_costs Printf Reconfigurable_lock Waiting

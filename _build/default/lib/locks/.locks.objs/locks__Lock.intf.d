@@ -1,0 +1,1 @@
+lib/locks/lock.mli: Adaptive_lock Cthreads Lock_core Lock_sched Lock_stats Reconfigurable_lock

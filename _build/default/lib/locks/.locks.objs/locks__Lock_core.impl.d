@@ -1,0 +1,1 @@
+lib/locks/lock_core.ml: Adaptive_core Array Butterfly Lock_costs Lock_sched Lock_stats Memory Ops Waiting

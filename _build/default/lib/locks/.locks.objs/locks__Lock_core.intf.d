@@ -1,0 +1,1 @@
+lib/locks/lock_core.mli: Butterfly Lock_costs Lock_sched Lock_stats Waiting

@@ -1,0 +1,1 @@
+lib/locks/lock_costs.ml: Adaptive_core

@@ -1,0 +1,1 @@
+lib/locks/lock_costs.mli: Adaptive_core

@@ -1,0 +1,1 @@
+lib/locks/lock_stats.ml: Engine Format Repro_stats

@@ -1,0 +1,1 @@
+lib/locks/lock_stats.mli: Engine Format Repro_stats

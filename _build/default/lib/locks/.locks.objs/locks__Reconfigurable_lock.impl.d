@@ -1,0 +1,1 @@
+lib/locks/reconfigurable_lock.ml: Adaptive_core Butterfly Lock_core Lock_costs Lock_sched Lock_stats Printf Waiting

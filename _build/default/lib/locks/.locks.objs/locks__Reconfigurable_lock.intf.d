@@ -1,0 +1,1 @@
+lib/locks/reconfigurable_lock.mli: Lock_core Lock_sched Lock_stats Waiting

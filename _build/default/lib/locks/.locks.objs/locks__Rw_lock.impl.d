@@ -1,0 +1,1 @@
+lib/locks/rw_lock.ml: Adaptive_core Array Butterfly Lock_costs Memory Ops

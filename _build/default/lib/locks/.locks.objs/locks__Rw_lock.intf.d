@@ -1,0 +1,1 @@
+lib/locks/rw_lock.mli:

@@ -1,0 +1,1 @@
+lib/locks/spin_budget.ml: Adaptive_core Printf Waiting

@@ -1,0 +1,1 @@
+lib/locks/spin_budget.mli: Waiting

@@ -1,0 +1,1 @@
+lib/locks/waiting.ml: Adaptive_core Butterfly

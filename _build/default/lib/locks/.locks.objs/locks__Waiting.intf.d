@@ -1,0 +1,1 @@
+lib/locks/waiting.mli: Adaptive_core

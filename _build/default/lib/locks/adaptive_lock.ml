@@ -1,0 +1,64 @@
+module Policy = Adaptive_core.Policy
+module Sensor = Adaptive_core.Sensor
+module Adaptive = Adaptive_core.Adaptive
+
+type params = { waiting_threshold : int; n : int; spin_cap : int; sample_period : int }
+
+let default_params = { waiting_threshold = 4; n = 16; spin_cap = 32; sample_period = 2 }
+
+type t = {
+  reconf : Reconfigurable_lock.t;
+  loop : int Adaptive.t;
+  budget : Spin_budget.t;
+}
+
+let apply_budget t =
+  Spin_budget.apply t.budget (Lock_core.policy (Reconfigurable_lock.core t.reconf));
+  Lock_stats.on_reconfigure (Reconfigurable_lock.stats t.reconf)
+
+let simple_adapt _params t obs =
+  match Spin_budget.step t.budget ~waiting:obs with
+  | None -> Policy.No_change
+  | Some _ ->
+    Policy.Reconfigure
+      {
+        label = Spin_budget.mode t.budget;
+        cost = Lock_costs.configure_waiting_policy;
+        apply = (fun () -> apply_budget t);
+      }
+
+let create ?name ?trace ?sched ?(params = default_params) ?policy ~home () =
+  let name = match name with Some n -> n | None -> "adaptive-lock" in
+  let waiting = Waiting.combined ~node:home ~spins:params.n () in
+  let reconf = Reconfigurable_lock.create ~name ?trace ?sched ~policy:waiting ~home () in
+  let core = Reconfigurable_lock.core reconf in
+  let sensor =
+    Sensor.make ~name:(name ^ ".no-of-waiting-threads") ~period:params.sample_period
+      ~overhead_instrs:40
+      (fun () -> Lock_core.waiting_now core)
+  in
+  let loop = Adaptive.create ~name ~home ~sensor ~policy:Policy.no_op () in
+  let budget =
+    Spin_budget.create ~threshold:params.waiting_threshold ~n:params.n ~cap:params.spin_cap
+      ~init:params.n
+  in
+  let t = { reconf; loop; budget } in
+  let policy = match policy with Some p -> p | None -> simple_adapt params t in
+  Adaptive.set_policy loop policy;
+  t
+
+let lock t = Reconfigurable_lock.lock t.reconf
+let try_lock t = Reconfigurable_lock.try_lock t.reconf
+
+let unlock t =
+  Reconfigurable_lock.unlock t.reconf;
+  ignore (Adaptive.tick t.loop)
+
+let name t = Reconfigurable_lock.name t.reconf
+let stats t = Reconfigurable_lock.stats t.reconf
+let reconfigurable t = t.reconf
+let feedback t = t.loop
+let spins_now t = Spin_budget.spins t.budget
+let mode t = Spin_budget.mode t.budget
+let adaptations t = Adaptive.adaptations t.loop
+let samples t = Adaptive.samples t.loop

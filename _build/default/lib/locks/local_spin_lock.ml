@@ -1,0 +1,72 @@
+open Butterfly
+
+type t = {
+  lock_name : string;
+  guard : Memory.addr;  (* protects queue + held *)
+  held_word : Memory.addr;
+  flags : Memory.addr array;  (* one per processor, homed locally *)
+  mutable waiters : (int * int) list;  (* (tid, proc), FIFO, front first *)
+  lock_stats : Lock_stats.t;
+}
+
+let create ?(name = "local-spin-lock") ~home () =
+  let words = Ops.alloc ~node:home 2 in
+  let processors = Ops.processors () in
+  {
+    lock_name = name;
+    guard = words.(0);
+    held_word = words.(1);
+    flags = Array.init processors (fun node -> Ops.alloc1 ~node ());
+    waiters = [];
+    lock_stats = Lock_stats.create name;
+  }
+
+let name t = t.lock_name
+let stats t = t.lock_stats
+
+let guard_lock t =
+  while not (Ops.test_and_set t.guard) do
+    ()
+  done
+
+let guard_unlock t = Ops.write t.guard 0
+
+let lock t =
+  Lock_stats.on_lock t.lock_stats;
+  Ops.work_instrs Lock_costs.spin.Lock_costs.lock_overhead_instrs;
+  let me = Ops.self () and my_proc = Ops.my_processor () in
+  let t0 = Ops.now () in
+  guard_lock t;
+  if Ops.read t.held_word = 0 then begin
+    Ops.write t.held_word 1;
+    guard_unlock t;
+    Lock_stats.on_acquired t.lock_stats ~wait_ns:0
+  end
+  else begin
+    Lock_stats.on_contended t.lock_stats;
+    (* Arm the local flag, then register and spin on local memory
+       only. *)
+    Ops.write t.flags.(my_proc) 0;
+    t.waiters <- t.waiters @ [ (me, my_proc) ];
+    guard_unlock t;
+    while Ops.read t.flags.(my_proc) = 0 do
+      Lock_stats.on_spin_probe t.lock_stats;
+      Ops.work 1_000
+    done;
+    Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - t0)
+  end
+
+let unlock t =
+  Lock_stats.on_unlock t.lock_stats;
+  Ops.work_instrs Lock_costs.spin.Lock_costs.unlock_overhead_instrs;
+  guard_lock t;
+  match t.waiters with
+  | (_, proc) :: rest ->
+    t.waiters <- rest;
+    guard_unlock t;
+    Lock_stats.on_handoff t.lock_stats;
+    (* A single remote write into the waiter's local module. *)
+    Ops.write t.flags.(proc) 1
+  | [] ->
+    Ops.write t.held_word 0;
+    guard_unlock t

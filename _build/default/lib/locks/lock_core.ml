@@ -1,0 +1,178 @@
+open Butterfly
+module Attribute = Adaptive_core.Attribute
+
+type advice = Advise_spin | Advise_sleep
+
+type t = {
+  lock_name : string;
+  home_node : int;
+  word : Memory.addr;  (* 0 free, 1 held *)
+  guard : Memory.addr;  (* protects the registration queue *)
+  nwait : Memory.addr;  (* waiting-thread count (the monitored variable) *)
+  advice_word : Memory.addr;  (* 0 none, 1 spin, 2 sleep *)
+  queue : Lock_sched.t;
+  wait_policy : Waiting.t;
+  costs : Lock_costs.profile;
+  uses_advice : bool;
+  lock_stats : Lock_stats.t;
+  mutable successor : int option;
+}
+
+let create ?name ?(trace = false) ?(sched = Lock_sched.Fcfs) ?(advisory = false) ~home
+    ~policy ~costs () =
+  let name = match name with Some n -> n | None -> "lock" in
+  let words = Ops.alloc ~node:home 4 in
+  {
+    lock_name = name;
+    home_node = home;
+    word = words.(0);
+    guard = words.(1);
+    nwait = words.(2);
+    advice_word = words.(3);
+    queue = Lock_sched.create sched;
+    wait_policy = policy;
+    costs;
+    uses_advice = advisory;
+    lock_stats = Lock_stats.create ~trace name;
+    successor = None;
+  }
+
+let name t = t.lock_name
+let home t = t.home_node
+let stats t = t.lock_stats
+let policy t = t.wait_policy
+let scheduler t = t.queue
+let set_successor t tid = t.successor <- Some tid
+
+let advise t advice =
+  let v = match advice with None -> 0 | Some Advise_spin -> 1 | Some Advise_sleep -> 2 in
+  Ops.write t.advice_word v
+
+let waiting_now t = Ops.read t.nwait
+let waiting_addr t = t.nwait
+let holder_check t = Ops.read t.word <> 0
+
+let guard_lock t =
+  while not (Ops.test_and_set t.guard) do
+    ()
+  done
+
+let guard_unlock t = Ops.write t.guard 0
+
+(* Exponential back-off cap: keeps Anderson-style gaps bounded. *)
+let max_backoff_ns = 2_000_000
+
+let enter_waiting t =
+  let waiting = Ops.fetch_and_add t.nwait 1 + 1 in
+  Lock_stats.record_waiting t.lock_stats ~now:(Ops.now ()) ~waiting
+
+let leave_waiting t =
+  let waiting = Ops.fetch_and_add t.nwait (-1) - 1 in
+  Lock_stats.record_waiting t.lock_stats ~now:(Ops.now ()) ~waiting
+
+let acquired t ~since =
+  leave_waiting t;
+  Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - since)
+
+let probe t =
+  Lock_stats.on_spin_probe t.lock_stats;
+  Ops.test_and_set t.word
+
+(* A spin retry re-executes the lock operation's entry path (the
+   paper's spin loops go through the full library call per probe:
+   Table 6's spin cycle is one unlock plus one lock operation). *)
+let retry_overhead t = Ops.work_instrs t.costs.Lock_costs.lock_overhead_instrs
+
+(* The sleeping path: register under the guard, re-check the lock word
+   (an unlock that raced past us would otherwise never wake us), then
+   block until an unlock hands the lock over. *)
+let sleep_until_handoff t ~since =
+  Ops.work_instrs t.costs.block_path_instrs;
+  Lock_stats.on_block t.lock_stats;
+  let me = Ops.self () in
+  guard_lock t;
+  Lock_sched.register t.queue
+    { Lock_sched.tid = me; prio = Ops.priority_of me; enqueued_at = Ops.now () };
+  if Ops.test_and_set t.word then begin
+    (* The lock freed while we registered: acquire directly. *)
+    Lock_sched.cancel t.queue me;
+    guard_unlock t;
+    acquired t ~since
+  end
+  else begin
+    guard_unlock t;
+    Ops.block ();
+    (* Woken by an unlock that left the word held for us; restoring the
+       thread's library context costs a resume charge. *)
+    Ops.work_instrs 800;
+    acquired t ~since
+  end
+
+let contended_path t =
+  let since = Ops.now () in
+  Lock_stats.on_contended t.lock_stats;
+  enter_waiting t;
+  (* The waiting loop re-consults the mutable attributes and the
+     owner's advice word on every probe, so a reconfiguration or a
+     fresh advice takes effect for threads already waiting — the
+     closely-coupled behaviour adaptation depends on. *)
+  let rec wait_loop attempts gap =
+    (* Only advisory locks pay for consulting the advice word. *)
+    let advice = if t.uses_advice then Ops.read t.advice_word else 0 in
+    let spin_limit =
+      if advice = 1 then max_int
+      else if advice = 2 then 0
+      else Attribute.get t.wait_policy.Waiting.spin_count
+    in
+    let sleep_enabled = advice = 2 || Attribute.get t.wait_policy.Waiting.sleep in
+    let timeout = Attribute.get t.wait_policy.Waiting.timeout_ns in
+    let expired = timeout > 0 && Ops.now () >= since + timeout in
+    if (attempts >= spin_limit || expired) && sleep_enabled then
+      sleep_until_handoff t ~since
+    else if probe t then acquired t ~since
+    else begin
+      retry_overhead t;
+      if gap > 0 then Ops.work gap;
+      let gap =
+        if Attribute.get t.wait_policy.Waiting.backoff then
+          min (max (gap * 2) 1) max_backoff_ns
+        else gap
+      in
+      wait_loop (attempts + 1) gap
+    end
+  in
+  wait_loop 0 (Attribute.get t.wait_policy.Waiting.delay_ns)
+
+let lock t =
+  Lock_stats.on_lock t.lock_stats;
+  Ops.work_instrs t.costs.lock_overhead_instrs;
+  if Ops.test_and_set t.word then Lock_stats.on_acquired t.lock_stats ~wait_ns:0
+  else contended_path t
+
+let try_lock t =
+  Lock_stats.on_lock t.lock_stats;
+  Ops.work_instrs t.costs.lock_overhead_instrs;
+  let got = Ops.test_and_set t.word in
+  if got then Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
+  got
+
+let unlock t =
+  Lock_stats.on_unlock t.lock_stats;
+  Ops.work_instrs t.costs.unlock_overhead_instrs;
+  (* The owner's advice applies only to its own ownership span. *)
+  if t.uses_advice then Ops.write t.advice_word 0;
+  if t.costs.Lock_costs.unlock_queue_check || not (Lock_sched.is_empty t.queue) then begin
+    guard_lock t;
+    let successor = t.successor in
+    t.successor <- None;
+    match Lock_sched.release_next t.queue ~successor with
+    | Some w ->
+      (* Direct handoff: the word stays held; the sleeper owns it. *)
+      guard_unlock t;
+      Lock_stats.on_handoff t.lock_stats;
+      Ops.wakeup w.Lock_sched.tid
+    | None ->
+      Ops.write t.word 0;
+      guard_unlock t
+  end
+  else Ops.write t.word 0

@@ -1,0 +1,71 @@
+(** The configurable lock engine.
+
+    One implementation parameterized by the {!Waiting} policy
+    attributes, the {!Lock_sched} scheduler and a {!Lock_costs}
+    profile; every flavour in the family (pure spin, back-off spin,
+    blocking, combined, advisory, reconfigurable, adaptive) is a
+    configuration of this engine, which is exactly the paper's point.
+
+    Layout: the lock word, a guard word (protecting the registration
+    queue) and the waiting-thread count live in simulated memory at the
+    lock's home node, so callers on other nodes pay remote latencies
+    and hot locks exhibit module contention.
+
+    Protocol: [lock] first test-and-sets the lock word (the
+    uncontended fast path). A contended caller enters the waiting
+    count, runs the spin phase prescribed by the attributes and — if
+    the policy sleeps — registers under the guard, re-checks the word
+    (so an unlock racing past cannot strand it) and blocks. [unlock]
+    hands the lock directly to the scheduler-selected sleeper (the
+    word stays held) or clears the word for spinners. *)
+
+type t
+
+type advice = Advise_spin | Advise_sleep
+
+val create :
+  ?name:string ->
+  ?trace:bool ->
+  ?sched:Lock_sched.kind ->
+  ?advisory:bool ->
+  home:int ->
+  policy:Waiting.t ->
+  costs:Lock_costs.profile ->
+  unit ->
+  t
+(** Must run inside a simulation. [home] is the node holding the lock's
+    words; [sched] defaults to FCFS; [trace] enables the
+    waiting-pattern series. [advisory] locks honour {!advise} and clear
+    the advice word at each unlock (an owner's advice applies to its
+    own ownership span only). *)
+
+val name : t -> string
+val home : t -> int
+val stats : t -> Lock_stats.t
+val policy : t -> Waiting.t
+val scheduler : t -> Lock_sched.t
+
+val lock : t -> unit
+val try_lock : t -> bool
+val unlock : t -> unit
+
+val set_successor : t -> int -> unit
+(** Designate the next owner (honoured by the Handoff scheduler at the
+    next unlock, then cleared). *)
+
+val advise : t -> advice option -> unit
+(** Owner's advice to future contended requesters (advisory locks):
+    [Some Advise_spin] forces spinning, [Some Advise_sleep] forces
+    immediate blocking, [None] restores the attribute-driven policy.
+    Writes the advice word (one simulated write). *)
+
+val waiting_now : t -> int
+(** Read the waiting-thread count word (a simulated read — this is
+    what the lock monitor senses). *)
+
+val waiting_addr : t -> Butterfly.Memory.addr
+(** The waiting-count word itself, for sensors that read it raw. *)
+
+val holder_check : t -> bool
+(** Whether the lock word is currently held (simulated read; for tests
+    and assertions). *)

@@ -1,0 +1,50 @@
+module Attribute = Adaptive_core.Attribute
+module Cost = Adaptive_core.Cost
+
+type t = { core_lock : Lock_core.t; scratch : Butterfly.Memory.addr }
+
+let create ?name ?trace ?sched ?policy ~home () =
+  let policy =
+    match policy with Some p -> p | None -> Waiting.combined ~node:home ~spins:1 ()
+  in
+  let core_lock =
+    Lock_core.create ?name ?trace ?sched ~home ~policy ~costs:Lock_costs.reconfigurable ()
+  in
+  { core_lock; scratch = Butterfly.Ops.alloc1 ~node:home () }
+
+let core t = t.core_lock
+let name t = Lock_core.name t.core_lock
+let stats t = Lock_core.stats t.core_lock
+let lock t = Lock_core.lock t.core_lock
+let try_lock t = Lock_core.try_lock t.core_lock
+let unlock t = Lock_core.unlock t.core_lock
+
+let configure_waiting t ?spin_count ?delay_ns ?backoff ?sleep ?timeout_ns () =
+  Cost.charge ~scratch:t.scratch Lock_costs.configure_waiting_policy;
+  let p = Lock_core.policy t.core_lock in
+  let update attr = function Some v -> Attribute.set attr v | None -> () in
+  update p.Waiting.spin_count spin_count;
+  update p.Waiting.delay_ns delay_ns;
+  update p.Waiting.backoff backoff;
+  update p.Waiting.sleep sleep;
+  update p.Waiting.timeout_ns timeout_ns;
+  Lock_stats.on_reconfigure (stats t)
+
+let configure_scheduler t kind =
+  Cost.charge ~scratch:t.scratch Lock_costs.configure_scheduler;
+  Lock_sched.set_kind (Lock_core.scheduler t.core_lock) kind;
+  Lock_stats.on_reconfigure (stats t)
+
+let acquire_ownership t =
+  Butterfly.Ops.work_instrs Lock_costs.acquisition_instrs;
+  let p = Lock_core.policy t.core_lock in
+  Attribute.acquire p.Waiting.spin_count
+
+let release_ownership t =
+  let p = Lock_core.policy t.core_lock in
+  Attribute.release p.Waiting.spin_count
+
+let describe t =
+  Printf.sprintf "%s / %s scheduler"
+    (Waiting.describe (Lock_core.policy t.core_lock))
+    (Lock_sched.kind_name (Lock_sched.kind (Lock_core.scheduler t.core_lock)))

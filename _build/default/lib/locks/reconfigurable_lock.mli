@@ -1,0 +1,61 @@
+(** Reconfigurable locks: explicit dynamic alteration of waiting and
+    scheduling behaviour [MS93].
+
+    A thin layer over {!Lock_core} that prices and guards the
+    reconfiguration operations (the paper's Psi):
+    - waiting-policy changes cost 1R 1W plus procedure overhead
+      (Table 8, "configure(waiting policy)"),
+    - scheduler changes cost 5W — three sub-module writes plus setting
+      and resetting the changeover flag (Table 8,
+      "configure(scheduler)"),
+    - explicit attribute-ownership acquisition by an external agent
+      costs a test-and-set plus overhead (Table 8, "acquisition").
+
+    Reconfiguration respects the adaptive-object model: attributes
+    owned by another thread refuse changes
+    ({!Adaptive_core.Attribute.Not_owner}). *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?trace:bool ->
+  ?sched:Lock_sched.kind ->
+  ?policy:Waiting.t ->
+  home:int ->
+  unit ->
+  t
+(** [policy] defaults to a combined spin-then-block policy with one
+    initial probe. *)
+
+val core : t -> Lock_core.t
+val name : t -> string
+val stats : t -> Lock_stats.t
+
+val lock : t -> unit
+val try_lock : t -> bool
+val unlock : t -> unit
+
+val configure_waiting :
+  t ->
+  ?spin_count:int ->
+  ?delay_ns:int ->
+  ?backoff:bool ->
+  ?sleep:bool ->
+  ?timeout_ns:int ->
+  unit ->
+  unit
+(** Apply the provided attribute changes as one charged waiting-policy
+    reconfiguration. *)
+
+val configure_scheduler : t -> Lock_sched.kind -> unit
+
+val acquire_ownership : t -> bool
+(** Explicit acquisition of the lock's attributes by the calling
+    thread (typically an external monitoring agent). *)
+
+val release_ownership : t -> unit
+
+val describe : t -> string
+(** Current waiting-policy flavour (paper §5.1 table) plus the
+    scheduler kind. *)

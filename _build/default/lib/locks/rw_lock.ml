@@ -1,0 +1,160 @@
+open Butterfly
+module Sensor = Adaptive_core.Sensor
+module Policy = Adaptive_core.Policy
+module Adaptive = Adaptive_core.Adaptive
+
+type preference = Reader_pref | Writer_pref
+
+(* State word encoding: bit 0 = writer holds; higher bits = 2 x active
+   readers. Readers CAS in (+2) only while bit 0 is clear; the writer
+   CASes 0 -> 1. *)
+type t = {
+  rw_name : string;
+  word : Memory.addr;
+  wwait : Memory.addr;  (* waiting-writer count (the monitored variable) *)
+  mutable pref : preference;
+  loop : int Adaptive.t option;
+  mutable adaptation_count : int;
+  mutable reader_acqs : int;
+  mutable writer_acqs : int;
+  mutable reader_wait_ns : int;
+  mutable writer_wait_ns : int;
+}
+
+let retry_gap_ns = 15_000
+
+let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
+    ?(sample_period = 2) ~home () =
+  let words = Ops.alloc ~node:home 2 in
+  let t =
+    {
+      rw_name = name;
+      word = words.(0);
+      wwait = words.(1);
+      pref = preference;
+      loop = None;
+      adaptation_count = 0;
+      reader_acqs = 0;
+      writer_acqs = 0;
+      reader_wait_ns = 0;
+      writer_wait_ns = 0;
+    }
+  in
+  if not adaptive then t
+  else begin
+    let t_ref = ref t in
+    let sensor =
+      Sensor.make ~name:(name ^ ".waiting-writers") ~period:sample_period
+        ~overhead_instrs:40
+        (fun () -> Ops.read words.(1))
+    in
+    (* Hysteresis: require a few writer-free samples before giving the
+       readers their preference back. *)
+    let calm = ref 0 in
+    let policy waiting_writers =
+      let t = !t_ref in
+      if waiting_writers > 0 then begin
+        calm := 0;
+        if t.pref = Reader_pref then
+          Policy.reconfigure ~label:"writer-pref"
+            ~cost:Lock_costs.configure_waiting_policy (fun () ->
+              t.pref <- Writer_pref;
+              t.adaptation_count <- t.adaptation_count + 1)
+        else Policy.No_change
+      end
+      else begin
+        incr calm;
+        if t.pref = Writer_pref && !calm >= 3 then
+          Policy.reconfigure ~label:"reader-pref"
+            ~cost:Lock_costs.configure_waiting_policy (fun () ->
+              t.pref <- Reader_pref;
+              t.adaptation_count <- t.adaptation_count + 1)
+        else Policy.No_change
+      end
+    in
+    let loop = Adaptive.create ~name ~home ~sensor ~policy () in
+    let t = { t with loop = Some loop } in
+    t_ref := t;
+    t
+  end
+
+let name t = t.rw_name
+let preference t = t.pref
+let set_preference t p = t.pref <- p
+let readers_now t = Ops.read t.word / 2
+let writers_waiting t = Ops.read t.wwait
+let adaptations t = t.adaptation_count
+let reader_acquisitions t = t.reader_acqs
+let writer_acquisitions t = t.writer_acqs
+
+let mean div acc n = if n = 0 then 0.0 else float_of_int acc /. float_of_int n /. div
+let mean_writer_wait_ns t = mean 1.0 t.writer_wait_ns t.writer_acqs
+let mean_reader_wait_ns t = mean 1.0 t.reader_wait_ns t.reader_acqs
+
+let read_lock t =
+  let t0 = Ops.now () in
+  Ops.work_instrs 180;
+  let rec attempt () =
+    (* Under writer preference, defer to queued writers. *)
+    if t.pref = Writer_pref && Ops.read t.wwait > 0 then begin
+      Ops.work retry_gap_ns;
+      attempt ()
+    end
+    else begin
+      let v = Ops.read t.word in
+      if v land 1 = 1 then begin
+        Ops.work retry_gap_ns;
+        attempt ()
+      end
+      else if Ops.compare_and_swap t.word ~expected:v ~desired:(v + 2) then ()
+      else attempt ()
+    end
+  in
+  attempt ();
+  t.reader_acqs <- t.reader_acqs + 1;
+  t.reader_wait_ns <- t.reader_wait_ns + (Ops.now () - t0)
+
+let read_unlock t =
+  Ops.work_instrs 90;
+  ignore (Ops.fetch_and_add t.word (-2));
+  match t.loop with Some loop -> ignore (Adaptive.tick loop) | None -> ()
+
+let write_lock t =
+  let t0 = Ops.now () in
+  Ops.work_instrs 220;
+  ignore (Ops.fetch_and_add t.wwait 1);
+  let rec attempt () =
+    if Ops.compare_and_swap t.word ~expected:0 ~desired:1 then ()
+    else begin
+      Ops.work retry_gap_ns;
+      attempt ()
+    end
+  in
+  attempt ();
+  ignore (Ops.fetch_and_add t.wwait (-1));
+  t.writer_acqs <- t.writer_acqs + 1;
+  t.writer_wait_ns <- t.writer_wait_ns + (Ops.now () - t0)
+
+let write_unlock t =
+  Ops.work_instrs 90;
+  Ops.write t.word 0
+
+let with_read t f =
+  read_lock t;
+  match f () with
+  | v ->
+    read_unlock t;
+    v
+  | exception e ->
+    read_unlock t;
+    raise e
+
+let with_write t f =
+  write_lock t;
+  match f () with
+  | v ->
+    write_unlock t;
+    v
+  | exception e ->
+    write_unlock t;
+    raise e

@@ -1,0 +1,59 @@
+(** Readers-writer locks, including an adaptive variant.
+
+    The paper's future work proposes applying closely-coupled
+    adaptation "in other operating system components as well"; this
+    module does it for a second synchronization abstraction. The lock
+    has a {e preference} attribute:
+
+    - [Reader_pref]: readers enter whenever no writer holds the lock —
+      maximal read concurrency, but a steady read stream starves
+      writers;
+    - [Writer_pref]: readers also yield to {e waiting} writers —
+      bounded writer latency at the cost of read throughput.
+
+    The adaptive variant monitors the waiting-writer count with a
+    built-in sensor (sampled at read-side releases) and switches the
+    preference attribute: writers queueing up flips it to
+    [Writer_pref]; a sustained writer-free stretch flips it back. *)
+
+type preference = Reader_pref | Writer_pref
+
+type t
+
+val create :
+  ?name:string ->
+  ?preference:preference ->
+  ?adaptive:bool ->
+  ?sample_period:int ->
+  home:int ->
+  unit ->
+  t
+(** [preference] defaults to [Reader_pref]; with [adaptive] (default
+    false) the preference becomes a monitored, self-tuning attribute.
+    Must run inside a simulation. *)
+
+val name : t -> string
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val with_read : t -> (unit -> 'a) -> 'a
+val with_write : t -> (unit -> 'a) -> 'a
+
+val preference : t -> preference
+val set_preference : t -> preference -> unit
+
+val readers_now : t -> int
+(** Active readers (simulated read). *)
+
+val writers_waiting : t -> int
+
+val adaptations : t -> int
+(** Preference switches performed by the adaptive variant. *)
+
+val reader_acquisitions : t -> int
+val writer_acquisitions : t -> int
+
+val mean_writer_wait_ns : t -> float
+val mean_reader_wait_ns : t -> float

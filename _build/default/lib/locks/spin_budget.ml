@@ -1,0 +1,36 @@
+module Attribute = Adaptive_core.Attribute
+
+type t = { threshold : int; n : int; cap : int; mutable spins : int }
+
+let create ~threshold ~n ~cap ~init =
+  if threshold < 0 || n <= 0 || cap <= 0 then invalid_arg "Spin_budget.create";
+  { threshold; n; cap; spins = max 0 (min cap init) }
+
+let spins t = t.spins
+
+let mode t =
+  if t.spins <= 0 then "pure blocking"
+  else if t.spins >= t.cap then "pure spin"
+  else Printf.sprintf "combined(%d)" t.spins
+
+let step t ~waiting =
+  let next =
+    if waiting = 0 then t.cap
+    else if waiting <= t.threshold then min t.cap (t.spins + t.n)
+    else max 0 (t.spins - (2 * t.n))
+  in
+  if next = t.spins then None
+  else begin
+    t.spins <- next;
+    Some next
+  end
+
+let apply t (policy : Waiting.t) =
+  if t.spins >= t.cap then begin
+    Attribute.set policy.Waiting.spin_count max_int;
+    Attribute.set policy.Waiting.sleep false
+  end
+  else begin
+    Attribute.set policy.Waiting.spin_count t.spins;
+    Attribute.set policy.Waiting.sleep true
+  end

@@ -1,0 +1,33 @@
+(** The state machine behind the paper's [simple-adapt] policy.
+
+    A saturating spin budget in [0, cap]: 0 denotes the pure-blocking
+    configuration, [cap] (or more) pure spin, anything between a
+    combined spin-then-block lock. {!step} applies the paper's rule to
+    one observation of the waiting-thread count:
+
+    - waiting = 0: jump to [cap] (configure pure spin),
+    - waiting <= threshold: budget += n,
+    - waiting > threshold: budget -= 2n (clamped at 0 = pure blocking).
+
+    Shared by the closely-coupled {!Adaptive_lock} and the
+    loosely-coupled monitor-thread variant, so the coupling ablation
+    compares identical policies differing only in observation
+    freshness. *)
+
+type t
+
+val create : threshold:int -> n:int -> cap:int -> init:int -> t
+
+val spins : t -> int
+
+val mode : t -> string
+(** ["pure spin"], ["pure blocking"] or ["combined(k)"]. *)
+
+val step : t -> waiting:int -> int option
+(** Feed one observation; [Some new_budget] when the budget changed
+    (a reconfiguration is due), [None] otherwise. *)
+
+val apply : t -> Waiting.t -> unit
+(** Write the waiting attributes corresponding to the current budget:
+    pure spin disables sleeping and spins forever; otherwise the spin
+    count is the budget and sleeping is enabled. *)

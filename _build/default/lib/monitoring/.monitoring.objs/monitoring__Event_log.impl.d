@@ -1,0 +1,1 @@
+lib/monitoring/event_log.ml: Array Buffer Butterfly Config List Printf Sched String

@@ -1,0 +1,1 @@
+lib/monitoring/event_log.mli: Butterfly

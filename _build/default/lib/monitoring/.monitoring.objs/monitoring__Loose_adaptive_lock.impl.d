@@ -1,0 +1,1 @@
+lib/monitoring/loose_adaptive_lock.ml: Butterfly Locks Monitor_thread Ops Ring_buffer

@@ -1,0 +1,1 @@
+lib/monitoring/loose_adaptive_lock.mli: Locks

@@ -1,0 +1,1 @@
+lib/monitoring/monitor_thread.ml: Butterfly Cthreads Locks Ops Ring_buffer

@@ -1,0 +1,1 @@
+lib/monitoring/monitor_thread.mli: Ring_buffer

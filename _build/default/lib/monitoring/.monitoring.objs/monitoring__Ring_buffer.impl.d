@@ -1,0 +1,1 @@
+lib/monitoring/ring_buffer.ml: Array Butterfly Memory Ops

@@ -1,0 +1,97 @@
+open Butterfly
+
+type t = {
+  mutable data : Sched.event array;
+  mutable n : int;
+  procs : int;
+}
+
+let attach sim =
+  let t = { data = Array.make 1024 { Sched.time = 0; proc = 0; tid = 0; kind = Sched.Ev_fork };
+            n = 0;
+            procs = (Sched.config sim).Config.processors } in
+  Sched.set_event_hook sim (fun ev ->
+      if t.n = Array.length t.data then begin
+        let data = Array.make (2 * t.n) ev in
+        Array.blit t.data 0 data 0 t.n;
+        t.data <- data
+      end;
+      t.data.(t.n) <- ev;
+      t.n <- t.n + 1);
+  t
+
+let length t = t.n
+let events t = Array.to_list (Array.sub t.data 0 t.n)
+let count t kind = Array.fold_left (fun acc ev -> if ev.Sched.kind = kind then acc + 1 else acc) 0
+    (Array.sub t.data 0 t.n)
+
+let for_thread t tid =
+  List.filter (fun ev -> ev.Sched.tid = tid) (events t)
+
+let blocked_spans t tid =
+  let rec pair acc pending = function
+    | [] -> List.rev acc
+    | ev :: rest -> (
+      match (ev.Sched.kind, pending) with
+      | Sched.Ev_block, None -> pair acc (Some ev.Sched.time) rest
+      | Sched.Ev_wakeup, Some t0 -> pair ((t0, ev.Sched.time) :: acc) None rest
+      | _ -> pair acc pending rest)
+  in
+  pair [] None (for_thread t tid)
+
+let glyph tid =
+  let alphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ" in
+  alphabet.[tid mod String.length alphabet]
+
+let timeline ?(width = 72) t ~horizon =
+  if horizon <= 0 then invalid_arg "Event_log.timeline: horizon must be positive";
+  let lanes = Array.make_matrix t.procs width '.' in
+  (* Fill each lane forward from switch events. *)
+  let current = Array.make t.procs (-1) in
+  let bucket time = min (width - 1) (time * width / horizon) in
+  let cursor = Array.make t.procs 0 in
+  let advance_to proc b =
+    let c = Array.get cursor proc in
+    if current.(proc) >= 0 then
+      for col = c to min (b - 1) (width - 1) do
+        lanes.(proc).(col) <- glyph current.(proc)
+      done;
+    cursor.(proc) <- max c b
+  in
+  Array.iter
+    (fun ev ->
+      match ev.Sched.kind with
+      | Sched.Ev_switch when ev.Sched.time <= horizon ->
+        let b = bucket ev.Sched.time in
+        advance_to ev.Sched.proc b;
+        current.(ev.Sched.proc) <- ev.Sched.tid
+      | _ -> ())
+    (Array.sub t.data 0 t.n);
+  for proc = 0 to t.procs - 1 do
+    advance_to proc width
+  done;
+  let buf = Buffer.create ((width + 16) * t.procs) in
+  Buffer.add_string buf
+    (Printf.sprintf "execution timeline (0 .. %.2f ms, one glyph per thread):\n"
+       (float_of_int horizon /. 1e6));
+  Array.iteri
+    (fun proc lane ->
+      Buffer.add_string buf (Printf.sprintf "p%-2d |" proc);
+      Buffer.add_string buf (String.init width (fun c -> lane.(c)));
+      Buffer.add_char buf '\n')
+    lanes;
+  Buffer.contents buf
+
+let summary t =
+  let kinds =
+    [
+      Sched.Ev_fork;
+      Sched.Ev_switch;
+      Sched.Ev_preempt;
+      Sched.Ev_block;
+      Sched.Ev_wakeup;
+      Sched.Ev_finish;
+    ]
+  in
+  String.concat ", "
+    (List.map (fun k -> Printf.sprintf "%s=%d" (Sched.event_kind_name k) (count t k)) kinds)

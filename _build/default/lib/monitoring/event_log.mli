@@ -1,0 +1,36 @@
+(** Recorder for the scheduler's structured event stream.
+
+    Attach one to a machine before running to capture every scheduling
+    action (forks, switches, preemptions, blocks, wakeups, finishes),
+    then query counts or render an execution timeline — the offline
+    half of the general-purpose monitoring story [GS93], complementing
+    the on-line ring-buffer path. *)
+
+type t
+
+val attach : Butterfly.Sched.t -> t
+(** Install the recorder on a machine (replaces any previous event
+    hook). Must be called before [Sched.run]. *)
+
+val length : t -> int
+
+val events : t -> Butterfly.Sched.event list
+(** All recorded events, oldest first. *)
+
+val count : t -> Butterfly.Sched.event_kind -> int
+
+val for_thread : t -> int -> Butterfly.Sched.event list
+(** Events involving one thread, oldest first. *)
+
+val blocked_spans : t -> int -> (int * int) list
+(** [(block-time, wakeup-time)] pairs for a thread, derived from its
+    block/wakeup events (an unmatched final block yields no pair). *)
+
+val timeline : ?width:int -> t -> horizon:int -> string
+(** ASCII execution timeline: one lane per processor, one column per
+    time bucket up to [horizon] ns; each cell shows the thread that
+    last switched onto the processor in that bucket ('.' when none,
+    digits/letters for tids modulo 62). *)
+
+val summary : t -> string
+(** One line per event kind with its count. *)

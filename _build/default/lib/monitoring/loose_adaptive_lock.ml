@@ -1,0 +1,80 @@
+open Butterfly
+module AL = Locks.Adaptive_lock
+
+type t = {
+  reconf : Locks.Reconfigurable_lock.t;
+  ring : (int * int) Ring_buffer.t;
+  monitor : (int * int) Monitor_thread.t;
+  budget : Locks.Spin_budget.t;
+  sample_period : int;
+  mutable unlocks_until_sample : int;
+  mutable adaptation_count : int;
+}
+
+let create ?(name = "loose-adaptive-lock") ?trace ?(params = AL.default_params)
+    ?ring_capacity ?poll_interval_ns ~home ~monitor_proc () =
+  let waiting = Locks.Waiting.combined ~node:home ~spins:params.AL.n () in
+  let reconf = Locks.Reconfigurable_lock.create ~name ?trace ~policy:waiting ~home () in
+  let ring = Ring_buffer.create ?capacity:ring_capacity ~home () in
+  let budget =
+    Locks.Spin_budget.create ~threshold:params.AL.waiting_threshold ~n:params.AL.n
+      ~cap:params.AL.spin_cap ~init:params.AL.n
+  in
+  let t_ref = ref None in
+  let deliver waiting_count =
+    match !t_ref with
+    | None -> ()
+    | Some t -> (
+      match Locks.Spin_budget.step t.budget ~waiting:waiting_count with
+      | None -> ()
+      | Some _ ->
+        (* External agent: must own the attributes to reconfigure. *)
+        if Locks.Reconfigurable_lock.acquire_ownership t.reconf then begin
+          Locks.Reconfigurable_lock.configure_waiting t.reconf
+            ~spin_count:
+              (if Locks.Spin_budget.spins t.budget >= params.AL.spin_cap then max_int
+               else Locks.Spin_budget.spins t.budget)
+            ~sleep:(Locks.Spin_budget.spins t.budget < params.AL.spin_cap)
+            ();
+          Locks.Reconfigurable_lock.release_ownership t.reconf;
+          t.adaptation_count <- t.adaptation_count + 1
+        end)
+  in
+  let monitor =
+    Monitor_thread.start_timestamped ~name:(name ^ ".monitor") ?poll_interval_ns
+      ~proc:monitor_proc ~ring ~deliver ()
+  in
+  let t =
+    {
+      reconf;
+      ring;
+      monitor;
+      budget;
+      sample_period = params.AL.sample_period;
+      unlocks_until_sample = params.AL.sample_period;
+      adaptation_count = 0;
+    }
+  in
+  t_ref := Some t;
+  t
+
+let lock t = Locks.Reconfigurable_lock.lock t.reconf
+
+let waiting_count reconf =
+  Locks.Lock_core.waiting_now (Locks.Reconfigurable_lock.core reconf)
+
+let unlock t =
+  Locks.Reconfigurable_lock.unlock t.reconf;
+  t.unlocks_until_sample <- t.unlocks_until_sample - 1;
+  if t.unlocks_until_sample <= 0 then begin
+    t.unlocks_until_sample <- t.sample_period;
+    Ring_buffer.publish t.ring (Ops.now (), waiting_count t.reconf)
+  end
+
+let stats t = Locks.Reconfigurable_lock.stats t.reconf
+let shutdown t = Monitor_thread.stop t.monitor
+let adaptations t = t.adaptation_count
+let observations_published t = Ring_buffer.published t.ring
+let observations_processed t = Monitor_thread.processed t.monitor
+let max_lag_ns t = Monitor_thread.max_lag_ns t.monitor
+let mode t = Locks.Spin_budget.mode t.budget

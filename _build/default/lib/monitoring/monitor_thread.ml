@@ -1,0 +1,54 @@
+open Butterfly
+
+type 'a t = {
+  mutable thread : Cthreads.Cthread.t;
+  stop_flag : bool ref;
+  mutable processed_count : int;
+  mutable max_lag : int;
+}
+
+let default_poll_ns = 100_000
+
+let start_gen ?(name = "monitor-thread") ?(poll_interval_ns = default_poll_ns) ~proc ~ring
+    ~handle () =
+  let stop_flag = ref false in
+  let t =
+    { thread = Cthreads.Cthread.of_id 0; stop_flag; processed_count = 0; max_lag = 0 }
+  in
+  let rec drain () =
+    match Ring_buffer.consume ring with
+    | Some record ->
+      (* The general-purpose monitor's per-record processing cost. *)
+      Ops.work_instrs Locks.Lock_costs.monitor_sample_instrs;
+      handle t record;
+      t.processed_count <- t.processed_count + 1;
+      drain ()
+    | None -> ()
+  in
+  let body () =
+    while not !stop_flag do
+      drain ();
+      Ops.delay poll_interval_ns
+    done;
+    drain ()
+  in
+  t.thread <- Cthreads.Cthread.fork ~name ~proc body;
+  t
+
+let start ?name ?poll_interval_ns ~proc ~ring ~deliver () =
+  start_gen ?name ?poll_interval_ns ~proc ~ring ~handle:(fun _t record -> deliver record) ()
+
+let start_timestamped ?name ?poll_interval_ns ~proc ~ring ~deliver () =
+  start_gen ?name ?poll_interval_ns ~proc ~ring
+    ~handle:(fun t (published_at, value) ->
+      let lag = Ops.now () - published_at in
+      if lag > t.max_lag then t.max_lag <- lag;
+      deliver value)
+    ()
+
+let stop t =
+  t.stop_flag := true;
+  Cthreads.Cthread.join t.thread
+
+let processed t = t.processed_count
+let max_lag_ns t = t.max_lag

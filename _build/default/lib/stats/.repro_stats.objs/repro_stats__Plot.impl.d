@@ -1,0 +1,1 @@
+lib/stats/plot.ml: Array Buffer Engine Float List Printf String

@@ -1,0 +1,1 @@
+lib/tsp/instance.ml: Array Engine Format List

@@ -1,0 +1,1 @@
+lib/tsp/instance.mli: Format

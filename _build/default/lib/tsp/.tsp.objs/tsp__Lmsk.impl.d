@@ -1,0 +1,1 @@
+lib/tsp/lmsk.ml: Array Engine Instance List

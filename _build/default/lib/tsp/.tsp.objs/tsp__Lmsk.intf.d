@@ -1,0 +1,1 @@
+lib/tsp/lmsk.mli: Instance

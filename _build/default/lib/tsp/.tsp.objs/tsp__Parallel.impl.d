@@ -1,0 +1,1 @@
+lib/tsp/parallel.ml: Array Butterfly Config Cthread Cthreads Engine Instance List Lmsk Locks Ops Option Printf Sched

@@ -1,0 +1,1 @@
+lib/tsp/parallel.mli: Butterfly Instance Locks

@@ -1,0 +1,266 @@
+let inf = max_int / 4
+
+type node = {
+  n : int;
+  m : int array;  (* reduced cost matrix, flattened; inf = forbidden *)
+  row_act : bool array;
+  col_act : bool array;
+  k : int;  (* active rows (= active cols) *)
+  node_bound : int;
+  edges : (int * int) list;
+  path_start : int array;  (* start city of the included path through c *)
+  path_end : int array;
+}
+
+let bound t = t.node_bound
+let depth t = List.length t.edges
+let active t = t.k
+
+(* Reduce rows then columns in place; returns the reduction total or
+   [None] when some active row/column has no feasible entry. *)
+let reduce ~n ~m ~row_act ~col_act =
+  let total = ref 0 in
+  let feasible = ref true in
+  for i = 0 to n - 1 do
+    if !feasible && row_act.(i) then begin
+      let mn = ref inf in
+      for j = 0 to n - 1 do
+        if col_act.(j) && m.((i * n) + j) < !mn then mn := m.((i * n) + j)
+      done;
+      if !mn >= inf then feasible := false
+      else if !mn > 0 then begin
+        for j = 0 to n - 1 do
+          if col_act.(j) && m.((i * n) + j) < inf then
+            m.((i * n) + j) <- m.((i * n) + j) - !mn
+        done;
+        total := !total + !mn
+      end
+    end
+  done;
+  for j = 0 to n - 1 do
+    if !feasible && col_act.(j) then begin
+      let mn = ref inf in
+      for i = 0 to n - 1 do
+        if row_act.(i) && m.((i * n) + j) < !mn then mn := m.((i * n) + j)
+      done;
+      if !mn >= inf then feasible := false
+      else if !mn > 0 then begin
+        for i = 0 to n - 1 do
+          if row_act.(i) && m.((i * n) + j) < inf then
+            m.((i * n) + j) <- m.((i * n) + j) - !mn
+        done;
+        total := !total + !mn
+      end
+    end
+  done;
+  if !feasible then Some !total else None
+
+let root inst =
+  let n = Instance.size inst in
+  let m = Array.init (n * n) (fun idx -> Instance.cost inst (idx / n) (idx mod n)) in
+  let row_act = Array.make n true and col_act = Array.make n true in
+  let reduction =
+    match reduce ~n ~m ~row_act ~col_act with
+    | Some r -> r
+    | None -> invalid_arg "Lmsk.root: infeasible instance"
+  in
+  {
+    n;
+    m;
+    row_act;
+    col_act;
+    k = n;
+    node_bound = reduction;
+    edges = [];
+    path_start = Array.init n (fun c -> c);
+    path_end = Array.init n (fun c -> c);
+  }
+
+(* Maximum-penalty zero entry: the edge whose exclusion raises the
+   bound the most. *)
+let choose_branch_edge t =
+  let n = t.n in
+  let best = ref None in
+  for i = 0 to n - 1 do
+    if t.row_act.(i) then
+      for j = 0 to n - 1 do
+        if t.col_act.(j) && t.m.((i * n) + j) = 0 then begin
+          let row_min = ref inf and col_min = ref inf in
+          for j' = 0 to n - 1 do
+            if t.col_act.(j') && j' <> j && t.m.((i * n) + j') < !row_min then
+              row_min := t.m.((i * n) + j')
+          done;
+          for i' = 0 to n - 1 do
+            if t.row_act.(i') && i' <> i && t.m.((i' * n) + j) < !col_min then
+              col_min := t.m.((i' * n) + j)
+          done;
+          let penalty =
+            (if !row_min >= inf then inf else !row_min)
+            + if !col_min >= inf then inf else !col_min
+          in
+          match !best with
+          | Some (p, _, _) when p >= penalty -> ()
+          | _ -> best := Some (penalty, i, j)
+        end
+      done
+  done;
+  !best
+
+let copy t =
+  {
+    t with
+    m = Array.copy t.m;
+    row_act = Array.copy t.row_act;
+    col_act = Array.copy t.col_act;
+    path_start = Array.copy t.path_start;
+    path_end = Array.copy t.path_end;
+  }
+
+let exclude_child t (i, j) penalty =
+  if penalty >= inf then None
+  else begin
+    let c = copy t in
+    c.m.((i * c.n) + j) <- inf;
+    match reduce ~n:c.n ~m:c.m ~row_act:c.row_act ~col_act:c.col_act with
+    | None -> None
+    | Some r ->
+      let b = t.node_bound + r in
+      if b >= inf then None else Some { c with node_bound = b }
+  end
+
+let include_child t (i, j) =
+  let c = copy t in
+  c.row_act.(i) <- false;
+  c.col_act.(j) <- false;
+  let k = t.k - 1 in
+  (* Path bookkeeping: including i->j merges the path ending at i with
+     the path starting at j; closing that merged path back on itself
+     would create a subtour, so forbid its closing edge while the tour
+     is incomplete. *)
+  let s = c.path_start.(i) and e = c.path_end.(j) in
+  c.path_end.(s) <- e;
+  c.path_start.(e) <- s;
+  if k > 1 then c.m.((e * c.n) + s) <- inf;
+  match reduce ~n:c.n ~m:c.m ~row_act:c.row_act ~col_act:c.col_act with
+  | None -> None
+  | Some r ->
+    let b = t.node_bound + r in
+    if b >= inf then None
+    else Some { c with k; node_bound = b; edges = (i, j) :: t.edges }
+
+(* Reconstruct the closed tour (starting at city 0) from a complete
+   edge set. Returns None if the edges do not form one Hamiltonian
+   cycle. *)
+let tour_of_edges n edges =
+  let succ = Array.make n (-1) in
+  let ok = ref (List.length edges = n) in
+  List.iter
+    (fun (i, j) ->
+      if i < 0 || i >= n || succ.(i) <> -1 then ok := false else succ.(i) <- j)
+    edges;
+  if not !ok then None
+  else begin
+    let tour = ref [ 0 ] and current = ref succ.(0) and steps = ref 1 in
+    while !current <> 0 && !current <> -1 && !steps < n do
+      tour := !current :: !tour;
+      current := succ.(!current);
+      incr steps
+    done;
+    if !current = 0 && !steps = n then Some (List.rev !tour) else None
+  end
+
+(* With two active rows/columns the assignment is forced (up to the
+   subtour-forbidden entries): try both pairings, keep valid tours. *)
+let complete inst t =
+  let rows = ref [] and cols = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.row_act.(i) then rows := i :: !rows;
+    if t.col_act.(i) then cols := i :: !cols
+  done;
+  match (!rows, !cols) with
+  | [ r1; r2 ], [ c1; c2 ] ->
+    let candidates = [ [ (r1, c1); (r2, c2) ]; [ (r1, c2); (r2, c1) ] ] in
+    let feasible pair =
+      List.for_all (fun (i, j) -> t.m.((i * t.n) + j) < inf) pair
+    in
+    List.filter_map
+      (fun pair ->
+        if not (feasible pair) then None
+        else
+          match tour_of_edges t.n (pair @ t.edges) with
+          | None -> None
+          | Some tour -> Some (tour, Instance.tour_cost inst tour))
+      candidates
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+    |> (function [] -> None | best :: _ -> Some best)
+  | _ -> None
+
+type outcome = Children of node list | Tour of int list * int
+type expansion = { outcome : outcome; work : int }
+
+let expand inst t =
+  let work = t.k * t.k in
+  if t.k <= 2 then
+    match complete inst t with
+    | Some (tour, cost) -> { outcome = Tour (tour, cost); work }
+    | None -> { outcome = Children []; work }
+  else
+    match choose_branch_edge t with
+    | None -> { outcome = Children []; work }
+    | Some (penalty, i, j) ->
+      let children =
+        List.filter_map
+          (fun c -> c)
+          [ include_child t (i, j); exclude_child t (i, j) penalty ]
+      in
+      (* Each child construction re-reduces a k x k matrix. *)
+      { outcome = Children children; work = work * 3 }
+
+let solve_sequential ?initial ?on_expand inst =
+  let open_nodes = Engine.Pqueue.create () in
+  let push nd = Engine.Pqueue.add open_nodes ~key:(bound nd) nd in
+  push (root inst);
+  let best_cost, best_tour =
+    match initial with
+    | Some (tour, cost) -> (ref cost, ref tour)
+    | None -> (ref inf, ref [])
+  in
+  let expanded = ref 0 in
+  let rec loop () =
+    match Engine.Pqueue.pop_min open_nodes with
+    | None -> ()
+    | Some (b, _) when b >= !best_cost -> loop ()
+    | Some (_, nd) ->
+      incr expanded;
+      let { outcome; work } = expand inst nd in
+      (match on_expand with Some f -> f nd work | None -> ());
+      (match outcome with
+      | Tour (tour, cost) ->
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best_tour := tour
+        end
+      | Children children ->
+        List.iter (fun c -> if bound c < !best_cost then push c) children);
+      loop ()
+  in
+  loop ();
+  if !best_tour = [] then invalid_arg "Lmsk.solve_sequential: no tour found";
+  ((!best_tour, !best_cost), !expanded)
+
+let brute_force inst =
+  let n = Instance.size inst in
+  if n > 10 then invalid_arg "Lmsk.brute_force: too large";
+  let rec permutations = function
+    | [] -> [ [] ]
+    | xs ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) xs in
+          List.map (fun p -> x :: p) (permutations rest))
+        xs
+  in
+  let cities = List.init (n - 1) (fun i -> i + 1) in
+  List.fold_left
+    (fun best perm -> min best (Instance.tour_cost inst (0 :: perm)))
+    max_int (permutations cities)

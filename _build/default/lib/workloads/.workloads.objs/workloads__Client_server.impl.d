@@ -1,0 +1,1 @@
+lib/workloads/client_server.ml: Butterfly Config Cthread Cthreads List Locks Printf Queue Sched

@@ -1,0 +1,1 @@
+lib/workloads/csweep.ml: Butterfly Config Cthread Cthreads List Locks Printf Sched

@@ -1,0 +1,1 @@
+lib/workloads/csweep.mli: Butterfly Locks

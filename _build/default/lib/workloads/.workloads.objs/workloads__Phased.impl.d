@@ -1,0 +1,1 @@
+lib/workloads/phased.ml: Adaptive_core Barrier Butterfly Config Cthread Cthreads List Locks Printf Sched

@@ -1,0 +1,1 @@
+lib/workloads/phased.mli: Butterfly Locks

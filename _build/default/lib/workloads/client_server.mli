@@ -1,0 +1,46 @@
+(** Client-server workload — the lock-scheduler experiment of [MS93].
+
+    An open system: clients submit requests through a lock-protected
+    shared queue at their own pace (fire and forget); a single
+    high-priority monitor-style server drains the queue, processing
+    each request inside the critical section. The lock is contended by
+    many low-priority clients and the one server, so the lock's
+    {e scheduling} policy decides how quickly the server gets back in:
+    with Priority scheduling the server bypasses queued clients (best
+    drain rate); with FCFS it requeues behind every submitted client
+    (worst); Handoff matches Priority when clients designate the
+    server as successor. The paper reports priority best and FCFS
+    worst. *)
+
+type spec = {
+  processors : int;
+  clients : int;
+  requests_per_client : int;
+  service_ns : int;  (** server processing time per request *)
+  submit_think_ns : int;  (** client-side work between submissions *)
+  sched : Locks.Lock_sched.kind;
+  handoff_to_server : bool;
+      (** when true (with Handoff) clients name the server as
+          successor on unlock *)
+  seed : int;
+}
+
+val default : spec
+
+type result = {
+  spec : spec;
+  total_ns : int;
+  served : int;
+  mean_response_ns : float;
+      (** mean submit-to-served latency — the experiment's headline
+          metric: prioritizing the server drains requests promptly *)
+  max_response_ns : int;
+  server_mean_wait_ns : float;  (** mean lock wait of the server *)
+  client_mean_wait_ns : float;
+}
+
+val run : ?machine:Butterfly.Config.t -> spec -> result
+
+val compare_schedulers :
+  ?machine:Butterfly.Config.t -> spec -> (Locks.Lock_sched.kind * result) list
+(** Run the same workload under FCFS, Priority and Handoff. *)

@@ -1,0 +1,87 @@
+open Butterfly
+open Cthreads
+
+type spec = {
+  processors : int;
+  threads_per_proc : int;
+  iterations : int;
+  cs_ns : int;
+  think_ns : int;
+  lock_kind : Locks.Lock.kind;
+  seed : int;
+}
+
+let default =
+  {
+    processors = 8;
+    threads_per_proc = 3;
+    iterations = 40;
+    cs_ns = 20_000;
+    think_ns = 30_000;
+    lock_kind = Locks.Lock.Spin;
+    seed = 11;
+  }
+
+type result = {
+  spec : spec;
+  total_ns : int;
+  mean_wait_ns : float;
+  contended : int;
+  blocks : int;
+  spin_probes : int;
+  adaptations : int;
+}
+
+let run ?machine spec =
+  let cfg =
+    match machine with
+    | Some cfg -> { cfg with Config.processors = spec.processors; seed = spec.seed }
+    | None ->
+      { Config.default with Config.processors = spec.processors; seed = spec.seed }
+  in
+  let sim = Sched.create cfg in
+  let stats = ref None in
+  Sched.run sim (fun () ->
+      let lk = Locks.Lock.create ~home:0 spec.lock_kind in
+      let worker tid_seed () =
+        (* Jitter arrival so threads do not phase-lock artificially. *)
+        Cthread.work (100 * (tid_seed mod 7));
+        for _ = 1 to spec.iterations do
+          Locks.Lock.lock lk;
+          Cthread.work spec.cs_ns;
+          Locks.Lock.unlock lk;
+          Cthread.work spec.think_ns
+        done
+      in
+      let threads =
+        List.concat_map
+          (fun proc ->
+            List.init spec.threads_per_proc (fun i ->
+                Cthread.fork ~proc
+                  ~name:(Printf.sprintf "w%d.%d" proc i)
+                  (worker ((proc * 31) + i))))
+          (List.init spec.processors (fun p -> p))
+      in
+      Cthread.join_all threads;
+      stats := Some (Locks.Lock.stats lk));
+  let s = match !stats with Some s -> s | None -> assert false in
+  {
+    spec;
+    total_ns = Sched.final_time sim;
+    mean_wait_ns = Locks.Lock_stats.mean_wait_ns s;
+    contended = Locks.Lock_stats.contended s;
+    blocks = Locks.Lock_stats.blocks s;
+    spin_probes = Locks.Lock_stats.spin_probes s;
+    adaptations = Locks.Lock_stats.reconfigurations s;
+  }
+
+let sweep ?machine ~base ~cs_lengths ~kinds () =
+  List.map
+    (fun kind ->
+      let curve =
+        List.map
+          (fun cs_ns -> (cs_ns, run ?machine { base with cs_ns; lock_kind = kind }))
+          cs_lengths
+      in
+      (kind, curve))
+    kinds

@@ -1,0 +1,96 @@
+open Butterfly
+open Cthreads
+
+type phase = { active_threads : int; cs_ns : int; entries : int }
+
+type spec = {
+  processors : int;
+  workers : int;
+  phases : phase list;
+  think_ns : int;
+  lock_kind : Locks.Lock.kind;
+  seed : int;
+}
+
+let default =
+  {
+    processors = 8;
+    (* Three workers per processor: in the storm phase a spinning
+       waiter starves the co-located lock holder, so no static policy
+       is right in both phases. *)
+    workers = 21;
+    phases =
+      [
+        { active_threads = 1; cs_ns = 5_000; entries = 240 };
+        { active_threads = 21; cs_ns = 700_000; entries = 16 };
+        { active_threads = 1; cs_ns = 5_000; entries = 240 };
+      ];
+    think_ns = 15_000;
+    lock_kind = Locks.Lock.adaptive_default;
+    seed = 31;
+  }
+
+type result = {
+  spec : spec;
+  total_ns : int;
+  adaptations : int;
+  adaptation_log : (int * string) list;
+  mean_wait_ns : float;
+  blocks : int;
+}
+
+let run ?machine spec =
+  let cfg =
+    match machine with
+    | Some cfg -> { cfg with Config.processors = spec.processors; seed = spec.seed }
+    | None ->
+      { Config.default with Config.processors = spec.processors; seed = spec.seed }
+  in
+  let sim = Sched.create cfg in
+  let stats = ref None and log = ref [] and adaptations = ref 0 in
+  Sched.run sim (fun () ->
+      let lk = Locks.Lock.create ~home:0 spec.lock_kind in
+      let barrier = Barrier.create ~node:0 spec.workers in
+      let worker idx () =
+        List.iter
+          (fun phase ->
+            Barrier.await barrier;
+            if idx < phase.active_threads then
+              for _ = 1 to phase.entries do
+                Locks.Lock.lock lk;
+                Cthread.work phase.cs_ns;
+                Locks.Lock.unlock lk;
+                Cthread.work spec.think_ns
+              done
+            else
+              (* Inactive this phase: local computation of comparable
+                 size — the work a spinning co-located waiter would
+                 starve. *)
+              Cthread.work (phase.entries * (phase.cs_ns + spec.think_ns)))
+          spec.phases
+      in
+      let threads =
+        List.init spec.workers (fun i ->
+            Cthread.fork
+              ~proc:(1 + (i mod (spec.processors - 1)))
+              ~name:(Printf.sprintf "worker%d" i) (worker i))
+      in
+      Cthread.join_all threads;
+      stats := Some (Locks.Lock.stats lk);
+      match Locks.Lock.as_adaptive lk with
+      | Some al ->
+        log := Adaptive_core.Adaptive.log (Locks.Adaptive_lock.feedback al);
+        adaptations := Locks.Adaptive_lock.adaptations al
+      | None -> ());
+  let s = match !stats with Some s -> s | None -> assert false in
+  {
+    spec;
+    total_ns = Sched.final_time sim;
+    adaptations = !adaptations;
+    adaptation_log = !log;
+    mean_wait_ns = Locks.Lock_stats.mean_wait_ns s;
+    blocks = Locks.Lock_stats.blocks s;
+  }
+
+let compare_kinds ?machine spec kinds =
+  List.map (fun kind -> (kind, run ?machine { spec with lock_kind = kind })) kinds

@@ -1,0 +1,1 @@
+test/test_adaptive_core.ml: Adaptive_core Alcotest Butterfly Config Cthreads Engine Format List Ops Sched

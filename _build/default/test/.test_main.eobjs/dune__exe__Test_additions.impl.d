@@ -1,0 +1,1 @@
+test/test_additions.ml: Alcotest Butterfly Config Cthread Cthreads List Locks Monitoring Repro_stats Sched String

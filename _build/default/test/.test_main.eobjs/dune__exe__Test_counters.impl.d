@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Engine List

@@ -1,0 +1,1 @@
+test/test_cthreads.ml: Alcotest Barrier Bool Butterfly Config Cthread Cthreads List Printf Sched Semaphore Spin

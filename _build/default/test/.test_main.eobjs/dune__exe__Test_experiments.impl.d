@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Engine Experiments Filename Float List Locks String Sys Tsp Workloads

@@ -1,0 +1,1 @@
+test/test_extra_locks.ml: Alcotest Butterfly Condition Config Cthread Cthreads Engine List Locks Memory Queue Sched Spin

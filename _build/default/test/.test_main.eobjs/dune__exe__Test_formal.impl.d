@@ -1,0 +1,1 @@
+test/test_formal.ml: Adaptive_core Alcotest Butterfly Cthreads List Locks

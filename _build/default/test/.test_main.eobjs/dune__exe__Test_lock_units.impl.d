@@ -1,0 +1,1 @@
+test/test_lock_units.ml: Adaptive_core Alcotest Butterfly Config Locks Sched

@@ -1,0 +1,1 @@
+test/test_locks.ml: Adaptive_core Alcotest Butterfly Config Cthread Cthreads Engine List Locks QCheck QCheck_alcotest Sched String

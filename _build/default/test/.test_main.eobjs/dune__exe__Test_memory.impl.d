@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Butterfly Config List Memory QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_monitoring.ml: Alcotest Butterfly Config Cthread Cthreads Experiments List Monitoring Sched

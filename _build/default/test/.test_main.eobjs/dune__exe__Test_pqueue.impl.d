@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Engine List QCheck QCheck_alcotest

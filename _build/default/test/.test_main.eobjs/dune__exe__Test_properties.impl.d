@@ -1,0 +1,1 @@
+test/test_properties.ml: Adaptive_core Alcotest Array Butterfly Config Cthreads Engine Float Gen List Locks Ops QCheck QCheck_alcotest Repro_stats Sched

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Engine List QCheck QCheck_alcotest

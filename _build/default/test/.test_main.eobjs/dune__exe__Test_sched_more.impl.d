@@ -1,0 +1,1 @@
+test/test_sched_more.ml: Alcotest Array Butterfly Config Cthreads Engine List Ops Sched

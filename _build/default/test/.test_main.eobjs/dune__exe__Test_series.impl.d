@@ -1,0 +1,1 @@
+test/test_series.ml: Alcotest Array Engine Filename List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Engine Repro_stats String

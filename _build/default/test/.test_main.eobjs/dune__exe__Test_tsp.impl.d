@@ -1,0 +1,1 @@
+test/test_tsp.ml: Alcotest List Locks Printf QCheck QCheck_alcotest String Tsp

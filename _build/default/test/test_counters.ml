@@ -1,0 +1,35 @@
+(* Counter-bag tests. *)
+
+let test_basics () =
+  let c = Engine.Counters.create () in
+  Alcotest.(check int) "unset reads zero" 0 (Engine.Counters.get c "x");
+  Engine.Counters.incr c "x";
+  Engine.Counters.incr c "x";
+  Alcotest.(check int) "incremented" 2 (Engine.Counters.get c "x");
+  Engine.Counters.add c "x" (-5);
+  Alcotest.(check int) "negative add" (-3) (Engine.Counters.get c "x");
+  Engine.Counters.set c "y" 9;
+  Alcotest.(check int) "set" 9 (Engine.Counters.get c "y")
+
+let test_reset_keeps_names () =
+  let c = Engine.Counters.create () in
+  Engine.Counters.incr c "a";
+  Engine.Counters.incr c "b";
+  Engine.Counters.reset c;
+  Alcotest.(check int) "zeroed" 0 (Engine.Counters.get c "a");
+  Alcotest.(check int) "names kept" 2 (List.length (Engine.Counters.to_list c))
+
+let test_to_list_sorted () =
+  let c = Engine.Counters.create () in
+  Engine.Counters.set c "zebra" 1;
+  Engine.Counters.set c "ant" 2;
+  Engine.Counters.set c "mole" 3;
+  Alcotest.(check (list string)) "sorted names" [ "ant"; "mole"; "zebra" ]
+    (List.map fst (Engine.Counters.to_list c))
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "reset keeps names" `Quick test_reset_keeps_names;
+    Alcotest.test_case "sorted listing" `Quick test_to_list_sorted;
+  ]

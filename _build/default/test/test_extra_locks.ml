@@ -1,0 +1,242 @@
+(* Tests for the implementation-retargeting lock variants (local-spin
+   and active) and the cthreads condition variable. *)
+
+open Butterfly
+open Cthreads
+
+let cfg = { Config.default with Config.processors = 8 }
+
+let run main =
+  let sim = Sched.create cfg in
+  Sched.run sim main;
+  sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_local_spin_mutual_exclusion () =
+  let counter = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = Locks.Local_spin_lock.create ~home:1 () in
+        let body () =
+          for _ = 1 to 20 do
+            Locks.Local_spin_lock.lock lk;
+            let v = !counter in
+            Cthread.work 3_000;
+            counter := v + 1;
+            Locks.Local_spin_lock.unlock lk
+          done
+        in
+        let ts = List.init 5 (fun i -> Cthread.fork ~proc:(i + 1) body) in
+        Cthread.join_all ts)
+  in
+  check_int "no lost updates" 100 !counter
+
+let test_local_spin_fifo () =
+  let order = ref [] in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = Locks.Local_spin_lock.create ~home:1 () in
+        Locks.Local_spin_lock.lock lk;
+        let waiter i =
+          Cthread.fork ~proc:(i + 1) (fun () ->
+              Cthread.work (i * 100_000);
+              Locks.Local_spin_lock.lock lk;
+              order := i :: !order;
+              Locks.Local_spin_lock.unlock lk)
+        in
+        let ts = List.init 3 waiter in
+        Cthread.work 800_000;
+        Locks.Local_spin_lock.unlock lk;
+        Cthread.join_all ts)
+  in
+  Alcotest.(check (list int)) "arrival order" [ 0; 1; 2 ] (List.rev !order)
+
+let test_local_spin_spins_locally () =
+  (* Waiters probe their local flag, so waiting should add almost no
+     remote accesses compared to the handoff itself. *)
+  let sim =
+    run (fun () ->
+        let lk = Locks.Local_spin_lock.create ~home:1 () in
+        let body () =
+          for _ = 1 to 10 do
+            Locks.Local_spin_lock.lock lk;
+            Cthread.work 100_000;
+            Locks.Local_spin_lock.unlock lk
+          done
+        in
+        let ts = List.init 4 (fun i -> Cthread.fork ~proc:(i + 1) body) in
+        Cthread.join_all ts)
+  in
+  let c = Sched.counters sim in
+  (* Spin probes are local reads; the probes recorded in stats must not
+     show up as remote traffic (only handoffs/guard ops do). *)
+  check_bool "bounded remote traffic" true
+    (Memory.remote_accesses (Sched.memory sim) < Engine.Counters.get c "mem.read" + 2_000)
+
+let test_active_lock_mutual_exclusion () =
+  let counter = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = Locks.Active_lock.create ~server_proc:7 () in
+        let body () =
+          for _ = 1 to 10 do
+            Locks.Active_lock.lock lk;
+            let v = !counter in
+            Cthread.work 3_000;
+            counter := v + 1;
+            Locks.Active_lock.unlock lk
+          done
+        in
+        let ts = List.init 4 (fun i -> Cthread.fork ~proc:(i + 1) body) in
+        Cthread.join_all ts;
+        Locks.Active_lock.shutdown lk)
+  in
+  check_int "no lost updates" 40 !counter
+
+let test_active_lock_grants_in_order () =
+  let order = ref [] in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = Locks.Active_lock.create ~server_proc:7 () in
+        Locks.Active_lock.lock lk;
+        let waiter i =
+          Cthread.fork ~proc:(i + 1) (fun () ->
+              Cthread.work (i * 150_000);
+              Locks.Active_lock.lock lk;
+              order := i :: !order;
+              Locks.Active_lock.unlock lk)
+        in
+        let ts = List.init 3 waiter in
+        Cthread.work 1_200_000;
+        Locks.Active_lock.unlock lk;
+        Cthread.join_all ts;
+        Locks.Active_lock.shutdown lk)
+  in
+  Alcotest.(check (list int)) "FIFO grants" [ 0; 1; 2 ] (List.rev !order)
+
+let test_condition_signal () =
+  let got = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let mu = Spin.create ~node:0 () in
+        let cv = Condition.create ~node:0 () in
+        let ready = ref false in
+        let consumer =
+          Cthread.fork ~proc:1 (fun () ->
+              Spin.lock mu;
+              while not !ready do
+                Condition.wait cv mu
+              done;
+              got := 42;
+              Spin.unlock mu)
+        in
+        Cthread.work 300_000;
+        Spin.lock mu;
+        ready := true;
+        Spin.unlock mu;
+        Condition.signal cv;
+        Cthread.join consumer)
+  in
+  check_int "consumer saw the update" 42 !got
+
+let test_condition_signal_before_wait_not_lost () =
+  (* Mesa semantics with registration before releasing the mutex: a
+     signal issued while the waiter holds the mutex cannot be lost. *)
+  let woke = ref false in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let mu = Spin.create ~node:0 () in
+        let cv = Condition.create ~node:0 () in
+        let flag = ref false in
+        let waiter =
+          Cthread.fork ~proc:1 (fun () ->
+              Spin.lock mu;
+              while not !flag do
+                Condition.wait cv mu
+              done;
+              woke := true;
+              Spin.unlock mu)
+        in
+        Cthread.work 400_000;
+        Spin.lock mu;
+        flag := true;
+        Spin.unlock mu;
+        Condition.signal cv;
+        Cthread.join waiter)
+  in
+  check_bool "waiter woke" true !woke
+
+let test_condition_broadcast () =
+  let done_count = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let mu = Spin.create ~node:0 () in
+        let cv = Condition.create ~node:0 () in
+        let go = ref false in
+        let body () =
+          Spin.lock mu;
+          while not !go do
+            Condition.wait cv mu
+          done;
+          incr done_count;
+          Spin.unlock mu
+        in
+        let ts = List.init 5 (fun i -> Cthread.fork ~proc:(1 + (i mod 6)) body) in
+        Cthread.work 500_000;
+        Spin.lock mu;
+        go := true;
+        Spin.unlock mu;
+        Condition.broadcast cv;
+        Cthread.join_all ts)
+  in
+  check_int "all five woke" 5 !done_count
+
+let test_condition_producer_consumer () =
+  let consumed = ref [] in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let mu = Spin.create ~node:0 () in
+        let nonempty = Condition.create ~node:0 () in
+        let q = Queue.create () in
+        let producer =
+          Cthread.fork ~proc:1 (fun () ->
+              for i = 1 to 10 do
+                Cthread.work 20_000;
+                Spin.lock mu;
+                Queue.add i q;
+                Spin.unlock mu;
+                Condition.signal nonempty
+              done)
+        in
+        let consumer =
+          Cthread.fork ~proc:2 (fun () ->
+              for _ = 1 to 10 do
+                Spin.lock mu;
+                while Queue.is_empty q do
+                  Condition.wait nonempty mu
+                done;
+                consumed := Queue.take q :: !consumed;
+                Spin.unlock mu
+              done)
+        in
+        Cthread.join producer;
+        Cthread.join consumer)
+  in
+  Alcotest.(check (list int)) "all items in order" (List.init 10 (fun i -> i + 1))
+    (List.rev !consumed)
+
+let suite =
+  [
+    Alcotest.test_case "local-spin mutual exclusion" `Quick test_local_spin_mutual_exclusion;
+    Alcotest.test_case "local-spin FIFO" `Quick test_local_spin_fifo;
+    Alcotest.test_case "local-spin local probing" `Quick test_local_spin_spins_locally;
+    Alcotest.test_case "active lock mutual exclusion" `Quick test_active_lock_mutual_exclusion;
+    Alcotest.test_case "active lock FIFO grants" `Quick test_active_lock_grants_in_order;
+    Alcotest.test_case "condition signal" `Quick test_condition_signal;
+    Alcotest.test_case "condition no lost signal" `Quick
+      test_condition_signal_before_wait_not_lost;
+    Alcotest.test_case "condition broadcast" `Quick test_condition_broadcast;
+    Alcotest.test_case "condition producer/consumer" `Quick test_condition_producer_consumer;
+  ]

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "adaptive_objects"
+    [
+      ("pqueue", Test_pqueue.suite);
+      ("rng", Test_rng.suite);
+      ("series", Test_series.suite);
+      ("counters", Test_counters.suite);
+      ("memory", Test_memory.suite);
+      ("sched", Test_sched.suite);
+      ("sched_more", Test_sched_more.suite);
+      ("cthreads", Test_cthreads.suite);
+      ("adaptive_core", Test_adaptive_core.suite);
+      ("locks", Test_locks.suite);
+      ("lock_units", Test_lock_units.suite);
+      ("workloads", Test_workloads.suite);
+      ("monitoring", Test_monitoring.suite);
+      ("tsp", Test_tsp.suite);
+      ("stats", Test_stats.suite);
+      ("extra_locks", Test_extra_locks.suite);
+      ("additions", Test_additions.suite);
+      ("formal", Test_formal.suite);
+      ("properties", Test_properties.suite);
+      ("experiments", Test_experiments.suite);
+    ]

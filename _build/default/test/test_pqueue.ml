@@ -1,0 +1,111 @@
+(* Priority-queue tests: ordering, FIFO stability, growth, and a qcheck
+   model-based property. *)
+
+let check_int = Alcotest.(check int)
+
+let test_empty () =
+  let q = Engine.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Engine.Pqueue.is_empty q);
+  Alcotest.(check (option int)) "no min key" None (Engine.Pqueue.min_key q);
+  Alcotest.(check bool) "pop of empty" true (Engine.Pqueue.pop_min q = None)
+
+let test_ordering () =
+  let q = Engine.Pqueue.create () in
+  List.iter (fun k -> Engine.Pqueue.add q ~key:k k) [ 5; 3; 9; 1; 7; 2 ];
+  let popped = List.map fst (Engine.Pqueue.drain q) in
+  Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 9 ] popped
+
+let test_fifo_ties () =
+  let q = Engine.Pqueue.create () in
+  Engine.Pqueue.add q ~key:4 "a";
+  Engine.Pqueue.add q ~key:4 "b";
+  Engine.Pqueue.add q ~key:4 "c";
+  Engine.Pqueue.add q ~key:2 "z";
+  let popped = List.map snd (Engine.Pqueue.drain q) in
+  Alcotest.(check (list string)) "insertion order on ties" [ "z"; "a"; "b"; "c" ] popped
+
+let test_growth () =
+  let q = Engine.Pqueue.create ~capacity:2 () in
+  for i = 1000 downto 1 do
+    Engine.Pqueue.add q ~key:i i
+  done;
+  check_int "size" 1000 (Engine.Pqueue.size q);
+  let popped = List.map fst (Engine.Pqueue.drain q) in
+  Alcotest.(check (list int)) "all sorted" (List.init 1000 (fun i -> i + 1)) popped
+
+let test_peek_does_not_remove () =
+  let q = Engine.Pqueue.create () in
+  Engine.Pqueue.add q ~key:3 "x";
+  (match Engine.Pqueue.peek_min q with
+  | Some (3, "x") -> ()
+  | _ -> Alcotest.fail "peek mismatch");
+  check_int "still there" 1 (Engine.Pqueue.size q)
+
+let test_clear () =
+  let q = Engine.Pqueue.create () in
+  List.iter (fun k -> Engine.Pqueue.add q ~key:k ()) [ 3; 1; 2 ];
+  Engine.Pqueue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Engine.Pqueue.is_empty q);
+  Engine.Pqueue.add q ~key:9 ();
+  check_int "usable after clear" 1 (Engine.Pqueue.size q)
+
+let test_interleaved_add_pop () =
+  let q = Engine.Pqueue.create () in
+  Engine.Pqueue.add q ~key:5 5;
+  Engine.Pqueue.add q ~key:1 1;
+  (match Engine.Pqueue.pop_min q with
+  | Some (1, 1) -> ()
+  | _ -> Alcotest.fail "expected 1");
+  Engine.Pqueue.add q ~key:0 0;
+  Engine.Pqueue.add q ~key:7 7;
+  (match Engine.Pqueue.pop_min q with
+  | Some (0, 0) -> ()
+  | _ -> Alcotest.fail "expected 0");
+  let rest = List.map fst (Engine.Pqueue.drain q) in
+  Alcotest.(check (list int)) "remaining sorted" [ 5; 7 ] rest
+
+(* Property: drain is a stable sort of the inserted (key, index) pairs. *)
+let prop_drain_sorted =
+  QCheck.Test.make ~name:"pqueue drain = stable sort" ~count:300
+    QCheck.(list (int_bound 50))
+    (fun keys ->
+      let q = Engine.Pqueue.create () in
+      List.iteri (fun i k -> Engine.Pqueue.add q ~key:k (k, i)) keys;
+      let popped = List.map snd (Engine.Pqueue.drain q) in
+      let expected =
+        List.stable_sort
+          (fun (k1, _) (k2, _) -> compare k1 k2)
+          (List.mapi (fun i k -> (k, i)) keys)
+      in
+      popped = expected)
+
+let prop_size_tracks =
+  QCheck.Test.make ~name:"pqueue size tracks adds and pops" ~count:200
+    QCheck.(list (pair (int_bound 100) bool))
+    (fun actions ->
+      let q = Engine.Pqueue.create () in
+      let model = ref 0 in
+      List.iter
+        (fun (k, pop) ->
+          if pop then begin
+            if Engine.Pqueue.pop_min q <> None then decr model
+          end
+          else begin
+            Engine.Pqueue.add q ~key:k ();
+            incr model
+          end)
+        actions;
+      Engine.Pqueue.size q = !model)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "ordering" `Quick test_ordering;
+    Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "interleaved" `Quick test_interleaved_add_pop;
+    QCheck_alcotest.to_alcotest prop_drain_sorted;
+    QCheck_alcotest.to_alcotest prop_size_tracks;
+  ]

@@ -1,0 +1,117 @@
+(* RNG tests: determinism, ranges, stream independence, distribution
+   sanity. *)
+
+let test_determinism () =
+  let a = Engine.Rng.create 42 and b = Engine.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Engine.Rng.bits64 a) (Engine.Rng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Engine.Rng.create 1 and b = Engine.Rng.create 2 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (Engine.Rng.bits64 a <> Engine.Rng.bits64 b)
+
+let test_copy_replays () =
+  let a = Engine.Rng.create 7 in
+  ignore (Engine.Rng.bits64 a);
+  let b = Engine.Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Engine.Rng.bits64 a) (Engine.Rng.bits64 b)
+
+let test_int_range () =
+  let r = Engine.Rng.create 9 in
+  for _ = 1 to 10_000 do
+    let v = Engine.Rng.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_in_range () =
+  let r = Engine.Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Engine.Rng.int_in r (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_int_rejects_bad_bound () =
+  let r = Engine.Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Engine.Rng.int r 0))
+
+let test_float_range () =
+  let r = Engine.Rng.create 13 in
+  for _ = 1 to 10_000 do
+    let v = Engine.Rng.float r 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+let test_uniformity_rough () =
+  (* chi-square-ish sanity: each of 10 buckets within 20% of expected. *)
+  let r = Engine.Rng.create 17 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Engine.Rng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d suspicious: %d vs %d" i c expected)
+    buckets
+
+let test_split_independence () =
+  let parent = Engine.Rng.create 21 in
+  let child = Engine.Rng.split parent in
+  (* Draw interleaved; child draws must not equal parent draws. *)
+  let equal_draws = ref 0 in
+  for _ = 1 to 100 do
+    if Engine.Rng.bits64 parent = Engine.Rng.bits64 child then incr equal_draws
+  done;
+  Alcotest.(check int) "no identical interleaved draws" 0 !equal_draws
+
+let test_exponential_positive_mean () =
+  let r = Engine.Rng.create 23 in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    let v = Engine.Rng.exponential r ~mean:100.0 in
+    if v < 0.0 then Alcotest.fail "negative exponential";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean within 10%" true (mean > 90.0 && mean < 110.0)
+
+let test_permutation_is_permutation () =
+  let r = Engine.Rng.create 27 in
+  for n = 1 to 20 do
+    let p = Engine.Rng.permutation r n in
+    let seen = Array.make n false in
+    Array.iter (fun v -> seen.(v) <- true) p;
+    Array.iteri (fun i b -> if not b then Alcotest.failf "missing %d for n=%d" i n) seen
+  done
+
+let prop_shuffle_preserves_multiset =
+  QCheck.Test.make ~name:"shuffle preserves multiset" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      let r = Engine.Rng.create seed in
+      Engine.Rng.shuffle r arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+    Alcotest.test_case "copy replays" `Quick test_copy_replays;
+    Alcotest.test_case "int range" `Quick test_int_range;
+    Alcotest.test_case "int_in range" `Quick test_int_in_range;
+    Alcotest.test_case "bad bound rejected" `Quick test_int_rejects_bad_bound;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "rough uniformity" `Quick test_uniformity_rough;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_positive_mean;
+    Alcotest.test_case "permutation valid" `Quick test_permutation_is_permutation;
+    QCheck_alcotest.to_alcotest prop_shuffle_preserves_multiset;
+  ]

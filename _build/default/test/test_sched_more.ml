@@ -1,0 +1,206 @@
+(* Further scheduler/engine tests: introspection, preemption
+   accounting, placement, limits, and non-preemptive semantics. *)
+
+open Butterfly
+
+let base_cfg =
+  {
+    Config.default with
+    Config.processors = 4;
+    contention = false;
+    quantum_ns = None;
+    switch_ns = 1_000;
+    fork_ns = 2_000;
+    wakeup_latency_ns = 500;
+    block_ns = 1_000;
+    unblock_ns = 1_000;
+  }
+
+let run ?(cfg = base_cfg) main =
+  let sim = Sched.create cfg in
+  Sched.run sim main;
+  sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_busy_accounting () =
+  let sim =
+    run (fun () ->
+        let t =
+          Cthreads.Cthread.fork ~proc:2 (fun () -> Ops.work 100_000)
+        in
+        Ops.work 50_000;
+        Cthreads.Cthread.join t)
+  in
+  let busy = Sched.processor_busy_ns sim in
+  check_bool "proc 0 busy at least its work" true (busy.(0) >= 50_000);
+  check_bool "proc 2 busy at least child's work" true (busy.(2) >= 100_000);
+  check_int "proc 3 idle" 0 busy.(3)
+
+let test_thread_report () =
+  let sim =
+    run (fun () ->
+        let t = Cthreads.Cthread.fork ~name:"worker" ~proc:1 (fun () -> Ops.work 42_000) in
+        Cthreads.Cthread.join t)
+  in
+  let report = Sched.thread_report sim in
+  check_int "two threads" 2 (List.length report);
+  let _, name, cpu = List.nth report 1 in
+  Alcotest.(check string) "named" "worker" name;
+  check_bool "cpu recorded" true (cpu >= 42_000)
+
+let test_round_robin_placement () =
+  let procs = ref [] in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let ts =
+          List.init 4 (fun _ ->
+              Cthreads.Cthread.fork (fun () -> procs := Ops.my_processor () :: !procs))
+        in
+        Cthreads.Cthread.join_all ts)
+  in
+  let sorted = List.sort_uniq compare !procs in
+  check_bool "spread over several processors" true (List.length sorted >= 3)
+
+let test_fork_bad_processor () =
+  let raised = ref false in
+  (try
+     let (_ : Sched.t) =
+       run (fun () ->
+           ignore (Ops.fork { f = (fun () -> ()); proc = Some 99; prio = 0; name = "x" }))
+     in
+     ()
+   with
+   | Invalid_argument _ -> raised := true
+   | Sched.Thread_crash (_, Invalid_argument _) -> raised := true);
+  check_bool "bad processor rejected" true !raised
+
+let test_event_limit () =
+  let raised = ref false in
+  (try
+     let cfg = { base_cfg with Config.max_events = 50 } in
+     let (_ : Sched.t) =
+       run ~cfg (fun () ->
+           for _ = 1 to 1000 do
+             Ops.work 10
+           done)
+     in
+     ()
+   with Sched.Event_limit_exceeded -> raised := true);
+  check_bool "event limit fires" true !raised
+
+let test_trace_hook () =
+  let messages = ref [] in
+  let sim = Sched.create base_cfg in
+  Sched.set_trace_hook sim (fun ~time ~tid msg -> messages := (time, tid, msg) :: !messages);
+  Sched.run sim (fun () ->
+      Ops.work 5_000;
+      Ops.trace "hello");
+  match !messages with
+  | [ (time, tid, "hello") ] ->
+    check_int "main thread" 0 tid;
+    check_int "after the work" 5_000 time
+  | _ -> Alcotest.fail "expected exactly one trace message"
+
+let test_nonpreemptive_continuation () =
+  (* Without a quantum, a thread issuing many short operations keeps
+     its processor: its same-proc sibling only runs afterwards. *)
+  let sibling_done = ref 0 and spinner_done = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let spinner =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              for _ = 1 to 100 do
+                Ops.work 1_000
+              done;
+              spinner_done := Ops.now ())
+        in
+        Ops.work 1_000;
+        let sibling =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              Ops.work 1_000;
+              sibling_done := Ops.now ())
+        in
+        Cthreads.Cthread.join spinner;
+        Cthreads.Cthread.join sibling)
+  in
+  check_bool "sibling ran only after the spinner finished" true
+    (!sibling_done > !spinner_done)
+
+let test_quantum_preempts_short_ops () =
+  (* With a quantum, the same pattern interleaves: the sibling finishes
+     long before the spinner. *)
+  let cfg = { base_cfg with Config.quantum_ns = Some 5_000 } in
+  let sibling_done = ref 0 and spinner_done = ref 0 in
+  let sim =
+    run ~cfg (fun () ->
+        let spinner =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              for _ = 1 to 100 do
+                Ops.work 1_000
+              done;
+              spinner_done := Ops.now ())
+        in
+        Ops.work 1_000;
+        let sibling =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              Ops.work 1_000;
+              sibling_done := Ops.now ())
+        in
+        Cthreads.Cthread.join spinner;
+        Cthreads.Cthread.join sibling)
+  in
+  check_bool "sibling slipped in early" true (!sibling_done < !spinner_done);
+  check_bool "preemptions counted" true
+    (Engine.Counters.get (Sched.counters sim) "sched.preemptions" > 0)
+
+let test_yield_releases_processor () =
+  (* A yielding loop lets the sibling interleave even without a
+     quantum. *)
+  let order = ref [] in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let a =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              for i = 1 to 3 do
+                order := (`A, i) :: !order;
+                Ops.work 1_000;
+                Ops.yield ()
+              done)
+        in
+        Ops.work 500;
+        let b =
+          Cthreads.Cthread.fork ~proc:1 (fun () ->
+              for i = 1 to 3 do
+                order := (`B, i) :: !order;
+                Ops.work 1_000;
+                Ops.yield ()
+              done)
+        in
+        Cthreads.Cthread.join a;
+        Cthreads.Cthread.join b)
+  in
+  (* Interleaved: B appears before A's last iteration. *)
+  let sequence = List.rev !order in
+  let first_b = ref (-1) and last_a = ref (-1) in
+  List.iteri
+    (fun i -> function
+      | `B, 1 -> if !first_b < 0 then first_b := i
+      | `A, 3 -> last_a := i
+      | _ -> ())
+    sequence;
+  check_bool "yield interleaves" true (!first_b >= 0 && !first_b < !last_a)
+
+let suite =
+  [
+    Alcotest.test_case "busy accounting" `Quick test_busy_accounting;
+    Alcotest.test_case "thread report" `Quick test_thread_report;
+    Alcotest.test_case "round-robin placement" `Quick test_round_robin_placement;
+    Alcotest.test_case "bad processor" `Quick test_fork_bad_processor;
+    Alcotest.test_case "event limit" `Quick test_event_limit;
+    Alcotest.test_case "trace hook" `Quick test_trace_hook;
+    Alcotest.test_case "non-preemptive continuation" `Quick test_nonpreemptive_continuation;
+    Alcotest.test_case "quantum preempts" `Quick test_quantum_preempts_short_ops;
+    Alcotest.test_case "yield interleaves" `Quick test_yield_releases_processor;
+  ]

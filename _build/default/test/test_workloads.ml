@@ -1,0 +1,126 @@
+(* Workload-generator tests: the Figure-1 sweep, client-server
+   scheduler workload, and phased workloads behave as the paper's
+   qualitative claims require. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Small but contended configuration. *)
+let small_sweep =
+  {
+    Workloads.Csweep.default with
+    Workloads.Csweep.processors = 4;
+    threads_per_proc = 3;
+    iterations = 12;
+  }
+
+let test_csweep_runs () =
+  let r = Workloads.Csweep.run small_sweep in
+  check_bool "time positive" true (r.Workloads.Csweep.total_ns > 0);
+  check_bool "saw contention" true (r.Workloads.Csweep.contended > 0)
+
+let test_csweep_deterministic () =
+  let a = Workloads.Csweep.run small_sweep and b = Workloads.Csweep.run small_sweep in
+  check_int "same virtual time" a.Workloads.Csweep.total_ns b.Workloads.Csweep.total_ns
+
+let test_csweep_time_grows_with_cs () =
+  let short = Workloads.Csweep.run { small_sweep with Workloads.Csweep.cs_ns = 5_000 } in
+  let long = Workloads.Csweep.run { small_sweep with Workloads.Csweep.cs_ns = 200_000 } in
+  check_bool "longer sections, longer run" true
+    (long.Workloads.Csweep.total_ns > short.Workloads.Csweep.total_ns)
+
+let test_csweep_blocking_blocks_spin_spins () =
+  let blocking =
+    Workloads.Csweep.run { small_sweep with Workloads.Csweep.lock_kind = Locks.Lock.Blocking }
+  in
+  let spin =
+    Workloads.Csweep.run { small_sweep with Workloads.Csweep.lock_kind = Locks.Lock.Spin }
+  in
+  check_bool "blocking lock blocks" true (blocking.Workloads.Csweep.blocks > 0);
+  check_int "spin lock never blocks" 0 spin.Workloads.Csweep.blocks;
+  check_bool "spin lock spins" true (spin.Workloads.Csweep.spin_probes > 0)
+
+let test_csweep_blocking_wins_long_sections () =
+  (* The heart of Figure 1: with several threads per processor and long
+     critical sections, blocking beats pure spinning. *)
+  let base = { small_sweep with Workloads.Csweep.cs_ns = 800_000; think_ns = 10_000 } in
+  let spin = Workloads.Csweep.run { base with Workloads.Csweep.lock_kind = Locks.Lock.Spin } in
+  let blocking =
+    Workloads.Csweep.run { base with Workloads.Csweep.lock_kind = Locks.Lock.Blocking }
+  in
+  check_bool "blocking wins on long sections" true
+    (blocking.Workloads.Csweep.total_ns < spin.Workloads.Csweep.total_ns)
+
+let test_csweep_sweep_shape () =
+  let curves =
+    Workloads.Csweep.sweep ~base:small_sweep ~cs_lengths:[ 10_000; 50_000 ]
+      ~kinds:[ Locks.Lock.Spin; Locks.Lock.Blocking ] ()
+  in
+  check_int "two kinds" 2 (List.length curves);
+  List.iter (fun (_, curve) -> check_int "two points each" 2 (List.length curve)) curves
+
+let small_cs = Workloads.Client_server.default
+
+let test_client_server_serves_all () =
+  let r = Workloads.Client_server.run small_cs in
+  check_int "all requests served"
+    (small_cs.Workloads.Client_server.clients
+    * small_cs.Workloads.Client_server.requests_per_client)
+    r.Workloads.Client_server.served
+
+let test_client_server_priority_beats_fcfs () =
+  let fcfs =
+    Workloads.Client_server.run { small_cs with Workloads.Client_server.sched = Locks.Lock_sched.Fcfs }
+  in
+  let prio =
+    Workloads.Client_server.run
+      { small_cs with Workloads.Client_server.sched = Locks.Lock_sched.Priority }
+  in
+  check_bool "priority serves requests faster (MS93)" true
+    (prio.Workloads.Client_server.mean_response_ns
+    < fcfs.Workloads.Client_server.mean_response_ns)
+
+let test_client_server_compare_runs_all () =
+  let rows = Workloads.Client_server.compare_schedulers small_cs in
+  check_int "three schedulers" 3 (List.length rows)
+
+let test_phased_adaptive_reconfigures () =
+  let r =
+    Workloads.Phased.run
+      { Workloads.Phased.default with Workloads.Phased.lock_kind = Locks.Lock.adaptive_default }
+  in
+  check_bool "adapted at least twice" true (r.Workloads.Phased.adaptations >= 2);
+  check_bool "log populated" true (r.Workloads.Phased.adaptation_log <> [])
+
+let test_phased_static_never_adapts () =
+  let r =
+    Workloads.Phased.run
+      { Workloads.Phased.default with Workloads.Phased.lock_kind = Locks.Lock.Spin }
+  in
+  check_int "no adaptations" 0 r.Workloads.Phased.adaptations
+
+let test_phased_adaptive_beats_worst_static () =
+  let kinds = [ Locks.Lock.Spin; Locks.Lock.Blocking; Locks.Lock.adaptive_default ] in
+  let results = Workloads.Phased.compare_kinds Workloads.Phased.default kinds in
+  let time k = (List.assoc k results).Workloads.Phased.total_ns in
+  let worst_static = max (time Locks.Lock.Spin) (time Locks.Lock.Blocking) in
+  check_bool "adaptive beats the worst static policy" true
+    (time Locks.Lock.adaptive_default < worst_static)
+
+let suite =
+  [
+    Alcotest.test_case "csweep runs" `Quick test_csweep_runs;
+    Alcotest.test_case "csweep deterministic" `Quick test_csweep_deterministic;
+    Alcotest.test_case "csweep grows with cs" `Quick test_csweep_time_grows_with_cs;
+    Alcotest.test_case "csweep lock behaviours" `Quick test_csweep_blocking_blocks_spin_spins;
+    Alcotest.test_case "blocking wins long sections" `Quick
+      test_csweep_blocking_wins_long_sections;
+    Alcotest.test_case "sweep shape" `Quick test_csweep_sweep_shape;
+    Alcotest.test_case "client-server serves all" `Quick test_client_server_serves_all;
+    Alcotest.test_case "priority beats FCFS" `Quick test_client_server_priority_beats_fcfs;
+    Alcotest.test_case "scheduler comparison" `Quick test_client_server_compare_runs_all;
+    Alcotest.test_case "phased adaptive reconfigures" `Quick test_phased_adaptive_reconfigures;
+    Alcotest.test_case "phased static stays" `Quick test_phased_static_never_adapts;
+    Alcotest.test_case "adaptive beats worst static" `Quick
+      test_phased_adaptive_beats_worst_static;
+  ]
