@@ -116,6 +116,40 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Every table, figure and ablation in paper order")
     Term.(const run $ csv_dir)
 
+let analyze_cmd =
+  let doc =
+    "Run the sanitizers (race detector, lock-order graph, lock-discipline lint) over \
+     every example/experiment workload and the seeded-buggy scenarios. Exits non-zero \
+     if a shipped workload reports diagnostics or a seeded bug goes undetected."
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Print every diagnostic, not just summaries.")
+  in
+  let run verbose =
+    let failures =
+      List.filter_map
+        (fun s ->
+          let report = Analysis_suite.check s in
+          Printf.printf "%-26s %s\n" s.Analysis_suite.scenario_name
+            (Analysis.summary report);
+          if verbose then
+            List.iter
+              (fun d -> Printf.printf "    %s\n" (Analysis.Diag.to_string d))
+              report.Analysis.diags;
+          match Analysis_suite.verdict s report with
+          | Ok () -> None
+          | Error e -> Some (s.Analysis_suite.scenario_name, e))
+        (Analysis_suite.all ())
+    in
+    match failures with
+    | [] -> print_endline "analysis: all scenarios behaved as expected"
+    | _ ->
+      List.iter (fun (name, e) -> Printf.printf "FAIL %s: %s\n" name e) failures;
+      exit 1
+  in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ verbose)
+
 let () =
   let doc = "Reproduce the tables and figures of Mukherjee & Schwan, GIT-CC-93/17" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
@@ -123,5 +157,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
+          ((all_cmd :: analyze_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

@@ -1,0 +1,74 @@
+module Vclock = Vclock
+module Diag = Diag
+module Trace = Trace
+module Race = Race
+module Lock_order = Lock_order
+module Discipline = Discipline
+open Butterfly
+
+type report = {
+  diags : Diag.t list;
+  events : int;
+  accesses : int;
+  aborted : string option;
+}
+
+let of_category c report = List.filter (fun d -> d.Diag.category = c) report.diags
+let races report = of_category Diag.Race report
+let cycles report = of_category Diag.Lock_order report
+let lints report = of_category Diag.Discipline report
+let clean report = report.diags = [] && report.aborted = None
+
+let check cfg program =
+  let sim = Sched.create cfg in
+  let trace = Trace.attach sim in
+  let aborted, abort_diag =
+    match Sched.run sim program with
+    | () -> (None, [])
+    | exception Sched.Thread_crash (thread, Locks.Lock_core.Misuse msg) ->
+      (* The runtime ownership check fired: fold it into the report
+         instead of crashing the analyzer (the lint pass typically
+         flags the same event from the annotation stream). *)
+      ( Some (Printf.sprintf "thread %s crashed: %s" thread msg),
+        [
+          Diag.make ~category:Diag.Discipline ~rule:"unlock-not-held"
+            ~time:(Sched.final_time sim) ~thread msg;
+        ] )
+    | exception Sched.Deadlock msg ->
+      ( Some (Printf.sprintf "deadlock: %s" msg),
+        [
+          Diag.make ~category:Diag.Discipline ~rule:"deadlock"
+            ~time:(Sched.final_time sim) ~thread:"(machine)"
+            (Printf.sprintf "the run deadlocked: %s" msg);
+        ] )
+  in
+  let name_table = Hashtbl.create 64 in
+  List.iter (fun (tid, name, _) -> Hashtbl.replace name_table tid name)
+    (Sched.thread_report sim);
+  let names tid =
+    match Hashtbl.find_opt name_table tid with
+    | Some n -> n
+    | None -> Printf.sprintf "t%d" tid
+  in
+  let diags =
+    Race.run ~names trace @ Lock_order.run ~names trace @ Discipline.run ~names trace
+    @ abort_diag
+  in
+  {
+    diags = List.stable_sort Diag.compare diags;
+    events = Trace.events trace;
+    accesses = Trace.accesses trace;
+    aborted;
+  }
+
+let summary report =
+  Printf.sprintf "%d events, %d accesses: %d race(s), %d lock-order cycle(s), %d lint(s)%s"
+    report.events report.accesses
+    (List.length (races report))
+    (List.length (cycles report))
+    (List.length (lints report))
+    (match report.aborted with None -> "" | Some msg -> Printf.sprintf " [aborted: %s]" msg)
+
+let pp ppf report =
+  Format.fprintf ppf "%s@." (summary report);
+  List.iter (fun d -> Format.fprintf ppf "  %s@." (Diag.to_string d)) report.diags

@@ -1,0 +1,50 @@
+(** Correctness tooling over the deterministic simulator.
+
+    [check cfg program] runs [program] on a fresh machine built from
+    [cfg] with all three sanitizers watching the run through the
+    scheduler's hook buses, and returns their findings:
+
+    - {!Race}: the data-race detector (Eraser locksets confirmed by a
+      vector-clock happens-before pass);
+    - {!Lock_order}: deadlock potential (cycles in the
+      acquired-while-holding graph), found even on runs that happen
+      not to deadlock;
+    - {!Discipline}: lock-usage lint (unlock without holding, blocking
+      while holding a spin-mode lock, lock held at thread exit).
+
+    A run that crashes with {!Locks.Lock_core.Misuse} or
+    {!Butterfly.Sched.Deadlock} is folded into the report rather than
+    escaping. Because the simulator is deterministic, checking the
+    same config and program twice yields bit-for-bit identical
+    reports. *)
+
+module Vclock = Vclock
+module Diag = Diag
+module Trace = Trace
+module Race = Race
+module Lock_order = Lock_order
+module Discipline = Discipline
+
+type report = {
+  diags : Diag.t list;  (** all findings, sorted by {!Diag.compare} *)
+  events : int;  (** scheduling events observed *)
+  accesses : int;  (** memory accesses observed *)
+  aborted : string option;
+      (** set when the run ended in [Misuse] or [Deadlock] instead of
+          terminating normally *)
+}
+
+val check : Butterfly.Config.t -> (unit -> unit) -> report
+
+val races : report -> Diag.t list
+val cycles : report -> Diag.t list
+val lints : report -> Diag.t list
+
+val clean : report -> bool
+(** No diagnostics and a normal termination. *)
+
+val summary : report -> string
+(** One-line counts. *)
+
+val pp : Format.formatter -> report -> unit
+(** The summary line followed by one line per diagnostic. *)

@@ -1,0 +1,35 @@
+type category = Race | Lock_order | Discipline
+
+type t = {
+  category : category;
+  rule : string;
+  time : int;
+  thread : string;
+  message : string;
+}
+
+let category_name = function
+  | Race -> "race"
+  | Lock_order -> "lock-order"
+  | Discipline -> "discipline"
+
+let make ~category ~rule ~time ~thread message = { category; rule; time; thread; message }
+
+let to_string d =
+  Printf.sprintf "[%d ns] %s/%s (thread %s): %s" d.time (category_name d.category) d.rule
+    d.thread d.message
+
+(* Total order used to present diagnostics: virtual time first, then
+   category/rule/text so equal-time diagnostics print deterministically. *)
+let compare a b =
+  let c = Stdlib.compare a.time b.time in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (category_name a.category) (category_name b.category) in
+    if c <> 0 then c
+    else
+      let c = Stdlib.compare a.rule b.rule in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare a.thread b.thread in
+        if c <> 0 then c else Stdlib.compare a.message b.message

@@ -1,0 +1,16 @@
+(** Lock-discipline lint.
+
+    Three rules over the lock acquire/release annotations and the
+    scheduling events:
+
+    - [unlock-not-held] — a release with no matching acquire by the
+      same thread (double unlock, or unlocking someone else's lock).
+      The configurable locks raise [Lock_core.Misuse] at runtime for
+      this; this rule additionally covers the raw {!Cthreads.Spin}
+      mutex, which has no owner word.
+    - [block-holding-spin-lock] — the thread went to sleep while
+      holding a lock whose waiting policy never sleeps, so every
+      waiter burns its processor for the whole sleep.
+    - [lock-held-at-exit] — the thread finished still holding a lock. *)
+
+val run : names:(int -> string) -> Trace.t -> Diag.t list

@@ -1,0 +1,15 @@
+(** Deadlock-potential detection via the lock-order graph.
+
+    Every acquisition of a lock [L] by a thread already holding [H]
+    adds the edge [H -> L]. A cycle in this graph means two orderings
+    of the same locks exist somewhere in the run — a deadlock waiting
+    for the right interleaving, reported even when this (deterministic)
+    run happened not to deadlock. Recursive acquisition of a lock the
+    thread already holds shows up as a self-edge, i.e. a cycle of
+    length one.
+
+    Each distinct cycle (identified by its set of locks) is reported
+    once, with the first-seen witness edge: which thread acquired what
+    while holding what, and when. *)
+
+val run : names:(int -> string) -> Trace.t -> Diag.t list

@@ -1,0 +1,20 @@
+(** The data-race detector: Eraser-style locksets refined by a
+    vector-clock happens-before pass, run offline over a {!Trace}.
+
+    A pair of accesses to the same plain word is reported as a race
+    only when {e both} tests fail: the threads hold no common lock
+    around the accesses (lockset), and no chain of synchronization
+    edges orders them (happens-before). The edges are fork → child
+    start, finished thread → join, waker → wakee (block/wakeup and the
+    wake-token variants) and lock release → next acquire of the same
+    lock.
+
+    Exempt words — never reported: words registered with
+    [Ops.A_sync_word] (primitive internals) or [Ops.A_relaxed_word]
+    (intentionally racy), and any word ever touched by an atomic
+    operation during the run. At most one race is reported per word
+    (the first in trace order). *)
+
+val run : names:(int -> string) -> Trace.t -> Diag.t list
+(** Diagnostics in trace order. [names] maps a tid to the thread name
+    used in messages. *)

@@ -1,0 +1,37 @@
+open Butterfly
+
+type entry =
+  | Event of Sched.event
+  | Access of Sched.access
+  | Annot of Sched.annot
+
+type t = { mutable data : entry array; mutable len : int }
+
+let push t entry =
+  if t.len = Array.length t.data then begin
+    let data = Array.make (max 1024 (2 * t.len)) entry in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- entry;
+  t.len <- t.len + 1
+
+let attach sim =
+  let t = { data = [||]; len = 0 } in
+  Sched.add_event_hook sim (fun ev -> push t (Event ev));
+  Sched.add_access_hook sim (fun a -> push t (Access a));
+  Sched.add_annot_hook sim (fun a -> push t (Annot a));
+  t
+
+let length t = t.len
+let iter f t = for i = 0 to t.len - 1 do f t.data.(i) done
+
+let events t =
+  let n = ref 0 in
+  iter (function Event _ -> incr n | _ -> ()) t;
+  !n
+
+let accesses t =
+  let n = ref 0 in
+  iter (function Access _ -> incr n | _ -> ()) t;
+  !n

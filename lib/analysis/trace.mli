@@ -1,0 +1,31 @@
+(** A recording of one simulated run: the three scheduler buses
+    (scheduling events, memory accesses, annotations) merged into a
+    single sequence in arrival order.
+
+    Because the simulator is deterministic and delivers every hook
+    callback synchronously at the emitting operation, arrival order
+    {e is} the global linearization of the run: identical runs produce
+    identical traces, which is what makes the offline analysis passes
+    bit-for-bit reproducible. *)
+
+open Butterfly
+
+type entry =
+  | Event of Sched.event
+  | Access of Sched.access
+  | Annot of Sched.annot
+
+type t
+
+val attach : Sched.t -> t
+(** Subscribe a recorder to all three buses of a machine. Call before
+    [Sched.run]; other observers may subscribe alongside it. *)
+
+val length : t -> int
+val iter : (entry -> unit) -> t -> unit
+
+val events : t -> int
+(** Number of scheduling events recorded. *)
+
+val accesses : t -> int
+(** Number of memory accesses recorded. *)

@@ -1,0 +1,214 @@
+open Butterfly
+open Cthreads
+
+type expect = Clean | Flags of string list
+
+type scenario = {
+  scenario_name : string;
+  config : Config.t;
+  program : unit -> unit;
+  expect : expect;
+}
+
+let config ?(seed = 11) processors =
+  { Config.default with Config.processors; seed }
+
+(* A correct program exercising every Cthreads primitive, with shared
+   data protected three different ways: a condition-guarded slot
+   (lockset), a barrier-separated array (pure happens-before — this is
+   the scenario that breaks if any vector-clock edge goes missing) and
+   a semaphore-limited section over a mutex-guarded counter. *)
+let primitives () =
+  (* producer/consumer through one slot *)
+  let mu = Spin.create ~node:0 () in
+  let slot_full = Condition.create ~node:0 () in
+  let slot_empty = Condition.create ~node:0 () in
+  let slot = Ops.alloc1 ~node:0 () in
+  let producer =
+    Cthread.fork ~name:"producer" ~proc:1 (fun () ->
+        for v = 1 to 6 do
+          Cthread.work 8_000;
+          Spin.lock mu;
+          while Ops.read slot <> 0 do
+            Condition.wait slot_empty mu
+          done;
+          Ops.write slot v;
+          Condition.signal slot_full;
+          Spin.unlock mu
+        done)
+  in
+  let consumer =
+    Cthread.fork ~name:"consumer" ~proc:2 (fun () ->
+        for _ = 1 to 6 do
+          Spin.lock mu;
+          while Ops.read slot = 0 do
+            Condition.wait slot_full mu
+          done;
+          Ops.write slot 0;
+          Condition.signal slot_empty;
+          Spin.unlock mu
+        done)
+  in
+  Cthread.join_all [ producer; consumer ];
+  (* barrier-separated neighbour exchange *)
+  let n = 3 in
+  let cells = Ops.alloc ~node:0 n in
+  let barrier = Barrier.create ~node:0 n in
+  let sum = ref 0 in
+  let exchanger i () =
+    Ops.write cells.(i) (100 + i);
+    Barrier.await barrier;
+    sum := !sum + Ops.read cells.((i + 1) mod n)
+  in
+  let ts =
+    List.init n (fun i ->
+        Cthread.fork ~name:(Printf.sprintf "cell%d" i) ~proc:(1 + i) (exchanger i))
+  in
+  Cthread.join_all ts;
+  (* semaphore-limited critical work *)
+  let sem = Semaphore.create ~node:0 2 in
+  let counter_mu = Spin.create ~node:0 () in
+  let counter = Ops.alloc1 ~node:0 () in
+  let bump_under_sem _i () =
+    Semaphore.acquire sem;
+    Cthread.work 5_000;
+    Spin.lock counter_mu;
+    Ops.write counter (Ops.read counter + 1);
+    Spin.unlock counter_mu;
+    Semaphore.release sem
+  in
+  let ts =
+    List.init 4 (fun i ->
+        Cthread.fork ~name:(Printf.sprintf "sem%d" i) ~proc:(1 + (i mod 3))
+          (bump_under_sem i))
+  in
+  Cthread.join_all ts
+
+let csweep_spec kind =
+  {
+    Workloads.Csweep.default with
+    Workloads.Csweep.processors = 4;
+    threads_per_proc = 2;
+    iterations = 8;
+    cs_ns = 12_000;
+    lock_kind = kind;
+  }
+
+let phased_spec =
+  {
+    Workloads.Phased.default with
+    Workloads.Phased.processors = 4;
+    workers = 6;
+    phases =
+      [
+        { Workloads.Phased.active_threads = 1; cs_ns = 5_000; entries = 30 };
+        { Workloads.Phased.active_threads = 6; cs_ns = 200_000; entries = 6 };
+        { Workloads.Phased.active_threads = 1; cs_ns = 5_000; entries = 30 };
+      ];
+  }
+
+let client_server_spec sched handoff_to_server =
+  {
+    Workloads.Client_server.default with
+    Workloads.Client_server.processors = 4;
+    clients = 4;
+    requests_per_client = 5;
+    sched;
+    handoff_to_server;
+  }
+
+let tsp_spec impl lock_kind =
+  ( impl,
+    {
+      Tsp.Parallel.default_spec with
+      Tsp.Parallel.cities = 8;
+      searchers = 3;
+      instance_kind = Tsp.Parallel.Uniform 100;
+      lock_kind;
+    } )
+
+let shipped () =
+  let csweep name kind =
+    {
+      scenario_name = "csweep-" ^ name;
+      config = config 4;
+      program = Workloads.Csweep.scenario (csweep_spec kind);
+      expect = Clean;
+    }
+  in
+  let client_server name sched handoff =
+    {
+      scenario_name = "client-server-" ^ name;
+      config = config 4 ~seed:23;
+      program = Workloads.Client_server.scenario (client_server_spec sched handoff);
+      expect = Clean;
+    }
+  in
+  let tsp name impl kind =
+    let impl, spec = tsp_spec impl kind in
+    {
+      scenario_name = "tsp-" ^ name;
+      config = config (spec.Tsp.Parallel.searchers + 1) ~seed:spec.Tsp.Parallel.machine_seed;
+      program = Tsp.Parallel.scenario ~impl spec;
+      expect = Clean;
+    }
+  in
+  [
+    { scenario_name = "primitives"; config = config 4; program = primitives; expect = Clean };
+    csweep "spin" Locks.Lock.Spin;
+    csweep "blocking" Locks.Lock.Blocking;
+    csweep "combined10" (Locks.Lock.Combined 10);
+    csweep "adaptive" Locks.Lock.adaptive_default;
+    {
+      scenario_name = "phased-adaptive";
+      config = config 4 ~seed:31;
+      program = Workloads.Phased.scenario phased_spec;
+      expect = Clean;
+    };
+    client_server "fcfs" Locks.Lock_sched.Fcfs false;
+    client_server "priority" Locks.Lock_sched.Priority false;
+    client_server "handoff" Locks.Lock_sched.Handoff true;
+    tsp "centralized" Tsp.Parallel.Centralized Locks.Lock.Blocking;
+    tsp "distributed" Tsp.Parallel.Distributed Locks.Lock.Blocking;
+    tsp "balanced" Tsp.Parallel.Balanced Tsp.Parallel.tsp_adaptive_kind;
+  ]
+
+let buggy () =
+  let scenario name program expect =
+    {
+      scenario_name = "buggy-" ^ name;
+      config = config Workloads.Buggy.processors;
+      program;
+      expect = Flags expect;
+    }
+  in
+  [
+    scenario "racy-counter" Workloads.Buggy.racy_counter [ "data-race" ];
+    scenario "lock-order" Workloads.Buggy.lock_order_inversion [ "lock-order-cycle" ];
+    scenario "deadlock" Workloads.Buggy.true_deadlock [ "lock-order-cycle"; "deadlock" ];
+    scenario "double-unlock" Workloads.Buggy.double_unlock [ "unlock-not-held" ];
+    scenario "exit-holding" Workloads.Buggy.exit_while_holding [ "lock-held-at-exit" ];
+    scenario "sleep-with-spin-lock" Workloads.Buggy.sleep_with_spin_lock
+      [ "block-holding-spin-lock" ];
+  ]
+
+let all () = shipped () @ buggy ()
+
+let check s = Analysis.check s.config s.program
+
+let verdict s report =
+  match s.expect with
+  | Clean ->
+    if Analysis.clean report then Ok ()
+    else
+      Error
+        (Printf.sprintf "expected a clean report, got: %s" (Analysis.summary report))
+  | Flags rules ->
+    let seen = List.map (fun d -> d.Analysis.Diag.rule) report.Analysis.diags in
+    let missing = List.filter (fun r -> not (List.mem r seen)) rules in
+    if missing = [] then Ok ()
+    else
+      Error
+        (Printf.sprintf "expected rule(s) %s, got: %s"
+           (String.concat ", " missing)
+           (Analysis.summary report))

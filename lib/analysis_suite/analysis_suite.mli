@@ -1,0 +1,27 @@
+(** The scenario catalog behind [repro analyze] and the regression
+    tests: every shipped example/experiment workload (expected to
+    analyze clean) plus the seeded-buggy workloads (expected to be
+    flagged with specific rules). *)
+
+open Butterfly
+
+type expect =
+  | Clean  (** the sanitizers must report nothing *)
+  | Flags of string list  (** each rule name must appear among the diagnostics *)
+
+type scenario = {
+  scenario_name : string;
+  config : Config.t;
+  program : unit -> unit;
+  expect : expect;
+}
+
+val shipped : unit -> scenario list
+val buggy : unit -> scenario list
+val all : unit -> scenario list
+
+val check : scenario -> Analysis.report
+(** Run the scenario under {!Analysis.check}. *)
+
+val verdict : scenario -> Analysis.report -> (unit, string) result
+(** Whether the report matches the scenario's expectation. *)

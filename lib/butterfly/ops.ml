@@ -2,6 +2,13 @@ type tid = int
 
 type fork_spec = { f : unit -> unit; proc : int option; prio : int; name : string }
 
+type annotation =
+  | A_sync_word of Memory.addr
+  | A_relaxed_word of Memory.addr
+  | A_lock_request of { lock : Memory.addr; lock_name : string }
+  | A_lock_acquire of { lock : Memory.addr; lock_name : string; spin_wait : bool }
+  | A_lock_release of { lock : Memory.addr; lock_name : string }
+
 type _ Effect.t +=
   | E_alloc : int option * int -> Memory.addr array Effect.t
   | E_read : Memory.addr -> int Effect.t
@@ -26,6 +33,8 @@ type _ Effect.t +=
   | E_processors : int Effect.t
   | E_random : int -> int Effect.t
   | E_trace : string -> unit Effect.t
+  | E_annotate : annotation -> unit Effect.t
+  | E_thread_name : tid -> string Effect.t
 
 let alloc ?node n = Effect.perform (E_alloc (node, n))
 let alloc1 ?node () = (Effect.perform (E_alloc (node, 1))).(0)
@@ -54,3 +63,7 @@ let priority_of tid = Effect.perform (E_priority_of tid)
 let processors () = Effect.perform E_processors
 let random bound = Effect.perform (E_random bound)
 let trace msg = Effect.perform (E_trace msg)
+let annotate a = Effect.perform (E_annotate a)
+let mark_sync_words addrs = Array.iter (fun a -> annotate (A_sync_word a)) addrs
+let mark_relaxed_word a = annotate (A_relaxed_word a)
+let thread_name tid = Effect.perform (E_thread_name tid)

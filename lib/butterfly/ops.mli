@@ -20,6 +20,30 @@ type fork_spec = {
   name : string;
 }
 
+(** Structured annotations for observers ({!Sched.add_annot_hook}):
+    free of virtual-time charge, invisible to the simulated program,
+    and consumed by the correctness tooling in [lib/analysis].
+
+    - [A_sync_word]: the word belongs to a synchronization primitive's
+      internal state (lock words, guard words, waiter counters); race
+      analysis must not treat its raw accesses as application data.
+    - [A_relaxed_word]: the word is read/written racily {e on purpose}
+      (e.g. the TSP solvers' best-bound copies); the race detector
+      skips it, like a C11 relaxed atomic.
+    - [A_lock_request]: a blocking acquisition of the lock has begun.
+      Emitted {e before} any waiting, so lock-order analysis sees the
+      request even when the wait never completes (a real deadlock).
+    - [A_lock_acquire]/[A_lock_release]: a mutual-exclusion span over
+      the lock identified by its lock word. [spin_wait] is true when
+      the lock's current waiting policy never sleeps, so waiters burn
+      their processor for as long as the owner holds it. *)
+type annotation =
+  | A_sync_word of Memory.addr
+  | A_relaxed_word of Memory.addr
+  | A_lock_request of { lock : Memory.addr; lock_name : string }
+  | A_lock_acquire of { lock : Memory.addr; lock_name : string; spin_wait : bool }
+  | A_lock_release of { lock : Memory.addr; lock_name : string }
+
 (** The raw effect constructors, exposed so {!Sched} can handle them.
     Client code should use the wrapper functions below instead. *)
 type _ Effect.t +=
@@ -46,6 +70,8 @@ type _ Effect.t +=
   | E_processors : int Effect.t
   | E_random : int -> int Effect.t
   | E_trace : string -> unit Effect.t
+  | E_annotate : annotation -> unit Effect.t
+  | E_thread_name : tid -> string Effect.t
 
 (** {1 Memory} *)
 
@@ -115,3 +141,21 @@ val random : int -> int
 val trace : string -> unit
 (** Emit a debug trace line (visible when the simulation's [on_trace]
     hook is installed). Free of charge. *)
+
+(** {1 Analysis annotations} *)
+
+val annotate : annotation -> unit
+(** Publish an {!annotation} to the machine's annotation hooks. Free
+    of virtual-time charge; a no-op when no hook is installed. *)
+
+val mark_sync_words : Memory.addr array -> unit
+(** Register words as synchronization-internal state
+    ([A_sync_word]). Synchronization primitives call this at creation
+    time for every simulated word they own. *)
+
+val mark_relaxed_word : Memory.addr -> unit
+(** Register a word as intentionally racy ([A_relaxed_word]). *)
+
+val thread_name : tid -> string
+(** Name a thread was forked with (for diagnostics). Free of charge.
+    Raises [Invalid_argument] on an unknown tid. *)

@@ -4,7 +4,16 @@ exception Thread_crash of string * exn
 
 type tstate = Ready | Running | Blocked | Joining | Finished
 
-type event_kind = Ev_fork | Ev_switch | Ev_preempt | Ev_block | Ev_wakeup | Ev_finish
+type event_kind =
+  | Ev_fork
+  | Ev_switch
+  | Ev_preempt
+  | Ev_block
+  | Ev_wakeup
+  | Ev_token
+  | Ev_token_use
+  | Ev_join
+  | Ev_finish
 
 let event_kind_name = function
   | Ev_fork -> "fork"
@@ -12,9 +21,27 @@ let event_kind_name = function
   | Ev_preempt -> "preempt"
   | Ev_block -> "block"
   | Ev_wakeup -> "wakeup"
+  | Ev_token -> "token"
+  | Ev_token_use -> "token-use"
+  | Ev_join -> "join"
   | Ev_finish -> "finish"
 
-type event = { time : int; proc : int; tid : int; kind : event_kind }
+type event = { time : int; proc : int; tid : int; kind : event_kind; other : int }
+
+type access = {
+  access_time : int;
+  access_proc : int;
+  access_tid : int;
+  access_addr : Memory.addr;
+  access_kind : Memory.access;
+}
+
+type annot = {
+  annot_time : int;
+  annot_proc : int;
+  annot_tid : int;
+  annotation : Ops.annotation;
+}
 
 type pending = Pending : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> pending
 
@@ -28,6 +55,7 @@ type thread = {
   mutable start_fn : (unit -> unit) option;
   mutable wake_at : int;
   mutable wake_tokens : int;
+  mutable token_wakers : int list;  (* waker tids, oldest first, one per token *)
   mutable joiners : int list;
   mutable work_left : int;
   mutable cpu_ns : int;
@@ -58,7 +86,9 @@ type t = {
   counters : Engine.Counters.t;
   rng : Engine.Rng.t;
   mutable trace_hook : (time:int -> tid:int -> string -> unit) option;
-  mutable event_hook : (event -> unit) option;
+  mutable event_hooks : (event -> unit) list;  (* subscription order *)
+  mutable access_hooks : (access -> unit) list;
+  mutable annot_hooks : (annot -> unit) list;
   mutable started : bool;
   mutable final : int;
   mutable place_cursor : int;
@@ -88,7 +118,9 @@ let create (cfg : Config.t) =
     counters = Engine.Counters.create ();
     rng = Engine.Rng.create cfg.seed;
     trace_hook = None;
-    event_hook = None;
+    event_hooks = [];
+    access_hooks = [];
+    annot_hooks = [];
     started = false;
     final = 0;
     place_cursor = 0;
@@ -104,12 +136,27 @@ let runq_length t pid =
   Engine.Pqueue.size p.runq + match p.cont with Some _ -> 1 | None -> 0
 let live_threads t = t.live
 let set_trace_hook t hook = t.trace_hook <- Some hook
-let set_event_hook t hook = t.event_hook <- Some hook
+let add_event_hook t hook = t.event_hooks <- t.event_hooks @ [ hook ]
+let set_event_hook = add_event_hook
+let add_access_hook t hook = t.access_hooks <- t.access_hooks @ [ hook ]
+let add_annot_hook t hook = t.annot_hooks <- t.annot_hooks @ [ hook ]
 
-let emit t ~time ~proc ~tid kind =
-  match t.event_hook with
-  | Some hook -> hook { time; proc; tid; kind }
-  | None -> ()
+let emit ?(other = -1) t ~time ~proc ~tid kind =
+  match t.event_hooks with
+  | [] -> ()
+  | hooks ->
+    let ev = { time; proc; tid; kind; other } in
+    List.iter (fun hook -> hook ev) hooks
+
+let emit_access t ~time ~proc ~tid addr kind =
+  match t.access_hooks with
+  | [] -> ()
+  | hooks ->
+    let ev =
+      { access_time = time; access_proc = proc; access_tid = tid;
+        access_addr = addr; access_kind = kind }
+    in
+    List.iter (fun hook -> hook ev) hooks
 
 let thread_report t =
   Hashtbl.fold (fun _ th acc -> (th.tid, th.name, th.cpu_ns) :: acc) t.threads []
@@ -176,6 +223,7 @@ let new_thread t ~name ~proc ~prio fn =
       start_fn = Some fn;
       wake_at = 0;
       wake_tokens = 0;
+      token_wakers = [];
       joiners = [];
       work_left = 0;
       cpu_ns = 0;
@@ -194,7 +242,10 @@ let finish t th =
   List.iter
     (fun jtid ->
       let joiner = Hashtbl.find t.threads jtid in
-      if joiner.state = Joining then make_ready t joiner ~at:wake_time)
+      if joiner.state = Joining then begin
+        emit t ~time:wake_time ~proc:joiner.proc ~tid:jtid ~other:th.tid Ev_join;
+        make_ready t joiner ~at:wake_time
+      end)
     th.joiners;
   th.joiners <- []
 
@@ -220,6 +271,7 @@ let memory_op : type r.
     t -> thread -> proc -> kind:_ -> Memory.addr -> (unit -> r) -> (r, unit) Effect.Deep.continuation -> unit =
  fun t th p ~kind addr value k ->
   Engine.Counters.incr t.counters (counter_of_kind kind);
+  emit_access t ~time:p.pnow ~proc:p.pid ~tid:th.tid addr (mem_access_kind kind);
   let complete =
     Memory.reserve t.mem t.cfg ~from_node:p.pid addr (mem_access_kind kind) ~start:p.pnow
   in
@@ -321,7 +373,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
           | None -> place t
         in
         let child = new_thread t ~name:spec.name ~proc ~prio:spec.prio spec.f in
-        emit t ~time:p.pnow ~proc ~tid:child.tid Ev_fork;
+        emit t ~time:p.pnow ~proc ~tid:child.tid ~other:th.tid Ev_fork;
         make_ready t child ~at:(p.pnow + cfg.fork_ns + cfg.wakeup_latency_ns);
         suspend_value t th p ~ns:cfg.fork_ns k (fun () -> child.tid))
   | Ops.E_join tid ->
@@ -330,7 +382,10 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         let th = current_thread t in
         let p = t.procs.(th.proc) in
         let target = find_thread t tid in
-        if target.state = Finished then suspend_unit t th p ~ns:cfg.join_ns k
+        if target.state = Finished then begin
+          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:tid Ev_join;
+          suspend_unit t th p ~ns:cfg.join_ns k
+        end
         else begin
           th.state <- Joining;
           th.pending <- Some (Pending (k, fun () -> ()));
@@ -357,6 +412,14 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         if th.wake_tokens > 0 then begin
           (* A wakeup already arrived: absorb it and keep running. *)
           th.wake_tokens <- th.wake_tokens - 1;
+          let waker =
+            match th.token_wakers with
+            | w :: rest ->
+              th.token_wakers <- rest;
+              w
+            | [] -> -1
+          in
+          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:waker Ev_token_use;
           suspend_unit t th p ~ns:0 k
         end
         else begin
@@ -379,10 +442,13 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         (match target.state with
         | Blocked ->
           target.state <- Ready;
-          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid Ev_wakeup;
+          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid ~other:th.tid Ev_wakeup;
           make_ready t target ~at:(p.pnow + cfg.unblock_ns + cfg.wakeup_latency_ns)
         | Finished -> Engine.Counters.incr t.counters "sched.wakeups_late"
-        | Ready | Running | Joining -> target.wake_tokens <- target.wake_tokens + 1);
+        | Ready | Running | Joining ->
+          target.wake_tokens <- target.wake_tokens + 1;
+          target.token_wakers <- target.token_wakers @ [ th.tid ];
+          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid ~other:th.tid Ev_token);
         suspend_unit t th p ~ns:cfg.unblock_ns k)
   | Ops.E_self -> Some (fun k -> Effect.Deep.continue k (current_thread t).tid)
   | Ops.E_my_processor -> Some (fun k -> Effect.Deep.continue k (current_thread t).proc)
@@ -403,6 +469,20 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
           hook ~time:t.procs.(th.proc).pnow ~tid:th.tid msg
         | None -> ());
         Effect.Deep.continue k ())
+  | Ops.E_annotate annotation ->
+    Some
+      (fun k ->
+        (match t.annot_hooks with
+        | [] -> ()
+        | hooks ->
+          let th = current_thread t in
+          let p = t.procs.(th.proc) in
+          let ev =
+            { annot_time = p.pnow; annot_proc = p.pid; annot_tid = th.tid; annotation }
+          in
+          List.iter (fun hook -> hook ev) hooks);
+        Effect.Deep.continue k ())
+  | Ops.E_thread_name tid -> Some (fun k -> Effect.Deep.continue k (find_thread t tid).name)
   | _ -> None
 
 let run_fiber t th fn =

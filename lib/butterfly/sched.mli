@@ -61,21 +61,79 @@ val set_trace_hook : t -> (time:int -> tid:int -> string -> unit) -> unit
     A low-overhead instrumentation stream in the spirit of the paper's
     general-purpose thread monitor: when a hook is installed, the
     scheduler emits one event per scheduling action. With no hook
-    installed the cost is a single branch. *)
+    installed the cost is a single branch.
+
+    Each stream is a {e bus}: any number of observers may subscribe
+    with the [add_*_hook] functions and every one of them sees every
+    emission, in subscription order — an event recorder and the
+    sanitizers of [lib/analysis] can watch the same run concurrently. *)
 
 type event_kind =
-  | Ev_fork  (** thread created ([tid] is the child) *)
+  | Ev_fork  (** thread created ([tid] is the child, [other] the parent) *)
   | Ev_switch  (** processor switched to a different thread *)
   | Ev_preempt  (** quantum expired; thread demoted behind its queue *)
   | Ev_block  (** thread went to sleep *)
-  | Ev_wakeup  (** thread was made runnable again *)
+  | Ev_wakeup  (** blocked thread made runnable again ([other] is the waker) *)
+  | Ev_token  (** wakeup of a thread that was not blocked: a wake token
+                  was granted ([tid] the target, [other] the waker) *)
+  | Ev_token_use  (** a block absorbed a pending wake token and returned
+                      immediately ([other] is the original waker) *)
+  | Ev_join  (** a joiner resumed because its target finished ([tid] the
+                 joiner, [other] the finished thread) *)
   | Ev_finish  (** thread terminated *)
 
 val event_kind_name : event_kind -> string
 
-type event = { time : int; proc : int; tid : int; kind : event_kind }
+type event = {
+  time : int;
+  proc : int;
+  tid : int;
+  kind : event_kind;
+  other : int;  (** the related thread of the event kind, or -1 *)
+}
+
+val add_event_hook : t -> (event -> unit) -> unit
+(** Subscribe an observer to the scheduling-event bus. Hooks run in
+    subscription order; all subscribers see every event. Must be
+    called before {!run}. *)
 
 val set_event_hook : t -> (event -> unit) -> unit
+(** @deprecated Alias for {!add_event_hook}, kept for source
+    compatibility. Despite the historical name it no longer replaces
+    previously installed hooks. *)
+
+(** {1 Memory-access events}
+
+    One event per simulated memory operation ([Ops.read]/[write] and
+    the atomics), emitted at the operation's start time in the global
+    deterministic execution order. With no hook subscribed the cost is
+    one branch per access. *)
+
+type access = {
+  access_time : int;
+  access_proc : int;
+  access_tid : int;
+  access_addr : Memory.addr;
+  access_kind : Memory.access;
+}
+
+val add_access_hook : t -> (access -> unit) -> unit
+
+(** {1 Annotation events}
+
+    The delivery side of {!Ops.annotate}: synchronization libraries
+    publish lock acquire/release spans and sync-word registrations;
+    the scheduler stamps them with virtual time and the emitting
+    thread. *)
+
+type annot = {
+  annot_time : int;
+  annot_proc : int;
+  annot_tid : int;
+  annotation : Ops.annotation;
+}
+
+val add_annot_hook : t -> (annot -> unit) -> unit
 
 val thread_report : t -> (int * string * int) list
 (** [(tid, name, cpu_ns)] for every thread that ran, sorted by tid. *)

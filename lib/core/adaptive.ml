@@ -10,11 +10,13 @@ type 'obs t = {
 }
 
 let create ?(name = "adaptive-object") ~home ~sensor ~policy () =
+  let scratch = Butterfly.Ops.alloc1 ~node:home () in
+  Butterfly.Ops.mark_sync_words [| scratch |];
   {
     obj_name = name;
     sensor;
     policy;
-    scratch = Butterfly.Ops.alloc1 ~node:home ();
+    scratch;
     policy_run_count = 0;
     adaptation_count = 0;
     adaptation_log = [];

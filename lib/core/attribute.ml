@@ -14,13 +14,9 @@ type 'a t = {
 }
 
 let make_at ~name ?(mutable_ = true) ~node v =
-  {
-    attr_name = name;
-    value = v;
-    is_mutable = mutable_;
-    owner_word = Ops.alloc1 ~node ();
-    update_count = 0;
-  }
+  let owner_word = Ops.alloc1 ~node () in
+  Ops.mark_sync_words [| owner_word |];
+  { attr_name = name; value = v; is_mutable = mutable_; owner_word; update_count = 0 }
 
 let make ~name ?mutable_ v =
   let node = Ops.my_processor () in

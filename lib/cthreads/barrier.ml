@@ -9,7 +9,9 @@ type t = {
 
 let create ?node n =
   if n < 1 then invalid_arg "Barrier.create: need at least one party";
-  { mutex = Spin.create ?node (); parties = n; count = Ops.alloc1 ?node (); sleepers = [] }
+  let count = Ops.alloc1 ?node () in
+  Ops.mark_sync_words [| count |];
+  { mutex = Spin.create ?node (); parties = n; count; sleepers = [] }
 
 let await t =
   Spin.lock t.mutex;

@@ -9,6 +9,7 @@ type t = {
 let create ?node n =
   if n < 0 then invalid_arg "Semaphore.create: negative permits";
   let permits = Ops.alloc1 ?node () in
+  Ops.mark_sync_words [| permits |];
   Ops.write permits n;
   { mutex = Spin.create ?node (); permits; waiters = Queue.create () }
 

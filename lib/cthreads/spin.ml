@@ -6,15 +6,32 @@ type t = Memory.addr
    short enough not to distort latencies (one local read's worth). *)
 let probe_gap_ns = 600
 
-let create ?node () = Ops.alloc1 ?node ()
-let try_lock t = Ops.test_and_set t
+let spin_name t = Printf.sprintf "spin<%d:%d>" (Memory.node_of t) (Memory.index_of t)
+
+let create ?node () =
+  let t = Ops.alloc1 ?node () in
+  Ops.mark_sync_words [| t |];
+  t
+
+let note_acquired t =
+  Ops.annotate (Ops.A_lock_acquire { lock = t; lock_name = spin_name t; spin_wait = true })
+
+let try_lock t =
+  let got = Ops.test_and_set t in
+  if got then note_acquired t;
+  got
 
 let lock t =
+  Ops.annotate (Ops.A_lock_request { lock = t; lock_name = spin_name t });
   (* Busy-wait: the gap between probes occupies the processor, as real
      spinning does. *)
   while not (Ops.test_and_set t) do
     Ops.work probe_gap_ns
-  done
+  done;
+  note_acquired t
 
-let unlock t = Ops.write t 0
+let unlock t =
+  Ops.annotate (Ops.A_lock_release { lock = t; lock_name = spin_name t });
+  Ops.write t 0
+
 let home t = Memory.node_of t

@@ -61,6 +61,7 @@ let server_body t () =
 
 let create ?(name = "active-lock") ~server_proc () =
   let words = Ops.alloc ~node:server_proc 2 in
+  Ops.mark_sync_words words;
   let t =
     {
       lock_name = name;

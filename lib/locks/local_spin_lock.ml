@@ -12,11 +12,14 @@ type t = {
 let create ?(name = "local-spin-lock") ~home () =
   let words = Ops.alloc ~node:home 2 in
   let processors = Ops.processors () in
+  Ops.mark_sync_words words;
+  let flags = Array.init processors (fun node -> Ops.alloc1 ~node ()) in
+  Ops.mark_sync_words flags;
   {
     lock_name = name;
     guard = words.(0);
     held_word = words.(1);
-    flags = Array.init processors (fun node -> Ops.alloc1 ~node ());
+    flags;
     waiters = [];
     lock_stats = Lock_stats.create name;
   }

@@ -31,7 +31,12 @@ val home : t -> int
 val stats : t -> Lock_stats.t
 
 val lock : t -> unit
+
 val unlock : t -> unit
+(** Release the lock. Raises {!Lock_core.Misuse} if the calling thread
+    does not hold it — a double unlock or an unlock by a non-owner is a
+    program bug, not a no-op. *)
+
 val try_lock : t -> bool
 
 val with_lock : t -> (unit -> 'a) -> 'a

@@ -3,6 +3,8 @@ module Attribute = Adaptive_core.Attribute
 
 type advice = Advise_spin | Advise_sleep
 
+exception Misuse of string
+
 type t = {
   lock_name : string;
   home_node : int;
@@ -16,12 +18,14 @@ type t = {
   uses_advice : bool;
   lock_stats : Lock_stats.t;
   mutable successor : int option;
+  mutable owner : int option;  (* host-side: tid holding the lock word *)
 }
 
 let create ?name ?(trace = false) ?(sched = Lock_sched.Fcfs) ?(advisory = false) ~home
     ~policy ~costs () =
   let name = match name with Some n -> n | None -> "lock" in
   let words = Ops.alloc ~node:home 4 in
+  Ops.mark_sync_words words;
   {
     lock_name = name;
     home_node = home;
@@ -35,6 +39,7 @@ let create ?name ?(trace = false) ?(sched = Lock_sched.Fcfs) ?(advisory = false)
     uses_advice = advisory;
     lock_stats = Lock_stats.create ~trace name;
     successor = None;
+    owner = None;
   }
 
 let name t = t.lock_name
@@ -70,9 +75,20 @@ let leave_waiting t =
   let waiting = Ops.fetch_and_add t.nwait (-1) - 1 in
   Lock_stats.record_waiting t.lock_stats ~now:(Ops.now ()) ~waiting
 
+(* Whether the current waiting policy can put waiters to sleep: if it
+   cannot, waiters burn a processor for the whole ownership span, so
+   the owner must never block while holding the lock. *)
+let spin_mode t = not (Attribute.get t.wait_policy.Waiting.sleep)
+
+let note_acquired t =
+  t.owner <- Some (Ops.self ());
+  Ops.annotate
+    (Ops.A_lock_acquire { lock = t.word; lock_name = t.lock_name; spin_wait = spin_mode t })
+
 let acquired t ~since =
   leave_waiting t;
-  Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - since)
+  Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - since);
+  note_acquired t
 
 let probe t =
   Lock_stats.on_spin_probe t.lock_stats;
@@ -144,19 +160,41 @@ let contended_path t =
   wait_loop 0 (Attribute.get t.wait_policy.Waiting.delay_ns)
 
 let lock t =
+  Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_lock t.lock_stats;
   Ops.work_instrs t.costs.lock_overhead_instrs;
-  if Ops.test_and_set t.word then Lock_stats.on_acquired t.lock_stats ~wait_ns:0
+  if Ops.test_and_set t.word then begin
+    Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
+    note_acquired t
+  end
   else contended_path t
 
 let try_lock t =
   Lock_stats.on_lock t.lock_stats;
   Ops.work_instrs t.costs.lock_overhead_instrs;
   let got = Ops.test_and_set t.word in
-  if got then Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
+  if got then begin
+    Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
+    note_acquired t
+  end;
   got
 
 let unlock t =
+  let me = Ops.self () in
+  (match t.owner with
+  | Some tid when tid = me -> ()
+  | Some tid ->
+    raise
+      (Misuse
+         (Printf.sprintf "thread %s unlocked lock %s held by %s" (Ops.thread_name me)
+            t.lock_name (Ops.thread_name tid)))
+  | None ->
+    raise
+      (Misuse
+         (Printf.sprintf "thread %s unlocked lock %s, which is not held"
+            (Ops.thread_name me) t.lock_name)));
+  t.owner <- None;
+  Ops.annotate (Ops.A_lock_release { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_unlock t.lock_stats;
   Ops.work_instrs t.costs.unlock_overhead_instrs;
   (* The owner's advice applies only to its own ownership span. *)
@@ -170,6 +208,7 @@ let unlock t =
       (* Direct handoff: the word stays held; the sleeper owns it. *)
       guard_unlock t;
       Lock_stats.on_handoff t.lock_stats;
+      t.owner <- Some w.Lock_sched.tid;
       Ops.wakeup w.Lock_sched.tid
     | None ->
       Ops.write t.word 0;

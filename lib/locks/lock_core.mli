@@ -23,6 +23,12 @@ type t
 
 type advice = Advise_spin | Advise_sleep
 
+exception Misuse of string
+(** Raised by {!unlock} when the calling thread does not hold the lock
+    (double unlock, or unlock of someone else's lock). The message
+    names the thread(s) and the lock. Raised {e before} any simulated
+    state is touched, so the lock stays consistent. *)
+
 val create :
   ?name:string ->
   ?trace:bool ->
@@ -47,7 +53,10 @@ val scheduler : t -> Lock_sched.t
 
 val lock : t -> unit
 val try_lock : t -> bool
+
 val unlock : t -> unit
+(** Release the lock. Raises {!Misuse} if the caller is not the
+    current owner. *)
 
 val set_successor : t -> int -> unit
 (** Designate the next owner (honoured by the Handoff scheduler at the

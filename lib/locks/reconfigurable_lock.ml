@@ -10,7 +10,9 @@ let create ?name ?trace ?sched ?policy ~home () =
   let core_lock =
     Lock_core.create ?name ?trace ?sched ~home ~policy ~costs:Lock_costs.reconfigurable ()
   in
-  { core_lock; scratch = Butterfly.Ops.alloc1 ~node:home () }
+  let scratch = Butterfly.Ops.alloc1 ~node:home () in
+  Butterfly.Ops.mark_sync_words [| scratch |];
+  { core_lock; scratch }
 
 let core t = t.core_lock
 let name t = Lock_core.name t.core_lock

@@ -26,6 +26,7 @@ let retry_gap_ns = 15_000
 let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
     ?(sample_period = 2) ~home () =
   let words = Ops.alloc ~node:home 2 in
+  Ops.mark_sync_words words;
   let t =
     {
       rw_name = name;

@@ -7,10 +7,11 @@ type t = {
 }
 
 let attach sim =
-  let t = { data = Array.make 1024 { Sched.time = 0; proc = 0; tid = 0; kind = Sched.Ev_fork };
+  let t = { data = Array.make 1024
+                     { Sched.time = 0; proc = 0; tid = 0; kind = Sched.Ev_fork; other = -1 };
             n = 0;
             procs = (Sched.config sim).Config.processors } in
-  Sched.set_event_hook sim (fun ev ->
+  Sched.add_event_hook sim (fun ev ->
       if t.n = Array.length t.data then begin
         let data = Array.make (2 * t.n) ev in
         Array.blit t.data 0 data 0 t.n;
@@ -90,6 +91,9 @@ let summary t =
       Sched.Ev_preempt;
       Sched.Ev_block;
       Sched.Ev_wakeup;
+      Sched.Ev_token;
+      Sched.Ev_token_use;
+      Sched.Ev_join;
       Sched.Ev_finish;
     ]
   in

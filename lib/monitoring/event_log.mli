@@ -9,8 +9,11 @@
 type t
 
 val attach : Butterfly.Sched.t -> t
-(** Install the recorder on a machine (replaces any previous event
-    hook). Must be called before [Sched.run]. *)
+(** Subscribe a recorder to a machine's event bus. Must be called
+    before [Sched.run]. Attaching is composable: it never displaces
+    other observers, so several logs (or a log and the sanitizers of
+    [lib/analysis]) can watch the same run, each receiving every
+    event. *)
 
 val length : t -> int
 

@@ -14,6 +14,7 @@ type 'a t = {
 let create ?(capacity = 256) ~home () =
   if capacity <= 0 then invalid_arg "Ring_buffer.create: capacity must be positive";
   let words = Ops.alloc ~node:home 3 in
+  Ops.mark_sync_words words;
   {
     slots = Array.make capacity None;
     capacity;

@@ -135,17 +135,15 @@ type strategy = {
   any_work_left : unit -> bool;
 }
 
-let run ?machine impl spec =
+(* The searcher-pool program itself, separated from machine setup so
+   it can also run under the sanitizers ([Analysis.check] owns the
+   simulator there). Requires a machine with at least
+   [spec.searchers + 1] processors. *)
+let pool_body impl spec ~expanded ~bounds_log ~final_cost ~lock_reports () =
   let inst = instance_of_spec spec in
   let p = spec.searchers in
-  if p < 1 then invalid_arg "Parallel.run: need at least one searcher";
-  let cfg = machine_config ?machine spec ~processors:(p + 1) in
-  let sim = Sched.create cfg in
-  let expanded = ref 0 in
-  let bounds_log = Bounds_log.create () in
-  let final_cost = ref big in
-  let lock_reports = ref [] in
-  Sched.run sim (fun () ->
+  if p < 1 then invalid_arg "Parallel.pool_body: need at least one searcher";
+  begin
       let mk_lock ?(trace = false) ~home name =
         Locks.Lock.create ~name ~trace:(trace && spec.trace_locks) ~home spec.lock_kind
       in
@@ -181,6 +179,9 @@ let run ?machine impl spec =
       let best_words =
         Array.init nbest (fun i ->
             let w = Ops.alloc1 ~node:(best_home i) () in
+            (* Searchers read the best bound without the lock on
+               purpose (stale reads only cost pruning precision). *)
+            Ops.mark_relaxed_word w;
             Ops.write w initial_cost;
             w)
       in
@@ -193,6 +194,9 @@ let run ?machine impl spec =
       in
       let glob_act_lock = mk_lock ~trace:true ~home:central "glob-act-lock" in
       let act_word = Ops.alloc1 ~node:central () in
+      (* [poll] reads the active count unlocked; only the transition to
+         zero matters and that one is rechecked. *)
+      Ops.mark_relaxed_word act_word;
       Ops.write act_word p;
       let globlock = mk_lock ~home:central "globlock" in
       let best_tours =
@@ -441,7 +445,23 @@ let run ?machine impl spec =
         Array.to_list (Array.map (fun lk -> report (Locks.Lock.name lk) lk) qlocks)
         @ Array.to_list
             (Array.map (fun lk -> report (Locks.Lock.name lk) lk) best_locks)
-        @ [ report "glob-act-lock" glob_act_lock; report "globlock" globlock ]);
+        @ [ report "glob-act-lock" glob_act_lock; report "globlock" globlock ]
+  end
+
+let scenario ?(impl = Centralized) spec () =
+  pool_body impl spec ~expanded:(ref 0) ~bounds_log:(Bounds_log.create ())
+    ~final_cost:(ref big) ~lock_reports:(ref []) ()
+
+let run ?machine impl spec =
+  let p = spec.searchers in
+  if p < 1 then invalid_arg "Parallel.run: need at least one searcher";
+  let cfg = machine_config ?machine spec ~processors:(p + 1) in
+  let sim = Sched.create cfg in
+  let expanded = ref 0 in
+  let bounds_log = Bounds_log.create () in
+  let final_cost = ref big in
+  let lock_reports = ref [] in
+  Sched.run sim (pool_body impl spec ~expanded ~bounds_log ~final_cost ~lock_reports);
   let adaptations =
     List.fold_left
       (fun acc (_, s) -> acc + Locks.Lock_stats.reconfigurations s)

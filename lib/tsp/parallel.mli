@@ -99,6 +99,13 @@ type result = {
 
 val run : ?machine:Butterfly.Config.t -> impl -> spec -> result
 
+val scenario : ?impl:impl -> spec -> unit -> unit
+(** The searcher-pool program as a bare thunk, for running under an
+    externally owned simulator (the sanitizers of [lib/analysis]).
+    Must run inside a machine with at least [spec.searchers + 1]
+    processors; results are discarded. [impl] defaults to
+    [Centralized]. *)
+
 val run_sequential : ?machine:Butterfly.Config.t -> spec -> int * (int * int)
 (** The sequential baseline on one simulated processor, charging the
     same per-node work and queue costs but no locks. Returns

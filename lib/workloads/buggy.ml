@@ -1,0 +1,99 @@
+open Butterfly
+open Cthreads
+
+(* Every scenario here is deliberately wrong in exactly one way, so
+   the sanitizers in [lib/analysis] have known-positive inputs. Each
+   needs a machine with at least [processors] processors. *)
+
+let processors = 4
+
+let racy_counter () =
+  let counter = Ops.alloc1 ~node:0 () in
+  let bump () =
+    for _ = 1 to 5 do
+      (* Read-modify-write with no lock: the classic lost update. *)
+      let v = Ops.read counter in
+      Cthread.work 5_000;
+      Ops.write counter (v + 1)
+    done
+  in
+  let a = Cthread.fork ~name:"racer-a" ~proc:1 bump in
+  let b = Cthread.fork ~name:"racer-b" ~proc:2 bump in
+  Cthread.join_all [ a; b ]
+
+let lock_order_inversion () =
+  let la = Locks.Lock.create ~name:"lock-a" ~home:0 Locks.Lock.Blocking in
+  let lb = Locks.Lock.create ~name:"lock-b" ~home:0 Locks.Lock.Blocking in
+  let pair first second () =
+    Locks.Lock.lock first;
+    Cthread.work 10_000;
+    Locks.Lock.lock second;
+    Cthread.work 10_000;
+    Locks.Lock.unlock second;
+    Locks.Lock.unlock first
+  in
+  (* Run the two orders one after the other: this run cannot deadlock,
+     but the cycle a -> b -> a is in the lock-order graph all the
+     same. *)
+  let t1 = Cthread.fork ~name:"ab" ~proc:1 (pair la lb) in
+  Cthread.join t1;
+  let t2 = Cthread.fork ~name:"ba" ~proc:2 (pair lb la) in
+  Cthread.join t2
+
+let true_deadlock () =
+  let la = Locks.Lock.create ~name:"lock-a" ~home:0 Locks.Lock.Blocking in
+  let lb = Locks.Lock.create ~name:"lock-b" ~home:0 Locks.Lock.Blocking in
+  let pair name first second () =
+    ignore name;
+    Locks.Lock.lock first;
+    (* Long enough that both threads hold their first lock before
+       either requests its second. *)
+    Cthread.work 200_000;
+    Locks.Lock.lock second;
+    Locks.Lock.unlock second;
+    Locks.Lock.unlock first
+  in
+  let t1 = Cthread.fork ~name:"ab" ~proc:1 (pair "ab" la lb) in
+  let t2 = Cthread.fork ~name:"ba" ~proc:2 (pair "ba" lb la) in
+  Cthread.join_all [ t1; t2 ]
+
+let double_unlock () =
+  (* The raw spin mutex has no owner word, so the second unlock is
+     silent at runtime — only the lint sees it. *)
+  let mu = Spin.create ~node:0 () in
+  Spin.lock mu;
+  Cthread.work 5_000;
+  Spin.unlock mu;
+  Spin.unlock mu
+
+let exit_while_holding () =
+  let lk = Locks.Lock.create ~name:"leaked-lock" ~home:0 Locks.Lock.Blocking in
+  let t =
+    Cthread.fork ~name:"leaker" ~proc:1 (fun () ->
+        Locks.Lock.lock lk;
+        Cthread.work 5_000
+        (* ... and returns without unlocking. *))
+  in
+  Cthread.join t
+
+let sleep_with_spin_lock () =
+  (* The holder of a spin-kind lock goes to sleep; a waiter on another
+     processor burns cpu for the whole nap. *)
+  let lk = Locks.Lock.create ~name:"hot-lock" ~home:0 Locks.Lock.Spin in
+  let holder =
+    Cthread.fork ~name:"napper" ~proc:1 (fun () ->
+        Locks.Lock.lock lk;
+        Cthread.block ();
+        Locks.Lock.unlock lk)
+  in
+  let waiter =
+    Cthread.fork ~name:"burner" ~proc:2 (fun () ->
+        Cthread.work 20_000;
+        Locks.Lock.lock lk;
+        Locks.Lock.unlock lk)
+  in
+  (* Let the holder block (and the waiter spin) well before the
+     wakeup arrives. *)
+  Cthread.work 300_000;
+  Cthread.wakeup holder;
+  Cthread.join_all [ holder; waiter ]

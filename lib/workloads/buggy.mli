@@ -1,0 +1,31 @@
+(** Seeded-buggy workloads: known-positive inputs for the sanitizers
+    in [lib/analysis]. Each scenario contains exactly one deliberate
+    synchronization bug; the regression tests assert the corresponding
+    detector flags it (and only it). All must run inside a simulation
+    with at least {!processors} processors. *)
+
+val processors : int
+
+val racy_counter : unit -> unit
+(** Two threads read-modify-write one shared word with no lock:
+    a confirmed data race. *)
+
+val lock_order_inversion : unit -> unit
+(** Locks [a] and [b] acquired in both orders by consecutive (never
+    overlapping) threads: no deadlock on this run, but a lock-order
+    cycle. *)
+
+val true_deadlock : unit -> unit
+(** The same inversion with overlapping threads: the run actually
+    deadlocks (reported as a diagnostic, plus the cycle). *)
+
+val double_unlock : unit -> unit
+(** A raw spin mutex unlocked twice ([unlock-not-held] lint). *)
+
+val exit_while_holding : unit -> unit
+(** A thread finishes without releasing its lock
+    ([lock-held-at-exit] lint). *)
+
+val sleep_with_spin_lock : unit -> unit
+(** The holder of a spin-kind lock blocks while a waiter spins
+    ([block-holding-spin-lock] lint). *)

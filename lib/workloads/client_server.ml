@@ -34,19 +34,12 @@ type result = {
   client_mean_wait_ns : float;
 }
 
-let run ?machine spec =
-  let cfg =
-    match machine with
-    | Some cfg -> { cfg with Config.processors = spec.processors; seed = spec.seed }
-    | None ->
-      { Config.default with Config.processors = spec.processors; seed = spec.seed }
-  in
-  let sim = Sched.create cfg in
-  let served = ref 0 in
-  let response_sum = ref 0 and response_max = ref 0 in
-  let server_wait = ref 0 and server_acqs = ref 0 in
-  let client_wait = ref 0 and client_acqs = ref 0 in
-  Sched.run sim (fun () ->
+(* The workload program itself, machine-independent (see Csweep.body
+   for the pattern). *)
+let body ?(served = ref 0) ?(response_sum = ref 0) ?(response_max = ref 0)
+    ?(server_wait = ref 0) ?(server_acqs = ref 0) ?(client_wait = ref 0)
+    ?(client_acqs = ref 0) spec () =
+  begin
       let lk = Locks.Lock.create ~home:0 ~sched:spec.sched Locks.Lock.Blocking in
       (* An open system: clients submit requests at their own pace and
          never wait for replies, so the scheduler's effect on the
@@ -98,7 +91,26 @@ let run ?machine spec =
             Cthread.fork ~name:(Printf.sprintf "client%d" i) ~proc ~prio:0 (client_body i))
       in
       Cthread.join_all clients;
-      Cthread.join server);
+      Cthread.join server
+  end
+
+let scenario spec () = body spec ()
+
+let run ?machine spec =
+  let cfg =
+    match machine with
+    | Some cfg -> { cfg with Config.processors = spec.processors; seed = spec.seed }
+    | None ->
+      { Config.default with Config.processors = spec.processors; seed = spec.seed }
+  in
+  let sim = Sched.create cfg in
+  let served = ref 0 in
+  let response_sum = ref 0 and response_max = ref 0 in
+  let server_wait = ref 0 and server_acqs = ref 0 in
+  let client_wait = ref 0 and client_acqs = ref 0 in
+  Sched.run sim
+    (body ~served ~response_sum ~response_max ~server_wait ~server_acqs ~client_wait
+       ~client_acqs spec);
   let mean acc n = if !n = 0 then 0.0 else float_of_int !acc /. float_of_int !n in
   {
     spec;

@@ -41,6 +41,11 @@ type result = {
 
 val run : ?machine:Butterfly.Config.t -> spec -> result
 
+val scenario : spec -> unit -> unit
+(** The workload program as a bare thunk for an externally owned
+    simulator (the sanitizers): same threads and lock traffic as
+    {!run}, results discarded. Needs [spec.processors] processors. *)
+
 val compare_schedulers :
   ?machine:Butterfly.Config.t -> spec -> (Locks.Lock_sched.kind * result) list
 (** Run the same workload under FCFS, Priority and Handoff. *)

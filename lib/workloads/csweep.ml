@@ -32,6 +32,35 @@ type result = {
   adaptations : int;
 }
 
+(* The workload program itself, machine-independent: runs inside any
+   simulator with [spec.processors] processors; [stats] receives the
+   shared lock's statistics (sanitizer runs discard them). *)
+let body ?(stats = ref None) spec () =
+  let lk = Locks.Lock.create ~home:0 spec.lock_kind in
+  let worker tid_seed () =
+    (* Jitter arrival so threads do not phase-lock artificially. *)
+    Cthread.work (100 * (tid_seed mod 7));
+    for _ = 1 to spec.iterations do
+      Locks.Lock.lock lk;
+      Cthread.work spec.cs_ns;
+      Locks.Lock.unlock lk;
+      Cthread.work spec.think_ns
+    done
+  in
+  let threads =
+    List.concat_map
+      (fun proc ->
+        List.init spec.threads_per_proc (fun i ->
+            Cthread.fork ~proc
+              ~name:(Printf.sprintf "w%d.%d" proc i)
+              (worker ((proc * 31) + i))))
+      (List.init spec.processors (fun p -> p))
+  in
+  Cthread.join_all threads;
+  stats := Some (Locks.Lock.stats lk)
+
+let scenario spec () = body spec ()
+
 let run ?machine spec =
   let cfg =
     match machine with
@@ -41,29 +70,7 @@ let run ?machine spec =
   in
   let sim = Sched.create cfg in
   let stats = ref None in
-  Sched.run sim (fun () ->
-      let lk = Locks.Lock.create ~home:0 spec.lock_kind in
-      let worker tid_seed () =
-        (* Jitter arrival so threads do not phase-lock artificially. *)
-        Cthread.work (100 * (tid_seed mod 7));
-        for _ = 1 to spec.iterations do
-          Locks.Lock.lock lk;
-          Cthread.work spec.cs_ns;
-          Locks.Lock.unlock lk;
-          Cthread.work spec.think_ns
-        done
-      in
-      let threads =
-        List.concat_map
-          (fun proc ->
-            List.init spec.threads_per_proc (fun i ->
-                Cthread.fork ~proc
-                  ~name:(Printf.sprintf "w%d.%d" proc i)
-                  (worker ((proc * 31) + i))))
-          (List.init spec.processors (fun p -> p))
-      in
-      Cthread.join_all threads;
-      stats := Some (Locks.Lock.stats lk));
+  Sched.run sim (body ~stats spec);
   let s = match !stats with Some s -> s | None -> assert false in
   {
     spec;

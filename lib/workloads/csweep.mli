@@ -35,6 +35,11 @@ type result = {
 val run : ?machine:Butterfly.Config.t -> spec -> result
 (** Execute one configuration on a fresh simulated machine. *)
 
+val scenario : spec -> unit -> unit
+(** The workload program as a bare thunk for an externally owned
+    simulator (the sanitizers): same threads and lock traffic as
+    {!run}, results discarded. Needs [spec.processors] processors. *)
+
 val sweep :
   ?machine:Butterfly.Config.t ->
   base:spec ->

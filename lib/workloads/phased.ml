@@ -39,6 +39,45 @@ type result = {
   blocks : int;
 }
 
+(* The workload program itself, machine-independent (see Csweep.body
+   for the pattern). *)
+let body ?(stats = ref None) ?(log = ref []) ?(adaptations = ref 0) spec () =
+  let lk = Locks.Lock.create ~home:0 spec.lock_kind in
+  let barrier = Barrier.create ~node:0 spec.workers in
+  let worker idx () =
+    List.iter
+      (fun phase ->
+        Barrier.await barrier;
+        if idx < phase.active_threads then
+          for _ = 1 to phase.entries do
+            Locks.Lock.lock lk;
+            Cthread.work phase.cs_ns;
+            Locks.Lock.unlock lk;
+            Cthread.work spec.think_ns
+          done
+        else
+          (* Inactive this phase: local computation of comparable
+             size — the work a spinning co-located waiter would
+             starve. *)
+          Cthread.work (phase.entries * (phase.cs_ns + spec.think_ns)))
+      spec.phases
+  in
+  let threads =
+    List.init spec.workers (fun i ->
+        Cthread.fork
+          ~proc:(1 + (i mod (spec.processors - 1)))
+          ~name:(Printf.sprintf "worker%d" i) (worker i))
+  in
+  Cthread.join_all threads;
+  stats := Some (Locks.Lock.stats lk);
+  match Locks.Lock.as_adaptive lk with
+  | Some al ->
+    log := Adaptive_core.Adaptive.log (Locks.Adaptive_lock.feedback al);
+    adaptations := Locks.Adaptive_lock.adaptations al
+  | None -> ()
+
+let scenario spec () = body spec ()
+
 let run ?machine spec =
   let cfg =
     match machine with
@@ -48,40 +87,7 @@ let run ?machine spec =
   in
   let sim = Sched.create cfg in
   let stats = ref None and log = ref [] and adaptations = ref 0 in
-  Sched.run sim (fun () ->
-      let lk = Locks.Lock.create ~home:0 spec.lock_kind in
-      let barrier = Barrier.create ~node:0 spec.workers in
-      let worker idx () =
-        List.iter
-          (fun phase ->
-            Barrier.await barrier;
-            if idx < phase.active_threads then
-              for _ = 1 to phase.entries do
-                Locks.Lock.lock lk;
-                Cthread.work phase.cs_ns;
-                Locks.Lock.unlock lk;
-                Cthread.work spec.think_ns
-              done
-            else
-              (* Inactive this phase: local computation of comparable
-                 size — the work a spinning co-located waiter would
-                 starve. *)
-              Cthread.work (phase.entries * (phase.cs_ns + spec.think_ns)))
-          spec.phases
-      in
-      let threads =
-        List.init spec.workers (fun i ->
-            Cthread.fork
-              ~proc:(1 + (i mod (spec.processors - 1)))
-              ~name:(Printf.sprintf "worker%d" i) (worker i))
-      in
-      Cthread.join_all threads;
-      stats := Some (Locks.Lock.stats lk);
-      match Locks.Lock.as_adaptive lk with
-      | Some al ->
-        log := Adaptive_core.Adaptive.log (Locks.Adaptive_lock.feedback al);
-        adaptations := Locks.Adaptive_lock.adaptations al
-      | None -> ());
+  Sched.run sim (body ~stats ~log ~adaptations spec);
   let s = match !stats with Some s -> s | None -> assert false in
   {
     spec;

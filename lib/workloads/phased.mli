@@ -37,6 +37,11 @@ type result = {
 
 val run : ?machine:Butterfly.Config.t -> spec -> result
 
+val scenario : spec -> unit -> unit
+(** The workload program as a bare thunk for an externally owned
+    simulator (the sanitizers): same threads and lock traffic as
+    {!run}, results discarded. Needs [spec.processors] processors. *)
+
 val compare_kinds :
   ?machine:Butterfly.Config.t ->
   spec ->

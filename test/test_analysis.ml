@@ -1,0 +1,168 @@
+(* Analysis-library tests: vector-clock edge cases the race detector
+   must get right, the composable event-hook bus, lock-misuse
+   exceptions, and the sanitizer verdicts over the whole scenario
+   suite (shipped stays clean, seeded bugs stay flagged). *)
+
+open Butterfly
+open Cthreads
+
+let cfg ?(processors = 4) ?(seed = 7) () =
+  { Config.default with Config.processors; seed }
+
+let rules (r : Analysis.report) =
+  List.map (fun d -> d.Analysis.Diag.rule) r.Analysis.diags
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- vector-clock edges ------------------------------------------- *)
+
+(* Two threads touch [x] with no lock held around the accesses; the
+   only possible ordering is the release->acquire edge through [m].
+   With the hand-off the report must be clean, without it the same
+   program is a genuine race — both outcomes exercise the HB pass. *)
+let hb_via_lock ~use_lock () =
+  let x = Ops.alloc1 ~node:0 () in
+  let m = Locks.Lock.create ~home:0 Locks.Lock.Blocking in
+  let a =
+    Cthread.fork ~name:"writer" ~proc:1 (fun () ->
+        Ops.write x 1;
+        Locks.Lock.lock m;
+        Locks.Lock.unlock m)
+  in
+  let b =
+    Cthread.fork ~name:"reader" ~proc:2 (fun () ->
+        Cthread.work 80_000;
+        if use_lock then begin
+          Locks.Lock.lock m;
+          Locks.Lock.unlock m
+        end;
+        ignore (Ops.read x))
+  in
+  Cthread.join_all [ a; b ]
+
+let test_release_acquire_orders () =
+  let r = Analysis.check (cfg ()) (hb_via_lock ~use_lock:true) in
+  check_bool "release->acquire edge orders the accesses" true (Analysis.clean r)
+
+let test_missing_edge_is_a_race () =
+  let r = Analysis.check (cfg ()) (hb_via_lock ~use_lock:false) in
+  check_bool "without the hand-off the race is real" true
+    (List.mem "data-race" (rules r))
+
+(* Parent/child ordering through fork and join: the child sees the
+   parent's write, the parent sees the child's, no locks anywhere. *)
+let fork_join_orders () =
+  let x = Ops.alloc1 ~node:0 () in
+  Ops.write x 1;
+  let c =
+    Cthread.fork ~name:"child" ~proc:1 (fun () -> Ops.write x (Ops.read x + 1))
+  in
+  Cthread.join c;
+  Ops.write x (Ops.read x + 1)
+
+let test_fork_join_orders () =
+  let r = Analysis.check (cfg ()) fork_join_orders in
+  check_bool "fork and join edges order parent and child" true (Analysis.clean r)
+
+(* --- event-log bus ------------------------------------------------ *)
+
+(* Two recorders on one machine: attaching the second must not detach
+   the first (the hook slot is a bus, not a single cell). *)
+let test_two_observers () =
+  let sim = Sched.create (cfg ()) in
+  let log1 = Monitoring.Event_log.attach sim in
+  let log2 = Monitoring.Event_log.attach sim in
+  Sched.run sim (fun () ->
+      let ts =
+        List.init 3 (fun i ->
+            Cthread.fork ~proc:(1 + i) (fun () -> Cthread.work 10_000))
+      in
+      Cthread.join_all ts);
+  check_bool "first observer saw events" true (Monitoring.Event_log.length log1 > 0);
+  check_int "both observers saw the same stream"
+    (Monitoring.Event_log.length log1)
+    (Monitoring.Event_log.length log2)
+
+let test_blocked_spans_unmatched_final_block () =
+  let sim = Sched.create (cfg ()) in
+  let log = Monitoring.Event_log.attach sim in
+  let tid = ref (-1) in
+  (* The blocker's second block is never answered, so the run ends in
+     a deadlock; its span list must contain only the matched pair. *)
+  (try
+     Sched.run sim (fun () ->
+         let t =
+           Cthread.fork ~name:"blocker" ~proc:1 (fun () ->
+               Cthread.block ();
+               Cthread.block ())
+         in
+         tid := Cthread.id t;
+         (* long enough that the blocker has been dispatched and is
+            really blocked, so the wakeup is a wakeup, not a token *)
+         Cthread.work 1_000_000;
+         Cthread.wakeup t)
+   with Sched.Deadlock _ -> ());
+  let spans = Monitoring.Event_log.blocked_spans log !tid in
+  check_int "unmatched final block yields no pair" 1 (List.length spans);
+  (match spans with
+  | [ (b, w) ] -> check_bool "wakeup after block" true (w > b)
+  | _ -> ())
+
+(* --- lock misuse -------------------------------------------------- *)
+
+let test_unlock_not_held_raises () =
+  let misuses = ref 0 in
+  let sim = Sched.create (cfg ()) in
+  Sched.run sim (fun () ->
+      List.iter
+        (fun kind ->
+          let l = Locks.Lock.create ~home:0 kind in
+          (try Locks.Lock.unlock l
+           with Locks.Lock_core.Misuse _ -> incr misuses);
+          (* and a double unlock, the other way to get there *)
+          Locks.Lock.lock l;
+          Locks.Lock.unlock l;
+          try Locks.Lock.unlock l
+          with Locks.Lock_core.Misuse _ -> incr misuses)
+        [ Locks.Lock.Spin; Locks.Lock.Blocking; Locks.Lock.adaptive_default ]);
+  check_int "every bad unlock raised Misuse" 6 !misuses
+
+(* --- scenario suite ----------------------------------------------- *)
+
+let test_suite_verdicts () =
+  List.iter
+    (fun s ->
+      let report = Analysis_suite.check s in
+      match Analysis_suite.verdict s report with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "%s: %s" s.Analysis_suite.scenario_name msg)
+    (Analysis_suite.all ())
+
+let test_deterministic_report () =
+  let s =
+    List.find
+      (fun s -> s.Analysis_suite.scenario_name = "buggy-racy-counter")
+      (Analysis_suite.all ())
+  in
+  let r1 = Analysis_suite.check s and r2 = Analysis_suite.check s in
+  let render (r : Analysis.report) =
+    String.concat "\n" (List.map Analysis.Diag.to_string r.Analysis.diags)
+  in
+  Alcotest.(check string) "identical diagnostics" (render r1) (render r2);
+  check_int "identical event counts" r1.Analysis.events r2.Analysis.events;
+  check_int "identical access counts" r1.Analysis.accesses r2.Analysis.accesses
+
+let suite =
+  [
+    Alcotest.test_case "release-acquire orders" `Quick test_release_acquire_orders;
+    Alcotest.test_case "missing edge is a race" `Quick test_missing_edge_is_a_race;
+    Alcotest.test_case "fork-join orders" `Quick test_fork_join_orders;
+    Alcotest.test_case "two observers share the bus" `Quick test_two_observers;
+    Alcotest.test_case "blocked_spans unmatched block" `Quick
+      test_blocked_spans_unmatched_final_block;
+    Alcotest.test_case "unlock misuse raises" `Quick test_unlock_not_held_raises;
+    Alcotest.test_case "suite verdicts" `Slow test_suite_verdicts;
+    Alcotest.test_case "deterministic report" `Quick test_deterministic_report;
+  ]

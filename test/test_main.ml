@@ -21,4 +21,5 @@ let () =
       ("formal", Test_formal.suite);
       ("properties", Test_properties.suite);
       ("experiments", Test_experiments.suite);
+      ("analysis", Test_analysis.suite);
     ]
