@@ -1,21 +1,66 @@
 (* The benchmark harness: regenerates every table and figure of the
-   paper (in simulated time), then runs one Bechamel micro-benchmark per
-   table measuring the host-side cost of the simulation paths that
-   produce it.
+   paper (in simulated time) at domains=1 and domains=N, compares
+   wall-clock and output bytes, then runs one Bechamel micro-benchmark
+   per table measuring the host-side cost of the simulation paths that
+   produce it. Everything lands in <csv-dir>/BENCH_results.json.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe -- [--csv-dir DIR] [--domains N]
+                                         [--quick]
+   The CSV directory defaults to $REPRO_RESULTS_DIR, then "results". *)
 
 open Bechamel
 open Toolkit
 
 (* ------------------------------------------------------------------ *)
-(* Part 1: regenerate the paper's tables and figures (virtual time).  *)
+(* Command line                                                       *)
+
+let csv_dir =
+  ref (match Sys.getenv_opt "REPRO_RESULTS_DIR" with Some d when d <> "" -> d | _ -> "results")
+
+let domains = ref 0 (* 0 = Engine.Runner.default_domains () *)
+let quick = ref false
+
+let () =
+  Arg.parse
+    [
+      ( "--csv-dir",
+        Arg.Set_string csv_dir,
+        "DIR  directory for figure CSVs and BENCH_results.json (default: \
+         $REPRO_RESULTS_DIR or \"results\")" );
+      ( "--domains",
+        Arg.Set_int domains,
+        "N  host cores for the parallel report generation (default: all)" );
+      ( "--quick",
+        Arg.Set quick,
+        "  reduced Bechamel quota, for CI smoke runs" );
+    ]
+    (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
+    "dune exec bench/main.exe -- [options]"
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: regenerate the paper's tables and figures (virtual time),  *)
+(* sequentially and in parallel, and compare.                         *)
 
 let regenerate_paper () =
   print_endline "==================================================================";
   print_endline " Reproduction of every table and figure (simulated virtual time)";
   print_endline "==================================================================\n";
-  Experiments.Report.print_everything ~csv_dir:"results" ()
+  let n = if !domains > 0 then !domains else Engine.Runner.default_domains () in
+  let comparison, report = Experiments.Perf.compare_report_generation ~domains:n () in
+  print_string report;
+  (* The renderings above skipped CSV output; write the files once. *)
+  Experiments.Report.print_everything
+    ~out:(Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()))
+    ~csv_dir:!csv_dir ~domains:n ();
+  Printf.printf
+    "report generation: %.2fs at domains=1, %.2fs at domains=%d (%.2fx), output %s\n\n"
+    comparison.Experiments.Perf.wall_base_s comparison.Experiments.Perf.wall_parallel_s
+    comparison.Experiments.Perf.domains_parallel
+    (comparison.Experiments.Perf.wall_base_s
+    /. Float.max comparison.Experiments.Perf.wall_parallel_s 1e-9)
+    (if comparison.Experiments.Perf.identical_output then "byte-identical"
+     else "DIFFERS (BUG)");
+  comparison
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel host-time micro-benchmarks, one per paper table.  *)
@@ -122,13 +167,14 @@ let run_bechamel () =
   print_endline "==================================================================";
   print_endline " Bechamel: host-side cost of the simulation paths (ns per run)";
   print_endline "==================================================================\n";
-  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let quota = if !quick then Time.millisecond 50. else Time.second 0.5 in
+  let cfg = Benchmark.cfg ~limit:200 ~quota ~kde:None () in
   let instances = Instance.[ monotonic_clock ] in
   let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
   Printf.printf "%-45s %15s %8s\n" "benchmark" "ns/run" "r^2";
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let result = Benchmark.run cfg instances elt in
           let est = Analyze.one ols Instance.monotonic_clock result in
@@ -136,11 +182,21 @@ let run_bechamel () =
             match Analyze.OLS.estimates est with Some (x :: _) -> x | _ -> nan
           in
           let r2 = match Analyze.OLS.r_square est with Some r -> r | None -> nan in
-          Printf.printf "%-45s %15.0f %8.3f\n%!" (Test.Elt.name elt) ns r2)
+          Printf.printf "%-45s %15.0f %8.3f\n%!" (Test.Elt.name elt) ns r2;
+          {
+            Experiments.Perf.bench_name = Test.Elt.name elt;
+            ns_per_run = ns;
+            r_square = r2;
+          })
         (Test.elements test))
     tests
 
 let () =
-  regenerate_paper ();
-  run_bechamel ();
-  print_endline "\nbench: done (figure CSVs written to results/)"
+  let comparison = regenerate_paper () in
+  let micros = run_bechamel () in
+  if not (Sys.file_exists !csv_dir) then Sys.mkdir !csv_dir 0o755;
+  let json_path = Filename.concat !csv_dir "BENCH_results.json" in
+  Experiments.Perf.write_json ~path:json_path ~micros ~comparison:(Some comparison) ();
+  Printf.printf "\nbench: done (figure CSVs and BENCH_results.json written to %s/)\n"
+    !csv_dir;
+  if not comparison.Experiments.Perf.identical_output then exit 1

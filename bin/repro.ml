@@ -7,6 +7,19 @@ let csv_dir =
   let doc = "Also write figure data as CSV files into $(docv)." in
   Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
 
+let domains =
+  let doc =
+    "Host cores (OCaml domains) used to run independent simulations in parallel. \
+     Defaults to every available core; 1 forces fully sequential execution. The \
+     simulated results are identical at any value."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
+
+(* The flag sets the process-wide Runner default, so every experiment
+   below — including ones reached through code without an explicit
+   [?domains] argument — honours it. *)
+let set_domains n = if n > 0 then Engine.Runner.set_default_domains n
+
 let searchers =
   let doc = "Number of searcher threads (dedicated processors) for TSP runs." in
   Arg.(value & opt int Tsp.Parallel.default_spec.Tsp.Parallel.searchers
@@ -26,7 +39,12 @@ let tsp_spec searchers cities instance_seed =
   { Tsp.Parallel.default_spec with Tsp.Parallel.searchers; cities; instance_seed }
 
 let simple name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (fun () -> f ()) $ const ())
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun domains ->
+          set_domains domains;
+          f ())
+      $ domains)
 
 let table_cmds =
   [
@@ -41,24 +59,29 @@ let table_cmds =
   ]
 
 let fig1_cmd =
-  let run csv_dir = Experiments.Report.print_fig1 ?csv_dir () in
+  let run csv_dir domains =
+    set_domains domains;
+    Experiments.Report.print_fig1 ?csv_dir ()
+  in
   Cmd.v (Cmd.info "fig1" ~doc:"Figure 1: critical-section sweep")
-    Term.(const run $ csv_dir)
+    Term.(const run $ csv_dir $ domains)
 
 let tsp_cmd =
   let doc = "Tables 1-3 and Figures 4-9 (the TSP evaluation)" in
-  let run csv_dir searchers cities seed =
+  let run csv_dir searchers cities seed domains =
+    set_domains domains;
     Experiments.Report.print_tsp ?csv_dir ~spec:(tsp_spec searchers cities seed) ()
   in
   Cmd.v (Cmd.info "tsp" ~doc)
-    Term.(const run $ csv_dir $ searchers $ cities $ instance_seed)
+    Term.(const run $ csv_dir $ searchers $ cities $ instance_seed $ domains)
 
 let single_fig_cmds =
   List.map
     (fun (number, impl, lock) ->
       let name = Printf.sprintf "fig%d" number in
       let doc = Experiments.Tsp_experiments.figure_description ~impl ~lock in
-      let run searchers cities seed =
+      let run searchers cities seed domains =
+        set_domains domains;
         let t =
           Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
         in
@@ -67,13 +90,15 @@ let single_fig_cmds =
         | Some series ->
           Printf.printf "Figure %d: %s\n%s\n" number doc (Repro_stats.Plot.series series)
       in
-      Cmd.v (Cmd.info name ~doc) Term.(const run $ searchers $ cities $ instance_seed))
+      Cmd.v (Cmd.info name ~doc)
+        Term.(const run $ searchers $ cities $ instance_seed $ domains))
     Experiments.Tsp_experiments.all_figures
 
 let single_table_cmds =
   List.map
     (fun (name, doc, impl) ->
-      let run searchers cities seed =
+      let run searchers cities seed domains =
+        set_domains domains;
         let t =
           Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
         in
@@ -85,7 +110,8 @@ let single_table_cmds =
           row.Experiments.Tsp_experiments.adaptive_ms
           row.Experiments.Tsp_experiments.improvement_pct
       in
-      Cmd.v (Cmd.info name ~doc) Term.(const run $ searchers $ cities $ instance_seed))
+      Cmd.v (Cmd.info name ~doc)
+        Term.(const run $ searchers $ cities $ instance_seed $ domains))
     [
       ("table1", "Table 1: centralized TSP", Tsp.Parallel.Centralized);
       ("table2", "Table 2: distributed TSP", Tsp.Parallel.Distributed);
@@ -111,10 +137,42 @@ let ablation_cmds =
   ]
 
 let all_cmd =
-  let run csv_dir = Experiments.Report.print_everything ?csv_dir () in
+  let run csv_dir domains =
+    set_domains domains;
+    Experiments.Report.print_everything ?csv_dir ()
+  in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table, figure and ablation in paper order")
-    Term.(const run $ csv_dir)
+    Term.(const run $ csv_dir $ domains)
+
+let bench_cmd =
+  let doc =
+    "Time full report generation at domains=1 vs domains=N, check the outputs are \
+     byte-identical, and write a machine-readable BENCH_results.json (no Bechamel \
+     micro-benchmarks; use bench/main.exe for those)."
+  in
+  let run csv_dir domains =
+    set_domains domains;
+    let n = Engine.Runner.default_domains () in
+    let comparison, _report = Experiments.Perf.compare_report_generation ~domains:n () in
+    Printf.printf
+      "report generation: %.2fs at domains=1, %.2fs at domains=%d (%.2fx), output %s\n"
+      comparison.Experiments.Perf.wall_base_s comparison.Experiments.Perf.wall_parallel_s
+      comparison.Experiments.Perf.domains_parallel
+      (comparison.Experiments.Perf.wall_base_s
+      /. Float.max comparison.Experiments.Perf.wall_parallel_s 1e-9)
+      (if comparison.Experiments.Perf.identical_output then "byte-identical"
+       else "DIFFERS (BUG)");
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "BENCH_results.json" in
+      Experiments.Perf.write_json ~path ~micros:[] ~comparison:(Some comparison) ();
+      Printf.printf "wrote %s\n" path);
+    if not comparison.Experiments.Perf.identical_output then exit 1
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ csv_dir $ domains)
 
 let analyze_cmd =
   let doc =
@@ -157,5 +215,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: analyze_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
+          ((all_cmd :: bench_cmd :: analyze_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

@@ -63,7 +63,19 @@ let priority_of tid = Effect.perform (E_priority_of tid)
 let processors () = Effect.perform E_processors
 let random bound = Effect.perform (E_random bound)
 let trace msg = Effect.perform (E_trace msg)
-let annotate a = Effect.perform (E_annotate a)
+
+(* Zero-subscriber fast path. The scheduler records here, per domain,
+   whether the machine currently running has any annotation
+   subscriber; while it has none, [annotate] skips the effect (and
+   hence the continuation capture) entirely, making unobserved
+   annotations cost one flag read. Per-domain (not global) state keeps
+   the flag correct when Engine.Runner executes machines with
+   different subscriptions concurrently. *)
+let annotations_flag : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+
+let set_annotations_enabled enabled = Domain.DLS.get annotations_flag := enabled
+let annotations_enabled () = !(Domain.DLS.get annotations_flag)
+let annotate a = if annotations_enabled () then Effect.perform (E_annotate a)
 let mark_sync_words addrs = Array.iter (fun a -> annotate (A_sync_word a)) addrs
 let mark_relaxed_word a = annotate (A_relaxed_word a)
 let thread_name tid = Effect.perform (E_thread_name tid)

@@ -146,7 +146,20 @@ val trace : string -> unit
 
 val annotate : annotation -> unit
 (** Publish an {!annotation} to the machine's annotation hooks. Free
-    of virtual-time charge; a no-op when no hook is installed. *)
+    of virtual-time charge; a no-op when no hook is installed. With
+    zero subscribers the call returns after a single flag read — no
+    effect is performed at all. *)
+
+val annotations_enabled : unit -> bool
+(** True when the machine currently running on this domain has at
+    least one annotation subscriber. Hot synchronization paths check
+    this before building annotation payloads, so with no subscriber
+    they allocate nothing at all. Host-side and free of charge. *)
+
+val set_annotations_enabled : bool -> unit
+(** Scheduler-internal: {!Sched.run} publishes its machine's
+    subscriber state here for the duration of the run. Not for
+    simulated code. *)
 
 val mark_sync_words : Memory.addr array -> unit
 (** Register words as synchronization-internal state

@@ -43,7 +43,23 @@ type annot = {
   annotation : Ops.annotation;
 }
 
-type pending = Pending : ('a, unit) Effect.Deep.continuation * (unit -> 'a) -> pending
+type rmw = Rmw_or | Rmw_add | Rmw_swap
+
+(* A thread's reified suspended operation. The memory-op constructors
+   defer the actual word mutation to dispatch time, i.e. the global
+   virtual-time order, without allocating a closure per operation —
+   the payload lives in the constructor's flat fields. [P_none] marks
+   "not suspended" (no option boxing); [P_start] carries a
+   not-yet-started thread's body. *)
+type pending =
+  | P_none : pending
+  | P_start : (unit -> unit) -> pending
+  | P_unit : (unit, unit) Effect.Deep.continuation -> pending
+  | P_value : ('a, unit) Effect.Deep.continuation * 'a -> pending
+  | P_read : (int, unit) Effect.Deep.continuation * Memory.addr -> pending
+  | P_write : (unit, unit) Effect.Deep.continuation * Memory.addr * int -> pending
+  | P_rmw : (int, unit) Effect.Deep.continuation * rmw * Memory.addr * int -> pending
+  | P_cas : (bool, unit) Effect.Deep.continuation * Memory.addr * int * int -> pending
 
 type thread = {
   tid : int;
@@ -51,8 +67,7 @@ type thread = {
   mutable prio : int;
   mutable state : tstate;
   mutable proc : int;
-  mutable pending : pending option;
-  mutable start_fn : (unit -> unit) option;
+  mutable pending : pending;
   mutable wake_at : int;
   mutable wake_tokens : int;
   mutable token_wakers : int list;  (* waker tids, oldest first, one per token *)
@@ -61,14 +76,34 @@ type thread = {
   mutable cpu_ns : int;
 }
 
+(* Sentinel standing for "no thread" in processor slots and run
+   queues, so those hot fields are unboxed. Never scheduled, never
+   mutated; shared across machines and domains. *)
+let no_thread =
+  {
+    tid = -1;
+    name = "<none>";
+    prio = 0;
+    state = Finished;
+    proc = 0;
+    pending = P_none;
+    wake_at = 0;
+    wake_tokens = 0;
+    token_wakers = [];
+    joiners = [];
+    work_left = 0;
+    cpu_ns = 0;
+  }
+
 type proc = {
   pid : int;
   mutable pnow : int;
   runq : thread Engine.Pqueue.t;
-  mutable cont : thread option;
+  mutable cont : thread;
       (* non-preemptive continuation: the thread currently occupying
          the processor, resumed ahead of queued threads until it
-         blocks, delays, yields or exhausts its quantum *)
+         blocks, delays, yields or exhausts its quantum.
+         [no_thread] when vacant. *)
   mutable slice_ns : int;  (* cpu consumed since the last scheduling point *)
   mutable last_tid : int;
   mutable busy_ns : int;
@@ -82,10 +117,10 @@ type t = {
   mutable next_tid : int;
   mutable live : int;
   mutable events : int;
-  mutable current : thread option;
+  mutable current : thread;  (* [no_thread] outside dispatch *)
   counters : Engine.Counters.t;
   rng : Engine.Rng.t;
-  mutable trace_hook : (time:int -> tid:int -> string -> unit) option;
+  mutable trace_hooks : (time:int -> tid:int -> string -> unit) list;
   mutable event_hooks : (event -> unit) list;  (* subscription order *)
   mutable access_hooks : (access -> unit) list;
   mutable annot_hooks : (annot -> unit) list;
@@ -104,8 +139,8 @@ let create (cfg : Config.t) =
           {
             pid;
             pnow = 0;
-            runq = Engine.Pqueue.create ();
-            cont = None;
+            runq = Engine.Pqueue.create ~dummy:no_thread ();
+            cont = no_thread;
             slice_ns = 0;
             last_tid = -1;
             busy_ns = 0;
@@ -114,10 +149,10 @@ let create (cfg : Config.t) =
     next_tid = 0;
     live = 0;
     events = 0;
-    current = None;
+    current = no_thread;
     counters = Engine.Counters.create ();
     rng = Engine.Rng.create cfg.seed;
-    trace_hook = None;
+    trace_hooks = [];
     event_hooks = [];
     access_hooks = [];
     annot_hooks = [];
@@ -133,15 +168,32 @@ let final_time t = t.final
 let processor_busy_ns t = Array.map (fun p -> p.busy_ns) t.procs
 let runq_length t pid =
   let p = t.procs.(pid) in
-  Engine.Pqueue.size p.runq + match p.cont with Some _ -> 1 | None -> 0
+  Engine.Pqueue.size p.runq + if p.cont != no_thread then 1 else 0
 let live_threads t = t.live
-let set_trace_hook t hook = t.trace_hook <- Some hook
+
+(* Every instrumentation stream is a bus: any number of subscribers,
+   delivery in subscription order, and with zero subscribers the
+   emission path is a single empty-list branch. *)
+let add_trace_hook t hook = t.trace_hooks <- t.trace_hooks @ [ hook ]
+let set_trace_hook = add_trace_hook
+let clear_trace_hooks t = t.trace_hooks <- []
+let trace_hook_count t = List.length t.trace_hooks
 let add_event_hook t hook = t.event_hooks <- t.event_hooks @ [ hook ]
 let set_event_hook = add_event_hook
+let clear_event_hooks t = t.event_hooks <- []
+let event_hook_count t = List.length t.event_hooks
 let add_access_hook t hook = t.access_hooks <- t.access_hooks @ [ hook ]
+let clear_access_hooks t = t.access_hooks <- []
+let access_hook_count t = List.length t.access_hooks
 let add_annot_hook t hook = t.annot_hooks <- t.annot_hooks @ [ hook ]
+let clear_annot_hooks t = t.annot_hooks <- []
+let annot_hook_count t = List.length t.annot_hooks
 
-let emit ?(other = -1) t ~time ~proc ~tid kind =
+(* [other] is -1 when the event kind has no related thread; passing it
+   positionally (not as an optional argument) keeps the call sites
+   allocation-free. The event record is only built once at least one
+   subscriber exists. *)
+let emit t ~time ~proc ~tid ~other kind =
   match t.event_hooks with
   | [] -> ()
   | hooks ->
@@ -163,9 +215,9 @@ let thread_report t =
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let current_thread t =
-  match t.current with
-  | Some th -> th
-  | None -> invalid_arg "Butterfly: operation performed outside a running thread"
+  if t.current == no_thread then
+    invalid_arg "Butterfly: operation performed outside a running thread"
+  else t.current
 
 let make_ready t th ~at =
   th.state <- Ready;
@@ -182,25 +234,22 @@ let continue_on t p th ~at =
   | Some quantum when p.slice_ns >= quantum ->
     p.slice_ns <- 0;
     Engine.Counters.incr t.counters "sched.preemptions";
-    emit t ~time:at ~proc:p.pid ~tid:th.tid Ev_preempt;
+    emit t ~time:at ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_preempt;
     Engine.Pqueue.add p.runq ~key:at th
-  | _ -> p.cont <- Some th
+  | _ -> p.cont <- th
 
 (* Charge [ns] of processor occupancy ending at the thread's next wake
    time: the processor is busy until then (its clock advances), and the
    fiber is suspended and rescheduled at the completion time. *)
-let charge_and_resume t th p ~ns (Pending _ as pend) =
-  th.pending <- Some pend;
+let charge_and_resume t th p ~ns pend =
+  th.pending <- pend;
   th.cpu_ns <- th.cpu_ns + ns;
   p.busy_ns <- p.busy_ns + ns;
   p.pnow <- p.pnow + ns;
   p.slice_ns <- p.slice_ns + ns;
   continue_on t p th ~at:p.pnow
 
-let suspend_value t th p ~ns k value =
-  charge_and_resume t th p ~ns (Pending (k, value))
-
-let suspend_unit t th p ~ns k = suspend_value t th p ~ns k (fun () -> ())
+let suspend_unit t th p ~ns k = charge_and_resume t th p ~ns (P_unit k)
 
 (* Thread placement for unpinned forks: round-robin, skipping processor
    load imbalance concerns (deterministic and uniform). *)
@@ -212,6 +261,10 @@ let place t =
 let new_thread t ~name ~proc ~prio fn =
   let tid = t.next_tid in
   t.next_tid <- tid + 1;
+  (* An empty name means "let the machine name it": tid-derived, hence
+     deterministic per machine and safe under parallel experiment
+     runs (unlike any global naming counter). *)
+  let name = if name = "" then "thread-" ^ string_of_int tid else name in
   let th =
     {
       tid;
@@ -219,8 +272,7 @@ let new_thread t ~name ~proc ~prio fn =
       prio;
       state = Ready;
       proc;
-      pending = None;
-      start_fn = Some fn;
+      pending = P_start fn;
       wake_at = 0;
       wake_tokens = 0;
       token_wakers = [];
@@ -235,7 +287,7 @@ let new_thread t ~name ~proc ~prio fn =
 
 let finish t th =
   th.state <- Finished;
-  emit t ~time:t.procs.(th.proc).pnow ~proc:th.proc ~tid:th.tid Ev_finish;
+  emit t ~time:t.procs.(th.proc).pnow ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_finish;
   t.live <- t.live - 1;
   let p = t.procs.(th.proc) in
   let wake_time = p.pnow + t.cfg.join_ns in
@@ -264,18 +316,16 @@ let counter_of_kind = function
   | `Write -> "mem.write"
   | `Atomic -> "mem.atomic"
 
-(* Reserve a memory access starting now and suspend the fiber until its
-   completion time; the value thunk (which performs the actual word
-   mutation) runs at dispatch, i.e. in global virtual-time order. *)
-let memory_op : type r.
-    t -> thread -> proc -> kind:_ -> Memory.addr -> (unit -> r) -> (r, unit) Effect.Deep.continuation -> unit =
- fun t th p ~kind addr value k ->
+(* Reserve a memory access starting now and return its duration; the
+   caller suspends the fiber with a [pending] that performs the actual
+   word operation at dispatch, i.e. in global virtual-time order. *)
+let mem_charge t th p ~kind addr =
   Engine.Counters.incr t.counters (counter_of_kind kind);
   emit_access t ~time:p.pnow ~proc:p.pid ~tid:th.tid addr (mem_access_kind kind);
   let complete =
     Memory.reserve t.mem t.cfg ~from_node:p.pid addr (mem_access_kind kind) ~start:p.pnow
   in
-  suspend_value t th p ~ns:(complete - p.pnow) k value
+  complete - p.pnow
 
 let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
  fun t eff ->
@@ -286,39 +336,43 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Read addr (fun () -> Memory.read t.mem addr) k)
+        let ns = mem_charge t th p ~kind:`Read addr in
+        charge_and_resume t th p ~ns (P_read (k, addr)))
   | Ops.E_write (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Write addr (fun () -> Memory.write t.mem addr v) k)
+        let ns = mem_charge t th p ~kind:`Write addr in
+        charge_and_resume t th p ~ns (P_write (k, addr, v)))
   | Ops.E_fetch_and_or (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.fetch_and_or t.mem addr v) k)
+        let ns = mem_charge t th p ~kind:`Atomic addr in
+        charge_and_resume t th p ~ns (P_rmw (k, Rmw_or, addr, v)))
   | Ops.E_fetch_and_add (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.fetch_and_add t.mem addr v) k)
+        let ns = mem_charge t th p ~kind:`Atomic addr in
+        charge_and_resume t th p ~ns (P_rmw (k, Rmw_add, addr, v)))
   | Ops.E_swap (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Atomic addr (fun () -> Memory.swap t.mem addr v) k)
+        let ns = mem_charge t th p ~kind:`Atomic addr in
+        charge_and_resume t th p ~ns (P_rmw (k, Rmw_swap, addr, v)))
   | Ops.E_cas (addr, expected, desired) ->
     Some
       (fun k ->
         let th = current_thread t in
         let p = t.procs.(th.proc) in
-        memory_op t th p ~kind:`Atomic addr
-          (fun () -> Memory.compare_and_swap t.mem addr ~expected ~desired)
-          k)
+        let ns = mem_charge t th p ~kind:`Atomic addr in
+        charge_and_resume t th p ~ns (P_cas (k, addr, expected, desired)))
   | Ops.E_alloc (node, n) ->
     Some
       (fun k ->
@@ -326,7 +380,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         let p = t.procs.(th.proc) in
         let node = match node with Some node -> node | None -> th.proc in
         let addrs = Memory.alloc t.mem ~node n in
-        suspend_value t th p ~ns:cfg.local_write_ns k (fun () -> addrs))
+        charge_and_resume t th p ~ns:cfg.local_write_ns (P_value (k, addrs)))
   | Ops.E_work ns ->
     Some
       (fun k ->
@@ -351,7 +405,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         let th = current_thread t in
         let p = t.procs.(th.proc) in
         p.slice_ns <- 0;
-        th.pending <- Some (Pending (k, fun () -> ()));
+        th.pending <- P_unit k;
         make_ready t th ~at:(p.pnow + ns))
   | Ops.E_now ->
     Some
@@ -375,7 +429,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         let child = new_thread t ~name:spec.name ~proc ~prio:spec.prio spec.f in
         emit t ~time:p.pnow ~proc ~tid:child.tid ~other:th.tid Ev_fork;
         make_ready t child ~at:(p.pnow + cfg.fork_ns + cfg.wakeup_latency_ns);
-        suspend_value t th p ~ns:cfg.fork_ns k (fun () -> child.tid))
+        charge_and_resume t th p ~ns:cfg.fork_ns (P_value (k, child.tid)))
   | Ops.E_join tid ->
     Some
       (fun k ->
@@ -388,7 +442,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         end
         else begin
           th.state <- Joining;
-          th.pending <- Some (Pending (k, fun () -> ()));
+          th.pending <- P_unit k;
           target.joiners <- th.tid :: target.joiners
         end)
   | Ops.E_yield ->
@@ -397,7 +451,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         let th = current_thread t in
         let p = t.procs.(th.proc) in
         Engine.Counters.incr t.counters "sched.yields";
-        th.pending <- Some (Pending (k, fun () -> ()));
+        th.pending <- P_unit k;
         th.cpu_ns <- th.cpu_ns + cfg.yield_ns;
         p.busy_ns <- p.busy_ns + cfg.yield_ns;
         p.pnow <- p.pnow + cfg.yield_ns;
@@ -424,8 +478,8 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         end
         else begin
           th.state <- Blocked;
-          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid Ev_block;
-          th.pending <- Some (Pending (k, fun () -> ()));
+          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_block;
+          th.pending <- P_unit k;
           (* The processor spends [block_ns] saving the context. *)
           p.pnow <- p.pnow + cfg.block_ns;
           p.busy_ns <- p.busy_ns + cfg.block_ns;
@@ -463,11 +517,12 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
   | Ops.E_trace msg ->
     Some
       (fun k ->
-        (match t.trace_hook with
-        | Some hook ->
+        (match t.trace_hooks with
+        | [] -> ()
+        | hooks ->
           let th = current_thread t in
-          hook ~time:t.procs.(th.proc).pnow ~tid:th.tid msg
-        | None -> ());
+          let time = t.procs.(th.proc).pnow in
+          List.iter (fun hook -> hook ~time ~tid:th.tid msg) hooks);
         Effect.Deep.continue k ())
   | Ops.E_annotate annotation ->
     Some
@@ -493,6 +548,25 @@ let run_fiber t th fn =
       effc = (fun eff -> handle_effect t eff);
     }
 
+(* Finish a reified suspended operation and resume the fiber. Memory
+   mutations happen here, at dispatch, so they linearize in global
+   virtual-time order. *)
+let resume t pend =
+  match pend with
+  | P_none | P_start _ -> assert false
+  | P_unit k -> Effect.Deep.continue k ()
+  | P_value (k, v) -> Effect.Deep.continue k v
+  | P_read (k, addr) -> Effect.Deep.continue k (Memory.read t.mem addr)
+  | P_write (k, addr, v) -> Effect.Deep.continue k (Memory.write t.mem addr v)
+  | P_rmw (k, op, addr, v) ->
+    Effect.Deep.continue k
+      (match op with
+      | Rmw_or -> Memory.fetch_and_or t.mem addr v
+      | Rmw_add -> Memory.fetch_and_add t.mem addr v
+      | Rmw_swap -> Memory.swap t.mem addr v)
+  | P_cas (k, addr, expected, desired) ->
+    Effect.Deep.continue k (Memory.compare_and_swap t.mem addr ~expected ~desired)
+
 (* Pick the processor whose next runnable thread executes earliest.
    Ties break toward the lowest processor id, keeping runs
    deterministic. *)
@@ -501,9 +575,8 @@ let pick t =
   Array.iter
     (fun p ->
       let next_wake =
-        match p.cont with
-        | Some th -> Some th.wake_at
-        | None -> Engine.Pqueue.min_key p.runq
+        if p.cont != no_thread then Some p.cont.wake_at
+        else Engine.Pqueue.min_key p.runq
       in
       match next_wake with
       | None -> ()
@@ -516,54 +589,52 @@ let pick t =
   match !best with Some (_, p) -> Some p | None -> None
 
 let dispatch t p =
-  let taken =
-    match p.cont with
-    | Some th ->
-      p.cont <- None;
-      Some th
-    | None -> Option.map snd (Engine.Pqueue.pop_min p.runq)
+  let th =
+    if p.cont != no_thread then begin
+      let th = p.cont in
+      p.cont <- no_thread;
+      th
+    end
+    else Engine.Pqueue.pop_min_value_exn p.runq
   in
-  match taken with
-  | None -> assert false
-  | Some th ->
-    let start = max p.pnow th.wake_at in
-    let start =
-      if p.last_tid >= 0 && p.last_tid <> th.tid then begin
-        Engine.Counters.incr t.counters "sched.switches";
-        emit t ~time:start ~proc:p.pid ~tid:th.tid Ev_switch;
-        p.busy_ns <- p.busy_ns + t.cfg.switch_ns;
-        p.slice_ns <- 0;
-        start + t.cfg.switch_ns
-      end
-      else start
+  let start = max p.pnow th.wake_at in
+  let start =
+    if p.last_tid >= 0 && p.last_tid <> th.tid then begin
+      Engine.Counters.incr t.counters "sched.switches";
+      emit t ~time:start ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_switch;
+      p.busy_ns <- p.busy_ns + t.cfg.switch_ns;
+      p.slice_ns <- 0;
+      start + t.cfg.switch_ns
+    end
+    else start
+  in
+  p.last_tid <- th.tid;
+  p.pnow <- start;
+  if th.work_left > 0 then begin
+    (* Preemption quantum: slice the remaining computation. *)
+    let chunk =
+      match t.cfg.quantum_ns with Some q -> min th.work_left q | None -> th.work_left
     in
-    p.last_tid <- th.tid;
-    p.pnow <- start;
-    if th.work_left > 0 then begin
-      (* Preemption quantum: slice the remaining computation. *)
-      let chunk =
-        match t.cfg.quantum_ns with Some q -> min th.work_left q | None -> th.work_left
-      in
-      th.work_left <- th.work_left - chunk;
-      th.cpu_ns <- th.cpu_ns + chunk;
-      p.busy_ns <- p.busy_ns + chunk;
-      p.pnow <- start + chunk;
-      p.slice_ns <- p.slice_ns + chunk;
-      continue_on t p th ~at:p.pnow
-    end
-    else begin
-      th.state <- Running;
-      t.current <- Some th;
-      (match (th.start_fn, th.pending) with
-      | Some fn, None ->
-        th.start_fn <- None;
-        run_fiber t th fn
-      | None, Some (Pending (k, value)) ->
-        th.pending <- None;
-        Effect.Deep.continue k (value ())
-      | _ -> assert false);
-      t.current <- None
-    end
+    th.work_left <- th.work_left - chunk;
+    th.cpu_ns <- th.cpu_ns + chunk;
+    p.busy_ns <- p.busy_ns + chunk;
+    p.pnow <- start + chunk;
+    p.slice_ns <- p.slice_ns + chunk;
+    continue_on t p th ~at:p.pnow
+  end
+  else begin
+    th.state <- Running;
+    t.current <- th;
+    (match th.pending with
+    | P_none -> assert false
+    | P_start fn ->
+      th.pending <- P_none;
+      run_fiber t th fn
+    | pend ->
+      th.pending <- P_none;
+      resume t pend);
+    t.current <- no_thread
+  end
 
 let deadlock_report t =
   let stuck =
@@ -580,17 +651,26 @@ let deadlock_report t =
 let run ?(main_name = "main") t main =
   if t.started then invalid_arg "Sched.run: this machine already ran";
   t.started <- true;
-  let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
-  make_ready t main_thread ~at:0;
-  let continue = ref true in
-  while !continue do
-    t.events <- t.events + 1;
-    Engine.Counters.incr t.counters "sched.events";
-    if t.events > t.cfg.max_events then raise Event_limit_exceeded;
-    match pick t with
-    | Some p -> dispatch t p
-    | None ->
-      if t.live > 0 then raise (Deadlock (deadlock_report t));
-      continue := false
-  done;
-  t.final <- Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs
+  (* Publish the annotation-subscriber state for this machine to the
+     domain running it: with no subscriber, Ops.annotate skips the
+     effect (and the payload) entirely. Saved/restored so nested or
+     back-to-back runs on the same domain stay correct. *)
+  let saved_annots = Ops.annotations_enabled () in
+  Ops.set_annotations_enabled (t.annot_hooks <> []);
+  Fun.protect
+    ~finally:(fun () -> Ops.set_annotations_enabled saved_annots)
+    (fun () ->
+      let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
+      make_ready t main_thread ~at:0;
+      let continue = ref true in
+      while !continue do
+        t.events <- t.events + 1;
+        Engine.Counters.incr t.counters "sched.events";
+        if t.events > t.cfg.max_events then raise Event_limit_exceeded;
+        match pick t with
+        | Some p -> dispatch t p
+        | None ->
+          if t.live > 0 then raise (Deadlock (deadlock_report t));
+          continue := false
+      done;
+      t.final <- Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs)

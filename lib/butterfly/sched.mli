@@ -53,8 +53,18 @@ val runq_length : t -> int -> int
 
 val live_threads : t -> int
 
+val add_trace_hook : t -> (time:int -> tid:int -> string -> unit) -> unit
+(** Subscribe a sink for {!Ops.trace} messages. Like every other
+    stream on the machine this is a bus: all subscribed sinks see
+    every message, in subscription order. *)
+
 val set_trace_hook : t -> (time:int -> tid:int -> string -> unit) -> unit
-(** Install the sink for {!Ops.trace} messages. *)
+(** @deprecated Alias for {!add_trace_hook}, kept for source
+    compatibility. Despite the historical name it no longer replaces
+    previously installed hooks. *)
+
+val clear_trace_hooks : t -> unit
+val trace_hook_count : t -> int
 
 (** {1 Structured scheduling events}
 
@@ -102,6 +112,13 @@ val set_event_hook : t -> (event -> unit) -> unit
     compatibility. Despite the historical name it no longer replaces
     previously installed hooks. *)
 
+val clear_event_hooks : t -> unit
+(** Remove every subscriber, restoring the zero-cost emission path. *)
+
+val event_hook_count : t -> int
+(** Number of currently subscribed event observers. The emission fast
+    path is taken exactly when this is 0. *)
+
 (** {1 Memory-access events}
 
     One event per simulated memory operation ([Ops.read]/[write] and
@@ -118,6 +135,8 @@ type access = {
 }
 
 val add_access_hook : t -> (access -> unit) -> unit
+val clear_access_hooks : t -> unit
+val access_hook_count : t -> int
 
 (** {1 Annotation events}
 
@@ -134,6 +153,13 @@ type annot = {
 }
 
 val add_annot_hook : t -> (annot -> unit) -> unit
+(** Subscribe an annotation observer. {!run} publishes the presence of
+    subscribers to {!Ops.annotations_enabled}, so with none installed
+    {!Ops.annotate} skips payload construction and the effect
+    entirely. *)
+
+val clear_annot_hooks : t -> unit
+val annot_hook_count : t -> int
 
 val thread_report : t -> (int * string * int) list
 (** [(tid, name, cpu_ns)] for every thread that ran, sorted by tid. *)

@@ -2,17 +2,11 @@ open Butterfly
 
 type t = int
 
-let counter = ref 0
-
-let fork ?name ?proc ?(prio = 0) f =
-  let name =
-    match name with
-    | Some n -> n
-    | None ->
-      incr counter;
-      Printf.sprintf "thread-%d" !counter
-  in
-  Ops.fork { f; proc; prio; name }
+(* Default naming is delegated to the machine (tid-derived), so it
+   stays deterministic per simulation and safe when Engine.Runner
+   executes many simulations in parallel — a library-global counter
+   here would be both racy and order-dependent. *)
+let fork ?(name = "") ?proc ?(prio = 0) f = Ops.fork { f; proc; prio; name }
 
 let join = Ops.join
 let join_all ts = List.iter join ts

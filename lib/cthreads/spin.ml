@@ -13,8 +13,13 @@ let create ?node () =
   Ops.mark_sync_words [| t |];
   t
 
+(* Annotation payloads (records plus a formatted name) are only built
+   when someone is listening — with zero subscribers these are single
+   flag reads on the lock fast path. *)
 let note_acquired t =
-  Ops.annotate (Ops.A_lock_acquire { lock = t; lock_name = spin_name t; spin_wait = true })
+  if Ops.annotations_enabled () then
+    Ops.annotate
+      (Ops.A_lock_acquire { lock = t; lock_name = spin_name t; spin_wait = true })
 
 let try_lock t =
   let got = Ops.test_and_set t in
@@ -22,7 +27,8 @@ let try_lock t =
   got
 
 let lock t =
-  Ops.annotate (Ops.A_lock_request { lock = t; lock_name = spin_name t });
+  if Ops.annotations_enabled () then
+    Ops.annotate (Ops.A_lock_request { lock = t; lock_name = spin_name t });
   (* Busy-wait: the gap between probes occupies the processor, as real
      spinning does. *)
   while not (Ops.test_and_set t) do
@@ -31,7 +37,8 @@ let lock t =
   note_acquired t
 
 let unlock t =
-  Ops.annotate (Ops.A_lock_release { lock = t; lock_name = spin_name t });
+  if Ops.annotations_enabled () then
+    Ops.annotate (Ops.A_lock_release { lock = t; lock_name = spin_name t });
   Ops.write t 0
 
 let home t = Memory.node_of t

@@ -1,19 +1,21 @@
 type 'a t = {
   mutable keys : int array;
   mutable seqs : int array;
-  mutable vals : 'a option array;
+  mutable vals : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  dummy : 'a;
 }
 
-let create ?(capacity = 64) () =
+let create ?(capacity = 64) ~dummy () =
   let capacity = max capacity 1 in
   {
     keys = Array.make capacity 0;
     seqs = Array.make capacity 0;
-    vals = Array.make capacity None;
+    vals = Array.make capacity dummy;
     size = 0;
     next_seq = 0;
+    dummy;
   }
 
 let size q = q.size
@@ -60,7 +62,7 @@ let grow q =
   let capacity' = capacity * 2 in
   let keys = Array.make capacity' 0 in
   let seqs = Array.make capacity' 0 in
-  let vals = Array.make capacity' None in
+  let vals = Array.make capacity' q.dummy in
   Array.blit q.keys 0 keys 0 q.size;
   Array.blit q.seqs 0 seqs 0 q.size;
   Array.blit q.vals 0 vals 0 q.size;
@@ -73,41 +75,56 @@ let add q ~key v =
   let i = q.size in
   q.keys.(i) <- key;
   q.seqs.(i) <- q.next_seq;
-  q.vals.(i) <- Some v;
+  q.vals.(i) <- v;
   q.next_seq <- q.next_seq + 1;
   q.size <- q.size + 1;
   sift_up q i
 
-let value_exn = function Some v -> v | None -> assert false
-
-let peek_min q = if q.size = 0 then None else Some (q.keys.(0), value_exn q.vals.(0))
+let peek_min q = if q.size = 0 then None else Some (q.keys.(0), q.vals.(0))
 let min_key q = if q.size = 0 then None else Some q.keys.(0)
+
+(* Remove the root. The freed slot is overwritten with [dummy] so the
+   queue never retains a reference to a popped value. *)
+let remove_min q =
+  let v = q.vals.(0) in
+  let last = q.size - 1 in
+  swap q 0 last;
+  q.vals.(last) <- q.dummy;
+  q.size <- last;
+  sift_down q 0;
+  v
 
 let pop_min q =
   if q.size = 0 then None
-  else begin
-    let key = q.keys.(0) and v = value_exn q.vals.(0) in
-    let last = q.size - 1 in
-    swap q 0 last;
-    q.vals.(last) <- None;
-    q.size <- last;
-    sift_down q 0;
-    Some (key, v)
-  end
+  else
+    let key = q.keys.(0) in
+    Some (key, remove_min q)
+
+let pop_min_exn q =
+  if q.size = 0 then invalid_arg "Pqueue.pop_min_exn: empty queue"
+  else
+    let key = q.keys.(0) in
+    (key, remove_min q)
+
+let pop_min_value_exn q =
+  if q.size = 0 then invalid_arg "Pqueue.pop_min_value_exn: empty queue"
+  else remove_min q
 
 let clear q =
-  for i = 0 to q.size - 1 do
-    q.vals.(i) <- None
-  done;
+  Array.fill q.vals 0 q.size q.dummy;
   q.size <- 0
 
 let drain q =
-  let rec loop acc =
-    match pop_min q with None -> List.rev acc | Some entry -> loop (entry :: acc)
+  let rec loop () =
+    if q.size = 0 then []
+    else
+      let key = q.keys.(0) in
+      let v = remove_min q in
+      (key, v) :: loop ()
   in
-  loop []
+  loop ()
 
 let iter q f =
   for i = 0 to q.size - 1 do
-    f q.keys.(i) (value_exn q.vals.(i))
+    f q.keys.(i) q.vals.(i)
   done

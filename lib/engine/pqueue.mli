@@ -3,21 +3,37 @@
     The event queue at the heart of the discrete-event simulator. Keys
     are virtual timestamps (non-negative integers). Two entries with
     equal keys are popped in insertion order, which keeps simulations
-    deterministic without requiring callers to invent tie-breakers. *)
+    deterministic without requiring callers to invent tie-breakers.
+
+    Values are stored in a flat ['a array] (no ['a option] boxing on
+    the hot path), so creation takes a [dummy] value used to fill
+    vacant slots. The dummy is never returned and a popped slot is
+    immediately overwritten with it, so the queue retains no reference
+    to values it no longer holds. *)
 
 type 'a t
 (** A mutable priority queue holding values of type ['a]. *)
 
-val create : ?capacity:int -> unit -> 'a t
-(** [create ()] is an empty queue. [capacity] pre-sizes the backing
-    array (default 64); the queue grows automatically. *)
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty queue. [capacity] pre-sizes the
+    backing arrays (default 64); the queue grows automatically.
+    [dummy] is a placeholder of the element type ([0], [""], a
+    sentinel record, ...) filling unoccupied slots. *)
 
 val add : 'a t -> key:int -> 'a -> unit
-(** [add q ~key v] inserts [v] with priority [key]. O(log n). *)
+(** [add q ~key v] inserts [v] with priority [key]. O(log n),
+    allocation-free outside of growth. *)
 
 val pop_min : 'a t -> (int * 'a) option
 (** [pop_min q] removes and returns the entry with the smallest key
     (ties: earliest inserted first), or [None] if empty. O(log n). *)
+
+val pop_min_exn : 'a t -> int * 'a
+(** Like {!pop_min} but raises [Invalid_argument] on an empty queue. *)
+
+val pop_min_value_exn : 'a t -> 'a
+(** [pop_min_value_exn q] is [snd (pop_min_exn q)] without allocating
+    the pair: the scheduler's allocation-free dispatch path. *)
 
 val peek_min : 'a t -> (int * 'a) option
 (** [peek_min q] is the entry [pop_min] would return, without removing
@@ -32,11 +48,13 @@ val size : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
-(** Remove every entry. Does not shrink the backing array. *)
+(** Remove every entry (overwriting the slots with the dummy). Does
+    not shrink the backing array. *)
 
 val drain : 'a t -> (int * 'a) list
 (** [drain q] pops everything, returning entries in priority order.
-    Leaves [q] empty. Intended for tests and shutdown paths. *)
+    Leaves [q] empty. Builds the result in one pass (no intermediate
+    accumulator/[List.rev]). Intended for tests and shutdown paths. *)
 
 val iter : 'a t -> (int -> 'a -> unit) -> unit
 (** Iterate over entries in unspecified order (heap order). *)

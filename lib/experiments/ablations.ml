@@ -9,8 +9,11 @@ type sched_row = {
   client_wait_us : float;
 }
 
-let schedulers ?machine () =
-  let results = Workloads.Client_server.compare_schedulers ?machine Workloads.Client_server.default in
+let schedulers ?machine ?domains () =
+  let results =
+    Workloads.Client_server.compare_schedulers ?machine ?domains
+      Workloads.Client_server.default
+  in
   List.map
     (fun (sched, (r : Workloads.Client_server.result)) ->
       {
@@ -60,7 +63,7 @@ let coupling_workload ~lock ~unlock =
   in
   Cthread.join_all threads
 
-let coupling ?machine () =
+let coupling ?machine ?domains () =
   let cfg =
     match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
   in
@@ -105,7 +108,7 @@ let coupling ?machine () =
       max_lag_us = float_of_int !lag /. 1000.0;
     }
   in
-  [ close (); loose () ]
+  Engine.Runner.map ?domains (fun run -> run ()) [ close; loose ]
 
 type sampling_row = { period : int; total_ns : int; samples : int; adaptations : int }
 
@@ -134,8 +137,8 @@ let contended_adaptive_run ?machine ~params () =
       spins := Locks.Lock_stats.spin_probes (Locks.Adaptive_lock.stats lk));
   (Sched.final_time sim, !samples, !adaptations, !blocks, !spins)
 
-let sampling ?machine ~periods () =
-  List.map
+let sampling ?machine ?domains ~periods () =
+  Engine.Runner.map ?domains
     (fun period ->
       let params = { Locks.Adaptive_lock.default_params with Locks.Adaptive_lock.sample_period = period } in
       let total_ns, samples, adaptations, _, _ = contended_adaptive_run ?machine ~params () in
@@ -150,21 +153,23 @@ type threshold_row = {
   spin_probes : int;
 }
 
-let threshold ?machine ~thresholds ~ns () =
-  List.concat_map
-    (fun waiting_threshold ->
-      List.map
-        (fun n ->
-          let params =
-            { Locks.Adaptive_lock.default_params with
-              Locks.Adaptive_lock.waiting_threshold; n }
-          in
-          let total_ns, _, _, blocks, spin_probes =
-            contended_adaptive_run ?machine ~params ()
-          in
-          { waiting_threshold; n; total_ns; blocks; spin_probes })
-        ns)
-    thresholds
+let threshold ?machine ?domains ~thresholds ~ns () =
+  let grid =
+    List.concat_map
+      (fun waiting_threshold -> List.map (fun n -> (waiting_threshold, n)) ns)
+      thresholds
+  in
+  Engine.Runner.map ?domains
+    (fun (waiting_threshold, n) ->
+      let params =
+        { Locks.Adaptive_lock.default_params with
+          Locks.Adaptive_lock.waiting_threshold; n }
+      in
+      let total_ns, _, _, blocks, spin_probes =
+        contended_adaptive_run ?machine ~params ()
+      in
+      { waiting_threshold; n; total_ns; blocks; spin_probes })
+    grid
 
 type phase_row = {
   kind : Locks.Lock.kind;
@@ -173,7 +178,7 @@ type phase_row = {
   mean_wait_us : float;
 }
 
-let phases ?machine () =
+let phases ?machine ?domains () =
   let kinds =
     [
       Locks.Lock.Spin;
@@ -182,7 +187,7 @@ let phases ?machine () =
       Locks.Lock.adaptive_default;
     ]
   in
-  Workloads.Phased.compare_kinds ?machine Workloads.Phased.default kinds
+  Workloads.Phased.compare_kinds ?machine ?domains Workloads.Phased.default kinds
   |> List.map (fun (kind, (r : Workloads.Phased.result)) ->
          {
            kind;
@@ -203,7 +208,7 @@ type arch_row = {
    configurations re-targeted across architectures. A heavily contended
    short critical section, run with four lock implementations on the
    NUMA machine and on its UMA variant. *)
-let architecture ?machine () =
+let architecture ?machine ?domains () =
   let base =
     match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
   in
@@ -270,9 +275,12 @@ let architecture ?machine () =
             fun () -> Locks.Active_lock.shutdown lk ) );
     ]
   in
-  List.concat_map
-    (fun (arch, cfg) -> List.map (run_one arch cfg) implementations)
-    machines
+  let grid =
+    List.concat_map
+      (fun (arch, cfg) -> List.map (fun impl -> (arch, cfg, impl)) implementations)
+      machines
+  in
+  Engine.Runner.map ?domains (fun (arch, cfg, impl) -> run_one arch cfg impl) grid
 
 type advisory_row = {
   advisory_lock : string;
@@ -286,7 +294,7 @@ type advisory_row = {
    for variable length critical sections": each critical section is
    randomly short (spin is right) or long (sleeping is right); only the
    owner knows which, and the advisory lock lets it tell the waiters. *)
-let advisory ?machine () =
+let advisory ?machine ?domains () =
   let cfg =
     match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
   in
@@ -330,7 +338,7 @@ let advisory ?machine () =
       mean_wait_advisory_us = Locks.Lock_stats.mean_wait_ns s /. 1000.0;
     }
   in
-  List.map run_one
+  Engine.Runner.map ?domains run_one
     [
       ("pure spin", Locks.Lock.Spin);
       ("pure blocking", Locks.Lock.Blocking);

@@ -13,7 +13,11 @@
       (the paper's stated next research step).
     - {!phases}: adaptive vs static locks across contention phases
       (§2's "optimal waiting policy might differ during different
-      phases"). *)
+      phases").
+
+    Every row of every study is an independent simulated machine, so
+    each function fans its rows out across up to [domains] host cores
+    ({!Engine.Runner}); results are independent of [domains]. *)
 
 type sched_row = {
   sched : Locks.Lock_sched.kind;
@@ -23,7 +27,7 @@ type sched_row = {
   client_wait_us : float;
 }
 
-val schedulers : ?machine:Butterfly.Config.t -> unit -> sched_row list
+val schedulers : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> sched_row list
 
 type coupling_row = {
   coupling : string;  (** "closely-coupled" or "loosely-coupled" *)
@@ -32,7 +36,7 @@ type coupling_row = {
   max_lag_us : float;  (** observation staleness; 0 for closely-coupled *)
 }
 
-val coupling : ?machine:Butterfly.Config.t -> unit -> coupling_row list
+val coupling : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> coupling_row list
 
 type sampling_row = {
   period : int;  (** sample every k-th unlock *)
@@ -41,7 +45,12 @@ type sampling_row = {
   adaptations : int;
 }
 
-val sampling : ?machine:Butterfly.Config.t -> periods:int list -> unit -> sampling_row list
+val sampling :
+  ?machine:Butterfly.Config.t ->
+  ?domains:int ->
+  periods:int list ->
+  unit ->
+  sampling_row list
 
 type threshold_row = {
   waiting_threshold : int;
@@ -53,6 +62,7 @@ type threshold_row = {
 
 val threshold :
   ?machine:Butterfly.Config.t ->
+  ?domains:int ->
   thresholds:int list ->
   ns:int list ->
   unit ->
@@ -65,7 +75,7 @@ type phase_row = {
   mean_wait_us : float;
 }
 
-val phases : ?machine:Butterfly.Config.t -> unit -> phase_row list
+val phases : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> phase_row list
 
 type arch_row = {
   arch : string;  (** "NUMA" or "UMA" *)
@@ -75,7 +85,7 @@ type arch_row = {
   mean_wait_us : float;
 }
 
-val architecture : ?machine:Butterfly.Config.t -> unit -> arch_row list
+val architecture : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> arch_row list
 (** [MS93]'s implementation-retargeting experiment: centralized spin vs
     local-spin (distributed) vs blocking vs active locks on the NUMA
     machine and its UMA variant. Local spinning should pay off only on
@@ -89,7 +99,7 @@ type advisory_row = {
   mean_wait_advisory_us : float;
 }
 
-val advisory : ?machine:Butterfly.Config.t -> unit -> advisory_row list
+val advisory : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> advisory_row list
 (** Section 2's advisory-lock claim: on a workload of randomly short or
     long critical sections, the owner's advice (spin for short, sleep
     for long) should beat any fixed waiting policy. *)

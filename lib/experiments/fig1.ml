@@ -3,9 +3,11 @@ type curve = { kind : Locks.Lock.kind; points : point list }
 
 let default_cs_lengths = [ 5_000; 10_000; 25_000; 50_000; 100_000; 200_000; 400_000; 800_000 ]
 
-let run ?machine ?(base = Workloads.Csweep.default) ?(cs_lengths = default_cs_lengths) () =
+let run ?machine ?domains ?(base = Workloads.Csweep.default)
+    ?(cs_lengths = default_cs_lengths) () =
   let swept =
-    Workloads.Csweep.sweep ?machine ~base ~cs_lengths ~kinds:Paper.figure1_lock_kinds ()
+    Workloads.Csweep.sweep ?machine ?domains ~base ~cs_lengths
+      ~kinds:Paper.figure1_lock_kinds ()
   in
   List.map
     (fun (kind, curve) ->

@@ -10,10 +10,14 @@ val default_cs_lengths : int list
 
 val run :
   ?machine:Butterfly.Config.t ->
+  ?domains:int ->
   ?base:Workloads.Csweep.spec ->
   ?cs_lengths:int list ->
   unit ->
   curve list
+(** The sweep's grid cells run in parallel across up to [domains] host
+    cores (default {!Engine.Runner.default_domains}); output is
+    independent of [domains]. *)
 
 val crossover_summary : curve list -> string
 (** A textual check of the figure's claims: spin wins for short

@@ -56,8 +56,8 @@ let make_of = function
            ~costs:Locks.Lock_costs.atomior ())
   | `Kind kind -> fun ~home -> `Lock (Locks.Lock.create ~home kind)
 
-let lock_unlock_tables () =
-  List.map
+let lock_unlock_tables ?domains () =
+  Engine.Runner.map ?domains
     (fun (name, spec) ->
       let make = make_of spec in
       let local_lock, local_unlock = measure_ops ~make ~proc:1 ~home:1 in
@@ -65,16 +65,16 @@ let lock_unlock_tables () =
       (name, (local_lock, remote_lock), (local_unlock, remote_unlock)))
     kinds
 
-let table4 () =
+let table4 ?domains () =
   List.map
     (fun (name, (l, r), _) -> { op = name; local_us = l; remote_us = r })
-    (lock_unlock_tables ())
+    (lock_unlock_tables ?domains ())
 
-let table5 () =
+let table5 ?domains () =
   List.filter_map
     (fun (name, _, (l, r)) ->
       if name = "atomior" then None else Some { op = name; local_us = l; remote_us = r })
-    (lock_unlock_tables ())
+    (lock_unlock_tables ?domains ())
 
 (* Locking cycle: time from the owner's unlock to the waiter's
    completed acquisition on an already-locked lock. *)
@@ -113,11 +113,11 @@ let measure_cycle ~make ~waiter_proc ~home =
       Cthread.join waiter);
   float_of_int (!acquired_at - !unlock_at) /. 1000.0
 
-let table6 () =
+let table6 ?domains () =
   let static = [ ("spin", `Kind Locks.Lock.Spin);
                  ("spin-with-backoff", `Kind Locks.Lock.Backoff);
                  ("blocking-lock", `Kind Locks.Lock.Blocking) ] in
-  List.map
+  Engine.Runner.map ?domains
     (fun (name, spec) ->
       let make = make_of spec in
       {

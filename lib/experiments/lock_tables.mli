@@ -2,18 +2,23 @@
 
     Every measurement is taken on a fresh simulated machine in virtual
     time. "Local" means the measuring thread runs on the lock's home
-    node; "remote" on a different node. *)
+    node; "remote" on a different node.
+
+    Tables 4–6 measure independent machines per lock kind and fan
+    those runs across up to [domains] host cores
+    ({!Engine.Runner.default_domains} when omitted); row order and
+    values do not depend on [domains]. *)
 
 type row = { op : string; local_us : float; remote_us : float }
 
-val table4 : unit -> row list
+val table4 : ?domains:int -> unit -> row list
 (** Uncontended Lock-operation latency per lock kind (averaged over a
     few acquisitions). *)
 
-val table5 : unit -> row list
+val table5 : ?domains:int -> unit -> row list
 (** Uncontended Unlock-operation latency. *)
 
-val table6 : unit -> row list
+val table6 : ?domains:int -> unit -> row list
 (** Locking cycle — time from the owner's unlock to a waiting thread's
     completed acquisition — for the static locks (spin, back-off,
     blocking). *)

@@ -1,0 +1,127 @@
+type micro = { bench_name : string; ns_per_run : float; r_square : float }
+
+type comparison = {
+  domains_base : int;
+  domains_parallel : int;
+  wall_base_s : float;
+  wall_parallel_s : float;
+  identical_output : bool;
+}
+
+let wall_clock_s f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let render_report ~domains () =
+  let buf = Buffer.create (1 lsl 16) in
+  let out = Format.formatter_of_buffer buf in
+  Report.print_everything ~out ~domains ();
+  Format.pp_print_flush out ();
+  Buffer.contents buf
+
+let compare_report_generation ?(domains = Engine.Runner.default_domains ()) () =
+  let base_out, wall_base_s = wall_clock_s (render_report ~domains:1) in
+  let par_out, wall_parallel_s = wall_clock_s (render_report ~domains) in
+  ( {
+      domains_base = 1;
+      domains_parallel = domains;
+      wall_base_s;
+      wall_parallel_s;
+      identical_output = String.equal base_out par_out;
+    },
+    base_out )
+
+(* Best-effort commit id: CI exports GITHUB_SHA; locally, follow
+   .git/HEAD one level. No git invocation, so this works in a bare
+   build sandbox. *)
+let git_rev () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha when sha <> "" -> sha
+  | _ -> (
+    let read_line_of path =
+      try
+        let ic = open_in path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> Some (String.trim (input_line ic)))
+      with Sys_error _ | End_of_file -> None
+    in
+    let rec find_git_dir dir depth =
+      if depth > 6 then None
+      else
+        let cand = Filename.concat dir ".git" in
+        if Sys.file_exists cand then Some cand
+        else
+          let parent = Filename.dirname dir in
+          if parent = dir then None else find_git_dir parent (depth + 1)
+    in
+    match find_git_dir (Sys.getcwd ()) 0 with
+    | None -> "unknown"
+    | Some git_dir -> (
+      match read_line_of (Filename.concat git_dir "HEAD") with
+      | Some head when String.length head > 5 && String.sub head 0 5 = "ref: " -> (
+        let refname = String.sub head 5 (String.length head - 5) in
+        match read_line_of (Filename.concat git_dir refname) with
+        | Some sha -> sha
+        | None -> "unknown")
+      | Some sha -> sha
+      | None -> "unknown"))
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float v = if Float.is_nan v then "null" else Printf.sprintf "%.6g" v
+
+let to_json ~micros ~comparison () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"git_rev\": \"%s\",\n" (json_escape (git_rev ())));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"host_cores\": %d,\n" (Engine.Runner.recommended_domains ()));
+  (match comparison with
+  | None -> Buffer.add_string buf "  \"report_generation\": null,\n"
+  | Some c ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"report_generation\": {\n\
+          \    \"domains_base\": %d,\n\
+          \    \"domains_parallel\": %d,\n\
+          \    \"wall_base_s\": %s,\n\
+          \    \"wall_parallel_s\": %s,\n\
+          \    \"speedup\": %s,\n\
+          \    \"identical_output\": %b\n\
+          \  },\n"
+         c.domains_base c.domains_parallel (json_float c.wall_base_s)
+         (json_float c.wall_parallel_s)
+         (json_float
+            (if c.wall_parallel_s > 0.0 then c.wall_base_s /. c.wall_parallel_s else nan))
+         c.identical_output));
+  Buffer.add_string buf "  \"benchmarks\": [";
+  List.iteri
+    (fun i m ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }"
+           (json_escape m.bench_name) (json_float m.ns_per_run) (json_float m.r_square)))
+    micros;
+  Buffer.add_string buf (if micros = [] then "]\n" else "\n  ]\n");
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_json ~path ~micros ~comparison () =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ~micros ~comparison ()))

@@ -29,18 +29,18 @@ let print_lock_table out ~title ~paper rows =
     rows;
   Format.fprintf out "%s@." (Repro_stats.Table.render ~title tbl)
 
-let print_table4 ?(out = std) () =
+let print_table4 ?(out = std) ?domains () =
   print_lock_table out ~title:"Table 4: cost of the Lock operation"
-    ~paper:Paper.table4 (Lock_tables.table4 ())
+    ~paper:Paper.table4 (Lock_tables.table4 ?domains ())
 
-let print_table5 ?(out = std) () =
+let print_table5 ?(out = std) ?domains () =
   print_lock_table out ~title:"Table 5: cost of the Unlock operation"
-    ~paper:Paper.table5 (Lock_tables.table5 ())
+    ~paper:Paper.table5 (Lock_tables.table5 ?domains ())
 
-let print_table6 ?(out = std) () =
+let print_table6 ?(out = std) ?domains () =
   print_lock_table out
     ~title:"Table 6: unlock+lock cycle on a locked lock (static locks)"
-    ~paper:Paper.table6 (Lock_tables.table6 ())
+    ~paper:Paper.table6 (Lock_tables.table6 ?domains ())
 
 let print_table7 ?(out = std) () =
   print_lock_table out
@@ -60,8 +60,8 @@ let with_csv csv_dir name f =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let print_fig1 ?(out = std) ?csv_dir () =
-  let curves = Fig1.run () in
+let print_fig1 ?(out = std) ?csv_dir ?domains () =
+  let curves = Fig1.run ?domains () in
   Format.fprintf out
     "Figure 1: critical-section length vs application execution time@.%s@."
     (Fig1.to_plot curves);
@@ -111,8 +111,8 @@ let print_tsp_table out (row : Tsp_experiments.table) =
   Format.fprintf out "%s@."
     (Repro_stats.Table.render ~title:(tsp_table_title row.Tsp_experiments.impl) tbl)
 
-let print_tsp ?(out = std) ?csv_dir ?spec () =
-  let t = Tsp_experiments.run_all ?spec () in
+let print_tsp ?(out = std) ?csv_dir ?spec ?domains () =
+  let t = Tsp_experiments.run_all ?spec ?domains () in
   Format.fprintf out
     "TSP setup: %d cities (seed %d), %d searchers, optimum %d, sequential expanded %d \
      nodes in %.0f ms@.@."
@@ -158,8 +158,8 @@ let print_tsp ?(out = std) ?csv_dir ?spec () =
           (fun oc -> Engine.Series.output_csv oc [ series ]))
     Tsp_experiments.all_figures
 
-let print_schedulers ?(out = std) () =
-  let rows = Ablations.schedulers () in
+let print_schedulers ?(out = std) ?domains () =
+  let rows = Ablations.schedulers ?domains () in
   let tbl =
     Repro_stats.Table.create
       ~headers:
@@ -182,8 +182,8 @@ let print_schedulers ?(out = std) () =
           FCFS worst)"
        tbl)
 
-let print_coupling ?(out = std) () =
-  let rows = Ablations.coupling () in
+let print_coupling ?(out = std) ?domains () =
+  let rows = Ablations.coupling ?domains () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "feedback loop"; "total (ms)"; "adaptations"; "max observation lag (us)" ]
@@ -205,8 +205,8 @@ let print_coupling ?(out = std) () =
           customized lock monitor)"
        tbl)
 
-let print_sampling ?(out = std) () =
-  let rows = Ablations.sampling ~periods:[ 1; 2; 4; 8; 16; 64 ] () in
+let print_sampling ?(out = std) ?domains () =
+  let rows = Ablations.sampling ?domains ~periods:[ 1; 2; 4; 8; 16; 64 ] () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "sampling period"; "total (ms)"; "samples"; "adaptations" ]
@@ -226,8 +226,8 @@ let print_sampling ?(out = std) () =
        ~title:"Ablation: monitor sampling rate (cost vs quality of adaptation, section 3)"
        tbl)
 
-let print_threshold ?(out = std) () =
-  let rows = Ablations.threshold ~thresholds:[ 1; 3; 6; 10 ] ~ns:[ 2; 6; 12 ] () in
+let print_threshold ?(out = std) ?domains () =
+  let rows = Ablations.threshold ?domains ~thresholds:[ 1; 3; 6; 10 ] ~ns:[ 2; 6; 12 ] () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "Waiting-Threshold"; "n"; "total (ms)"; "blocks"; "spin probes" ]
@@ -248,8 +248,8 @@ let print_threshold ?(out = std) () =
        ~title:"Ablation: simple-adapt constants (Waiting-Threshold and n, section 4)"
        tbl)
 
-let print_advisory ?(out = std) () =
-  let rows = Ablations.advisory () in
+let print_advisory ?(out = std) ?domains () =
+  let rows = Ablations.advisory ?domains () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "lock"; "total (ms)"; "blocks"; "spin probes"; "mean wait (us)" ]
@@ -272,8 +272,8 @@ let print_advisory ?(out = std) () =
           owner advises waiters to spin or sleep)"
        tbl)
 
-let print_architecture ?(out = std) () =
-  let rows = Ablations.architecture () in
+let print_architecture ?(out = std) ?domains () =
+  let rows = Ablations.architecture ?domains () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "arch"; "lock"; "total (ms)"; "remote accesses"; "mean wait (us)" ]
@@ -296,8 +296,8 @@ let print_architecture ?(out = std) () =
           distributed/local-spin pays off on NUMA only)"
        tbl)
 
-let print_phases ?(out = std) () =
-  let rows = Ablations.phases () in
+let print_phases ?(out = std) ?domains () =
+  let rows = Ablations.phases ?domains () in
   let tbl =
     Repro_stats.Table.create
       ~headers:[ "lock"; "total (ms)"; "adaptations"; "mean wait (us)" ]
@@ -316,22 +316,25 @@ let print_phases ?(out = std) () =
     (Repro_stats.Table.render
        ~title:"Ablation: phased contention (adaptive vs static waiting policies)" tbl)
 
-let print_everything ?(out = std) ?csv_dir () =
+let print_everything ?(out = std) ?csv_dir ?domains () =
+  (* Sections render in paper order; inside each section the
+     simulations fan out across domains. Rendering stays on the
+     calling domain, so output bytes are independent of [domains]. *)
   Format.fprintf out "=== Lock operation microbenchmarks (Tables 4-8) ===@.@.";
-  print_table4 ~out ();
-  print_table5 ~out ();
-  print_table6 ~out ();
+  print_table4 ~out ?domains ();
+  print_table5 ~out ?domains ();
+  print_table6 ~out ?domains ();
   print_table7 ~out ();
   print_table8 ~out ();
   Format.fprintf out "=== Figure 1 ===@.@.";
-  print_fig1 ~out ?csv_dir ();
+  print_fig1 ~out ?csv_dir ?domains ();
   Format.fprintf out "=== TSP application (Tables 1-3, Figures 4-9) ===@.@.";
-  print_tsp ~out ?csv_dir ();
+  print_tsp ~out ?csv_dir ?domains ();
   Format.fprintf out "=== Ablations ===@.@.";
-  print_schedulers ~out ();
-  print_coupling ~out ();
-  print_sampling ~out ();
-  print_threshold ~out ();
-  print_phases ~out ();
-  print_advisory ~out ();
-  print_architecture ~out ()
+  print_schedulers ~out ?domains ();
+  print_coupling ~out ?domains ();
+  print_sampling ~out ?domains ();
+  print_threshold ~out ?domains ();
+  print_phases ~out ?domains ();
+  print_advisory ~out ?domains ();
+  print_architecture ~out ?domains ()

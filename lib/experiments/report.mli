@@ -7,25 +7,34 @@
 val print_lock_table :
   Format.formatter -> title:string -> paper:Paper.lock_op_row list -> Lock_tables.row list -> unit
 
-val print_table4 : ?out:Format.formatter -> unit -> unit
-val print_table5 : ?out:Format.formatter -> unit -> unit
-val print_table6 : ?out:Format.formatter -> unit -> unit
+val print_table4 : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_table5 : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_table6 : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_table7 : ?out:Format.formatter -> unit -> unit
 val print_table8 : ?out:Format.formatter -> unit -> unit
 
-val print_fig1 : ?out:Format.formatter -> ?csv_dir:string -> unit -> unit
+val print_fig1 : ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
 
-val print_tsp : ?out:Format.formatter -> ?csv_dir:string -> ?spec:Tsp.Parallel.spec -> unit -> unit
+val print_tsp :
+  ?out:Format.formatter ->
+  ?csv_dir:string ->
+  ?spec:Tsp.Parallel.spec ->
+  ?domains:int ->
+  unit ->
+  unit
 (** Tables 1–3 plus Figures 4–9 from one set of runs. With [csv_dir],
     figure series are also written as CSV. *)
 
-val print_schedulers : ?out:Format.formatter -> unit -> unit
-val print_coupling : ?out:Format.formatter -> unit -> unit
-val print_sampling : ?out:Format.formatter -> unit -> unit
-val print_threshold : ?out:Format.formatter -> unit -> unit
-val print_phases : ?out:Format.formatter -> unit -> unit
-val print_advisory : ?out:Format.formatter -> unit -> unit
-val print_architecture : ?out:Format.formatter -> unit -> unit
+val print_schedulers : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_coupling : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_sampling : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_threshold : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_phases : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_advisory : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_architecture : ?out:Format.formatter -> ?domains:int -> unit -> unit
 
-val print_everything : ?out:Format.formatter -> ?csv_dir:string -> unit -> unit
-(** All tables, figures and ablations, in paper order. *)
+val print_everything : ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
+(** All tables, figures and ablations, in paper order. The independent
+    simulations inside each section run in parallel across up to
+    [domains] host cores (default {!Engine.Runner.default_domains});
+    the rendered bytes are identical at every domain count. *)

@@ -20,23 +20,40 @@ type t = {
 
 let ms ns = float_of_int ns /. 1_000_000.0
 
-let run_all ?spec ?machine () =
+let run_all ?spec ?machine ?domains () =
   let spec =
     match spec with Some s -> s | None -> Tsp.Parallel.default_spec
   in
   let spec = { spec with Tsp.Parallel.trace_locks = true } in
-  let sequential_ns, (sequential_cost, sequential_nodes) =
-    Tsp.Parallel.run_sequential ?machine spec
+  let impls = [ Tsp.Parallel.Centralized; Tsp.Parallel.Distributed; Tsp.Parallel.Balanced ] in
+  (* Seven independent machines: the sequential reference plus one run
+     per (implementation, lock kind); fan them across domains and
+     reassemble in the fixed order. *)
+  let tasks =
+    `Sequential
+    :: List.concat_map
+         (fun impl ->
+           [
+             `Pool (impl, Locks.Lock.Blocking);
+             `Pool (impl, Tsp.Parallel.tsp_adaptive_kind);
+           ])
+         impls
   in
-  let one impl =
-    let blocking_result =
-      Tsp.Parallel.run ?machine impl
-        { spec with Tsp.Parallel.lock_kind = Locks.Lock.Blocking }
-    in
-    let adaptive_result =
-      Tsp.Parallel.run ?machine impl
-        { spec with Tsp.Parallel.lock_kind = Tsp.Parallel.tsp_adaptive_kind }
-    in
+  let results =
+    Engine.Runner.map ?domains
+      (function
+        | `Sequential -> `Seq_done (Tsp.Parallel.run_sequential ?machine spec)
+        | `Pool (impl, lock_kind) ->
+          `Pool_done (Tsp.Parallel.run ?machine impl { spec with Tsp.Parallel.lock_kind }))
+      tasks
+  in
+  let sequential_ns, (sequential_cost, sequential_nodes) =
+    match List.hd results with `Seq_done r -> r | `Pool_done _ -> assert false
+  in
+  let pool_results =
+    List.filter_map (function `Pool_done r -> Some r | `Seq_done _ -> None) results
+  in
+  let one impl blocking_result adaptive_result =
     let b = blocking_result.Tsp.Parallel.total_ns in
     let a = adaptive_result.Tsp.Parallel.total_ns in
     {
@@ -51,13 +68,19 @@ let run_all ?spec ?machine () =
       adaptive_result;
     }
   in
+  let rec tables impls results =
+    match (impls, results) with
+    | [], [] -> []
+    | impl :: impls, blocking :: adaptive :: rest ->
+      one impl blocking adaptive :: tables impls rest
+    | _ -> assert false
+  in
   {
     spec;
     sequential_ns;
     sequential_cost;
     sequential_nodes;
-    tables =
-      [ one Tsp.Parallel.Centralized; one Tsp.Parallel.Distributed; one Tsp.Parallel.Balanced ];
+    tables = tables impls pool_results;
   }
 
 let table t impl = List.find (fun row -> row.impl = impl) t.tables

@@ -80,10 +80,15 @@ let leave_waiting t =
    the owner must never block while holding the lock. *)
 let spin_mode t = not (Attribute.get t.wait_policy.Waiting.sleep)
 
+(* Annotation payload construction is guarded on the subscriber flag:
+   with no observer the acquire/release paths pay one flag read, not a
+   record allocation per operation. *)
 let note_acquired t =
   t.owner <- Some (Ops.self ());
-  Ops.annotate
-    (Ops.A_lock_acquire { lock = t.word; lock_name = t.lock_name; spin_wait = spin_mode t })
+  if Ops.annotations_enabled () then
+    Ops.annotate
+      (Ops.A_lock_acquire
+         { lock = t.word; lock_name = t.lock_name; spin_wait = spin_mode t })
 
 let acquired t ~since =
   leave_waiting t;
@@ -160,7 +165,8 @@ let contended_path t =
   wait_loop 0 (Attribute.get t.wait_policy.Waiting.delay_ns)
 
 let lock t =
-  Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
+  if Ops.annotations_enabled () then
+    Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_lock t.lock_stats;
   Ops.work_instrs t.costs.lock_overhead_instrs;
   if Ops.test_and_set t.word then begin
@@ -194,7 +200,8 @@ let unlock t =
          (Printf.sprintf "thread %s unlocked lock %s, which is not held"
             (Ops.thread_name me) t.lock_name)));
   t.owner <- None;
-  Ops.annotate (Ops.A_lock_release { lock = t.word; lock_name = t.lock_name });
+  if Ops.annotations_enabled () then
+    Ops.annotate (Ops.A_lock_release { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_unlock t.lock_stats;
   Ops.work_instrs t.costs.unlock_overhead_instrs;
   (* The owner's advice applies only to its own ownership span. *)

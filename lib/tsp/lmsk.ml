@@ -217,7 +217,7 @@ let expand inst t =
       { outcome = Children children; work = work * 3 }
 
 let solve_sequential ?initial ?on_expand inst =
-  let open_nodes = Engine.Pqueue.create () in
+  let open_nodes = Engine.Pqueue.create ~dummy:(root inst) () in
   let push nd = Engine.Pqueue.add open_nodes ~key:(bound nd) nd in
   push (root inst);
   let best_cost, best_tour =

@@ -158,8 +158,9 @@ let pool_body impl spec ~expanded ~bounds_log ~final_cost ~lock_reports () =
          subproblem's data: expanding data homed elsewhere pays the
          remote penalty (pointers travel through queues, matrices are
          read through the interconnect). *)
+      let queue_dummy = (central, Lmsk.root inst) in
       let queues : (int * Lmsk.node) Engine.Pqueue.t array =
-        Array.init nqueues (fun _ -> Engine.Pqueue.create ())
+        Array.init nqueues (fun _ -> Engine.Pqueue.create ~dummy:queue_dummy ())
       in
       let qlocks =
         Array.init nqueues (fun i ->

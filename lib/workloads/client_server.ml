@@ -123,12 +123,13 @@ let run ?machine spec =
     client_mean_wait_ns = mean client_wait client_acqs;
   }
 
-let compare_schedulers ?machine spec =
-  [
-    (Locks.Lock_sched.Fcfs, run ?machine { spec with sched = Locks.Lock_sched.Fcfs });
-    ( Locks.Lock_sched.Priority,
-      run ?machine { spec with sched = Locks.Lock_sched.Priority } );
-    ( Locks.Lock_sched.Handoff,
-      run ?machine
+let compare_schedulers ?machine ?domains spec =
+  let specs =
+    [
+      (Locks.Lock_sched.Fcfs, { spec with sched = Locks.Lock_sched.Fcfs });
+      (Locks.Lock_sched.Priority, { spec with sched = Locks.Lock_sched.Priority });
+      ( Locks.Lock_sched.Handoff,
         { spec with sched = Locks.Lock_sched.Handoff; handoff_to_server = true } );
-  ]
+    ]
+  in
+  Engine.Runner.map ?domains (fun (sched, spec) -> (sched, run ?machine spec)) specs

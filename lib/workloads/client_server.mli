@@ -47,5 +47,10 @@ val scenario : spec -> unit -> unit
     {!run}, results discarded. Needs [spec.processors] processors. *)
 
 val compare_schedulers :
-  ?machine:Butterfly.Config.t -> spec -> (Locks.Lock_sched.kind * result) list
-(** Run the same workload under FCFS, Priority and Handoff. *)
+  ?machine:Butterfly.Config.t ->
+  ?domains:int ->
+  spec ->
+  (Locks.Lock_sched.kind * result) list
+(** Run the same workload under FCFS, Priority and Handoff. The three
+    runs are independent machines and execute in parallel across up to
+    [domains] host cores; the result order is fixed. *)

@@ -82,13 +82,26 @@ let run ?machine spec =
     adaptations = Locks.Lock_stats.reconfigurations s;
   }
 
-let sweep ?machine ~base ~cs_lengths ~kinds () =
+let sweep ?machine ?domains ~base ~cs_lengths ~kinds () =
+  (* Each grid cell is an independent machine run: flatten the
+     kind x cs grid, fan the cells across domains, regroup per kind.
+     Input-order merging keeps the curves identical at any domain
+     count. *)
+  let cells =
+    List.concat_map (fun kind -> List.map (fun cs_ns -> (kind, cs_ns)) cs_lengths) kinds
+  in
+  let results =
+    Engine.Runner.map ?domains
+      (fun (kind, cs_ns) -> run ?machine { base with cs_ns; lock_kind = kind })
+      cells
+  in
+  let tagged = List.combine cells results in
   List.map
     (fun kind ->
       let curve =
-        List.map
-          (fun cs_ns -> (cs_ns, run ?machine { base with cs_ns; lock_kind = kind }))
-          cs_lengths
+        List.filter_map
+          (fun ((k, cs_ns), r) -> if k = kind then Some (cs_ns, r) else None)
+          tagged
       in
       (kind, curve))
     kinds

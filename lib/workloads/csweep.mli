@@ -42,10 +42,14 @@ val scenario : spec -> unit -> unit
 
 val sweep :
   ?machine:Butterfly.Config.t ->
+  ?domains:int ->
   base:spec ->
   cs_lengths:int list ->
   kinds:Locks.Lock.kind list ->
   unit ->
   (Locks.Lock.kind * (int * result) list) list
 (** The full Figure 1 grid: for every kind, a curve of (cs length,
-    result). *)
+    result). Cells run in parallel across up to [domains] host cores
+    (default {!Engine.Runner.default_domains}); each cell is its own
+    deterministic machine, so the output does not depend on
+    [domains]. *)

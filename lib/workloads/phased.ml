@@ -98,5 +98,7 @@ let run ?machine spec =
     blocks = Locks.Lock_stats.blocks s;
   }
 
-let compare_kinds ?machine spec kinds =
-  List.map (fun kind -> (kind, run ?machine { spec with lock_kind = kind })) kinds
+let compare_kinds ?machine ?domains spec kinds =
+  Engine.Runner.map ?domains
+    (fun kind -> (kind, run ?machine { spec with lock_kind = kind }))
+    kinds

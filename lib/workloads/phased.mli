@@ -44,6 +44,9 @@ val scenario : spec -> unit -> unit
 
 val compare_kinds :
   ?machine:Butterfly.Config.t ->
+  ?domains:int ->
   spec ->
   Locks.Lock.kind list ->
   (Locks.Lock.kind * result) list
+(** One independent machine per kind, run in parallel across up to
+    [domains] host cores; result order follows the input kinds. *)

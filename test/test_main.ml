@@ -2,12 +2,14 @@ let () =
   Alcotest.run "adaptive_objects"
     [
       ("pqueue", Test_pqueue.suite);
+      ("runner", Test_runner.suite);
       ("rng", Test_rng.suite);
       ("series", Test_series.suite);
       ("counters", Test_counters.suite);
       ("memory", Test_memory.suite);
       ("sched", Test_sched.suite);
       ("sched_more", Test_sched_more.suite);
+      ("hooks", Test_hooks.suite);
       ("cthreads", Test_cthreads.suite);
       ("adaptive_core", Test_adaptive_core.suite);
       ("locks", Test_locks.suite);

@@ -1,22 +1,22 @@
-(* Priority-queue tests: ordering, FIFO stability, growth, and a qcheck
-   model-based property. *)
+(* Priority-queue tests: ordering, FIFO stability, growth, the
+   allocation-lean exn pop path, and a qcheck model-based property. *)
 
 let check_int = Alcotest.(check int)
 
 let test_empty () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:0 () in
   Alcotest.(check bool) "empty" true (Engine.Pqueue.is_empty q);
   Alcotest.(check (option int)) "no min key" None (Engine.Pqueue.min_key q);
   Alcotest.(check bool) "pop of empty" true (Engine.Pqueue.pop_min q = None)
 
 let test_ordering () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:0 () in
   List.iter (fun k -> Engine.Pqueue.add q ~key:k k) [ 5; 3; 9; 1; 7; 2 ];
   let popped = List.map fst (Engine.Pqueue.drain q) in
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 9 ] popped
 
 let test_fifo_ties () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:"" () in
   Engine.Pqueue.add q ~key:4 "a";
   Engine.Pqueue.add q ~key:4 "b";
   Engine.Pqueue.add q ~key:4 "c";
@@ -24,8 +24,20 @@ let test_fifo_ties () =
   let popped = List.map snd (Engine.Pqueue.drain q) in
   Alcotest.(check (list string)) "insertion order on ties" [ "z"; "a"; "b"; "c" ] popped
 
+let test_fifo_ties_across_pops () =
+  (* FIFO stability must survive interleaved pops: equal keys added
+     around a pop still come out oldest first. *)
+  let q = Engine.Pqueue.create ~dummy:"" () in
+  Engine.Pqueue.add q ~key:7 "first";
+  Engine.Pqueue.add q ~key:7 "second";
+  Engine.Pqueue.add q ~key:1 "low";
+  Alcotest.(check string) "low first" "low" (Engine.Pqueue.pop_min_value_exn q);
+  Engine.Pqueue.add q ~key:7 "third";
+  let popped = List.map snd (Engine.Pqueue.drain q) in
+  Alcotest.(check (list string)) "ties stay FIFO" [ "first"; "second"; "third" ] popped
+
 let test_growth () =
-  let q = Engine.Pqueue.create ~capacity:2 () in
+  let q = Engine.Pqueue.create ~capacity:2 ~dummy:0 () in
   for i = 1000 downto 1 do
     Engine.Pqueue.add q ~key:i i
   done;
@@ -33,8 +45,38 @@ let test_growth () =
   let popped = List.map fst (Engine.Pqueue.drain q) in
   Alcotest.(check (list int)) "all sorted" (List.init 1000 (fun i -> i + 1)) popped
 
+let test_grow_across_drain () =
+  (* A queue must keep growing correctly after a drain emptied it. *)
+  let q = Engine.Pqueue.create ~capacity:2 ~dummy:0 () in
+  for i = 1 to 100 do
+    Engine.Pqueue.add q ~key:i i
+  done;
+  check_int "first fill" 100 (List.length (Engine.Pqueue.drain q));
+  Alcotest.(check bool) "empty after drain" true (Engine.Pqueue.is_empty q);
+  for i = 500 downto 1 do
+    Engine.Pqueue.add q ~key:i i
+  done;
+  check_int "second fill size" 500 (Engine.Pqueue.size q);
+  let popped = List.map fst (Engine.Pqueue.drain q) in
+  Alcotest.(check (list int)) "second fill sorted" (List.init 500 (fun i -> i + 1)) popped
+
+let test_pop_min_exn () =
+  let q = Engine.Pqueue.create ~dummy:0 () in
+  Engine.Pqueue.add q ~key:9 90;
+  Engine.Pqueue.add q ~key:4 40;
+  (match Engine.Pqueue.pop_min_exn q with
+  | 4, 40 -> ()
+  | _ -> Alcotest.fail "pop_min_exn mismatch");
+  check_int "value-only pop" 90 (Engine.Pqueue.pop_min_value_exn q);
+  Alcotest.check_raises "pop_min_exn on empty"
+    (Invalid_argument "Pqueue.pop_min_exn: empty queue") (fun () ->
+      ignore (Engine.Pqueue.pop_min_exn q));
+  Alcotest.check_raises "pop_min_value_exn on empty"
+    (Invalid_argument "Pqueue.pop_min_value_exn: empty queue") (fun () ->
+      ignore (Engine.Pqueue.pop_min_value_exn q))
+
 let test_peek_does_not_remove () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:"" () in
   Engine.Pqueue.add q ~key:3 "x";
   (match Engine.Pqueue.peek_min q with
   | Some (3, "x") -> ()
@@ -42,7 +84,7 @@ let test_peek_does_not_remove () =
   check_int "still there" 1 (Engine.Pqueue.size q)
 
 let test_clear () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:() () in
   List.iter (fun k -> Engine.Pqueue.add q ~key:k ()) [ 3; 1; 2 ];
   Engine.Pqueue.clear q;
   Alcotest.(check bool) "empty after clear" true (Engine.Pqueue.is_empty q);
@@ -50,7 +92,7 @@ let test_clear () =
   check_int "usable after clear" 1 (Engine.Pqueue.size q)
 
 let test_interleaved_add_pop () =
-  let q = Engine.Pqueue.create () in
+  let q = Engine.Pqueue.create ~dummy:0 () in
   Engine.Pqueue.add q ~key:5 5;
   Engine.Pqueue.add q ~key:1 1;
   (match Engine.Pqueue.pop_min q with
@@ -69,7 +111,7 @@ let prop_drain_sorted =
   QCheck.Test.make ~name:"pqueue drain = stable sort" ~count:300
     QCheck.(list (int_bound 50))
     (fun keys ->
-      let q = Engine.Pqueue.create () in
+      let q = Engine.Pqueue.create ~dummy:(0, 0) () in
       List.iteri (fun i k -> Engine.Pqueue.add q ~key:k (k, i)) keys;
       let popped = List.map snd (Engine.Pqueue.drain q) in
       let expected =
@@ -83,7 +125,7 @@ let prop_size_tracks =
   QCheck.Test.make ~name:"pqueue size tracks adds and pops" ~count:200
     QCheck.(list (pair (int_bound 100) bool))
     (fun actions ->
-      let q = Engine.Pqueue.create () in
+      let q = Engine.Pqueue.create ~dummy:() () in
       let model = ref 0 in
       List.iter
         (fun (k, pop) ->
@@ -102,7 +144,10 @@ let suite =
     Alcotest.test_case "empty" `Quick test_empty;
     Alcotest.test_case "ordering" `Quick test_ordering;
     Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+    Alcotest.test_case "fifo ties across pops" `Quick test_fifo_ties_across_pops;
     Alcotest.test_case "growth" `Quick test_growth;
+    Alcotest.test_case "grow across drain" `Quick test_grow_across_drain;
+    Alcotest.test_case "pop_min_exn" `Quick test_pop_min_exn;
     Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "interleaved" `Quick test_interleaved_add_pop;
