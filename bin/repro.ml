@@ -208,6 +208,91 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ verbose)
 
+let chaos_cmd =
+  let doc =
+    "Chaos harness: sweep seeded, replayable fault plans (memory degradation, stuck \
+     modules, processor stalls, thread kills, lock-holder delays) over the shipped \
+     scenario catalogue, with the sanitizers watching and a watchdog turning hangs \
+     into structured aborts. Exits non-zero on any invariant failure. With --csv-dir, \
+     writes CHAOS_results.json plus CHAOS_failing_plans.txt (replayable with --plan) \
+     when anything failed."
+  in
+  let seeds =
+    Arg.(value & opt int 5
+         & info [ "seeds" ] ~docv:"N" ~doc:"Fault-plan seeds per scenario (1..N).")
+  in
+  let quick =
+    Arg.(value & flag
+         & info [ "quick" ] ~doc:"Smoke mode for CI: 2 seeds per scenario.")
+  in
+  let plan =
+    Arg.(value & opt (some string) None
+         & info [ "plan" ] ~docv:"SPEC"
+             ~doc:
+               "Replay this exact fault plan (the spec-string syntax of \
+                Faults.Fault_plan, as dumped in CHAOS_failing_plans.txt) instead of \
+                generating seeded plans.")
+  in
+  let scenario_filter =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"NAME" ~doc:"Restrict the sweep to one scenario.")
+  in
+  let run seeds quick plan scenario_name csv_dir domains =
+    set_domains domains;
+    let scenarios = Analysis_suite.shipped () in
+    let scenarios =
+      match scenario_name with
+      | None -> scenarios
+      | Some n -> List.filter (fun s -> s.Analysis_suite.scenario_name = n) scenarios
+    in
+    if scenarios = [] then begin
+      prerr_endline "chaos: no scenario matches --scenario";
+      exit 2
+    end;
+    let results =
+      match plan with
+      | Some spec ->
+        let plan = Faults.Fault_plan.of_string spec in
+        List.map (fun s -> Chaos.replay ~scenario:s ~plan) scenarios
+      | None ->
+        let n = if quick then 2 else max 1 seeds in
+        Chaos.sweep ~seeds:(List.init n (fun i -> i + 1)) ~scenarios ()
+    in
+    List.iter
+      (fun r ->
+        Printf.printf "%-26s seed=%-3d %-9s %s\n" r.Chaos.scenario r.Chaos.seed
+          r.Chaos.outcome
+          (match r.Chaos.invariant_failures with
+          | [] -> "ok"
+          | fs -> "FAIL: " ^ String.concat "; " fs))
+      results;
+    print_endline (Chaos.summary_line results);
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "CHAOS_results.json" in
+      let oc = open_out path in
+      output_string oc (Chaos.to_json results);
+      close_out oc;
+      Printf.printf "wrote %s\n" path;
+      let failing = List.filter (fun r -> not (Chaos.passed r)) results in
+      if failing <> [] then begin
+        let path = Filename.concat dir "CHAOS_failing_plans.txt" in
+        let oc = open_out path in
+        List.iter
+          (fun r ->
+            Printf.fprintf oc "%s seed=%d plan=%s\n" r.Chaos.scenario r.Chaos.seed
+              r.Chaos.plan)
+          failing;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      end);
+    if List.exists (fun r -> not (Chaos.passed r)) results then exit 1
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ seeds $ quick $ plan $ scenario_filter $ csv_dir $ domains)
+
 let () =
   let doc = "Reproduce the tables and figures of Mukherjee & Schwan, GIT-CC-93/17" in
   let info = Cmd.info "repro" ~version:"1.0.0" ~doc in
@@ -215,5 +300,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: bench_cmd :: analyze_cmd :: fig1_cmd :: tsp_cmd :: table_cmds)
+          ((all_cmd :: bench_cmd :: analyze_cmd :: chaos_cmd :: fig1_cmd :: tsp_cmd
+            :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

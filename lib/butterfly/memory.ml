@@ -4,6 +4,7 @@ type bank = {
   mutable words : int array;
   mutable used : int;
   mutable busy : int;  (* module occupied until this virtual time *)
+  mutable degrade : int;  (* latency multiplier; 1 = healthy *)
 }
 
 type t = {
@@ -17,7 +18,7 @@ let index_of a = a.index
 let pp_addr ppf a = Format.fprintf ppf "%d:%d" a.node a.index
 
 let create (cfg : Config.t) =
-  let bank _ = { words = Array.make 256 0; used = 0; busy = 0 } in
+  let bank _ = { words = Array.make 256 0; used = 0; busy = 0; degrade = 1 } in
   { banks = Array.init cfg.processors bank; remote = 0; total = 0 }
 
 let nodes t = Array.length t.banks
@@ -95,7 +96,12 @@ let reserve t (cfg : Config.t) ~from_node a access ~start =
   let _ = bank_exn t a in
   t.total <- t.total + 1;
   if from_node <> a.node then t.remote <- t.remote + 1;
-  let wire = latency cfg ~from_node a access in
+  (* Fault injection: a degraded module multiplies both the wire
+     latency and (under contention) its service occupancy. With the
+     default factor of 1 the arithmetic below is exactly the healthy
+     path, so fault-free runs are byte-identical. *)
+  let degrade = t.banks.(a.node).degrade in
+  let wire = degrade * latency cfg ~from_node a access in
   if not cfg.contention then start + wire
   else begin
     let bank = t.banks.(a.node) in
@@ -105,13 +111,27 @@ let reserve t (cfg : Config.t) ~from_node a access ~start =
       | Atomic_access -> 2 * cfg.module_service_ns
       | Read_access | Write_access -> cfg.module_service_ns
     in
-    bank.busy <- grant + service;
+    bank.busy <- grant + (degrade * service);
     grant + wire
   end
 
 let busy_until t ~node =
   check_node t node;
   t.banks.(node).busy
+
+let set_degrade_factor t ~node factor =
+  check_node t node;
+  if factor < 1 then invalid_arg "Memory.set_degrade_factor: factor must be >= 1";
+  t.banks.(node).degrade <- factor
+
+let degrade_factor t ~node =
+  check_node t node;
+  t.banks.(node).degrade
+
+let stall_module t ~node ~until_ns =
+  check_node t node;
+  let bank = t.banks.(node) in
+  if until_ns > bank.busy then bank.busy <- until_ns
 
 let words_used t ~node =
   check_node t node;

@@ -70,6 +70,26 @@ val reserve : t -> Config.t -> from_node:int -> addr -> access -> start:int -> i
 val busy_until : t -> node:int -> int
 (** Current occupancy horizon of a module (for tests/metrics). *)
 
+(** {1 Fault injection}
+
+    Host-side degradation knobs used by the fault injector
+    ([lib/faults]). They mutate the module's timing model only; word
+    values and allocation are untouched, so a plan that never fires
+    leaves the machine bit-for-bit identical. *)
+
+val set_degrade_factor : t -> node:int -> int -> unit
+(** Multiply the module's wire latency and (under contention) service
+    time by [factor]. [1] restores the healthy module. Raises
+    [Invalid_argument] when [factor < 1] or the node is bad. *)
+
+val degrade_factor : t -> node:int -> int
+
+val stall_module : t -> node:int -> until_ns:int -> unit
+(** Mark the module busy until [until_ns] (a temporarily stuck
+    module): with contention modelling enabled, every access must wait
+    for the stall to clear before being served. Never shortens an
+    existing occupancy. *)
+
 val words_used : t -> node:int -> int
 
 val remote_accesses : t -> int

@@ -1,6 +1,22 @@
 exception Deadlock of string
 exception Event_limit_exceeded
 exception Thread_crash of string * exn
+exception Abort_requested of string
+
+type abort_reason =
+  | Deadlocked of string
+  | Event_limit
+  | Crashed of string * exn
+  | Stop_requested of string
+
+type outcome = Completed | Aborted of { reason : abort_reason; diagnostics : string }
+
+let abort_reason_message = function
+  | Deadlocked msg -> "deadlock: " ^ msg
+  | Event_limit -> "event limit exceeded"
+  | Crashed (name, e) ->
+    Printf.sprintf "thread %s crashed: %s" name (Printexc.to_string e)
+  | Stop_requested msg -> "abort requested: " ^ msg
 
 type tstate = Ready | Running | Blocked | Joining | Finished
 
@@ -74,6 +90,9 @@ type thread = {
   mutable joiners : int list;
   mutable work_left : int;
   mutable cpu_ns : int;
+  mutable penalty_ns : int;  (* fault-injected stall charged at next dispatch *)
+  mutable last_block_site : string;  (* last lock requested (annot bus), "" if none *)
+  mutable held_locks : string list;  (* lock names acquired and not yet released *)
 }
 
 (* Sentinel standing for "no thread" in processor slots and run
@@ -93,6 +112,9 @@ let no_thread =
     joiners = [];
     work_left = 0;
     cpu_ns = 0;
+    penalty_ns = 0;
+    last_block_site = "";
+    held_locks = [];
   }
 
 type proc = {
@@ -127,6 +149,11 @@ type t = {
   mutable started : bool;
   mutable final : int;
   mutable place_cursor : int;
+  mutable timers : (int * int * (unit -> unit)) list;
+      (* host-side virtual-time callbacks (fault injection), sorted by
+         (time, insertion sequence); empty on fault-free machines *)
+  mutable timer_seq : int;
+  mutable abort : string option;  (* a pending host-side abort request *)
 }
 
 let create (cfg : Config.t) =
@@ -159,6 +186,9 @@ let create (cfg : Config.t) =
     started = false;
     final = 0;
     place_cursor = 0;
+    timers = [];
+    timer_seq = 0;
+    abort = None;
   }
 
 let config t = t.cfg
@@ -279,18 +309,21 @@ let new_thread t ~name ~proc ~prio fn =
       joiners = [];
       work_left = 0;
       cpu_ns = 0;
+      penalty_ns = 0;
+      last_block_site = "";
+      held_locks = [];
     }
   in
   Hashtbl.add t.threads tid th;
   t.live <- t.live + 1;
   th
 
-let finish t th =
+let finish ?at t th =
+  let now = match at with Some a -> a | None -> t.procs.(th.proc).pnow in
   th.state <- Finished;
-  emit t ~time:t.procs.(th.proc).pnow ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_finish;
+  emit t ~time:now ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_finish;
   t.live <- t.live - 1;
-  let p = t.procs.(th.proc) in
-  let wake_time = p.pnow + t.cfg.join_ns in
+  let wake_time = now + t.cfg.join_ns in
   List.iter
     (fun jtid ->
       let joiner = Hashtbl.find t.threads jtid in
@@ -305,6 +338,68 @@ let find_thread t tid =
   match Hashtbl.find_opt t.threads tid with
   | Some th -> th
   | None -> invalid_arg (Printf.sprintf "Butterfly: unknown thread %d" tid)
+
+let machine_time t = Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs
+
+(* {2 Fault-injection entry points}
+
+   All of these are host-side: the injector calls them from virtual-time
+   timers (or annotation hooks), never from simulated code. On a
+   machine with no timers and no penalties the scheduler's behaviour is
+   bit-for-bit the fault-free one. *)
+
+let add_timer t ~at fn =
+  if at < 0 then invalid_arg "Sched.add_timer: negative time";
+  let seq = t.timer_seq in
+  t.timer_seq <- seq + 1;
+  let rec insert = function
+    | [] -> [ (at, seq, fn) ]
+    | ((at', seq', _) as hd) :: tl ->
+      if at < at' || (at = at' && seq < seq') then (at, seq, fn) :: hd :: tl
+      else hd :: insert tl
+  in
+  t.timers <- insert t.timers
+
+let pending_timers t = List.length t.timers
+
+let request_abort t reason = if t.abort = None then t.abort <- Some reason
+let abort_requested t = t.abort
+
+let stall_processor t ~proc ~ns =
+  if proc < 0 || proc >= Array.length t.procs then
+    invalid_arg (Printf.sprintf "Sched.stall_processor: bad processor %d" proc);
+  if ns < 0 then invalid_arg "Sched.stall_processor: negative stall";
+  let p = t.procs.(proc) in
+  p.pnow <- p.pnow + ns;
+  p.slice_ns <- 0
+
+let penalize_thread t ~tid ~ns =
+  if ns < 0 then invalid_arg "Sched.penalize_thread: negative penalty";
+  match Hashtbl.find_opt t.threads tid with
+  | Some th when th.state <> Finished ->
+    th.penalty_ns <- th.penalty_ns + ns;
+    true
+  | Some _ | None -> false
+
+(* A kill models a crash: the suspended continuation is dropped (no
+   cleanup runs; the fiber is reclaimed by the GC), joiners are woken
+   exactly as for a normal termination, and any lock words the victim
+   holds stay held — which is precisely the pathology the watchdog and
+   the chaos harness are there to surface. Threads already queued stay
+   in their run queues; the dispatcher skips Finished entries. *)
+let kill_thread t ~tid ~at =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> false
+  | Some th ->
+    if th.state = Finished then false
+    else begin
+      th.pending <- P_none;
+      th.work_left <- 0;
+      Array.iter (fun p -> if p.cont == th then p.cont <- no_thread) t.procs;
+      Engine.Counters.incr t.counters "sched.kills";
+      finish ~at t th;
+      true
+    end
 
 let mem_access_kind = function
   | `Read -> Memory.Read_access
@@ -527,10 +622,27 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
   | Ops.E_annotate annotation ->
     Some
       (fun k ->
+        (* Lock annotations double as the scheduler's own bookkeeping
+           for abort diagnostics: each thread's last requested lock is
+           its "blocking site" and acquire/release maintain its held
+           set. This only runs when annotations flow at all (i.e. at
+           least one subscriber), so the zero-subscriber fast path in
+           Ops.annotate is untouched. *)
+        let th = current_thread t in
+        (match annotation with
+        | Ops.A_lock_request { lock_name; _ } -> th.last_block_site <- lock_name
+        | Ops.A_lock_acquire { lock_name; _ } ->
+          th.held_locks <- lock_name :: th.held_locks
+        | Ops.A_lock_release { lock_name; _ } ->
+          let rec remove_first = function
+            | [] -> []
+            | hd :: tl -> if String.equal hd lock_name then tl else hd :: remove_first tl
+          in
+          th.held_locks <- remove_first th.held_locks
+        | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ());
         (match t.annot_hooks with
         | [] -> ()
         | hooks ->
-          let th = current_thread t in
           let p = t.procs.(th.proc) in
           let ev =
             { annot_time = p.pnow; annot_proc = p.pid; annot_tid = th.tid; annotation }
@@ -569,7 +681,8 @@ let resume t pend =
 
 (* Pick the processor whose next runnable thread executes earliest.
    Ties break toward the lowest processor id, keeping runs
-   deterministic. *)
+   deterministic. Returns the dispatch key (the global next virtual
+   time) so the run loop can fire due fault timers first. *)
 let pick t =
   let best = ref None in
   Array.iter
@@ -586,7 +699,7 @@ let pick t =
         | Some (bkey, _) when bkey <= key -> ()
         | _ -> best := Some (key, p)))
     t.procs;
-  match !best with Some (_, p) -> Some p | None -> None
+  !best
 
 let dispatch t p =
   let th =
@@ -597,6 +710,9 @@ let dispatch t p =
     end
     else Engine.Pqueue.pop_min_value_exn p.runq
   in
+  if th.state = Finished then ()
+    (* a killed thread still queued: consume the slot, run nothing *)
+  else begin
   let start = max p.pnow th.wake_at in
   let start =
     if p.last_tid >= 0 && p.last_tid <> th.tid then begin
@@ -605,6 +721,17 @@ let dispatch t p =
       p.busy_ns <- p.busy_ns + t.cfg.switch_ns;
       p.slice_ns <- 0;
       start + t.cfg.switch_ns
+    end
+    else start
+  in
+  let start =
+    if th.penalty_ns > 0 then begin
+      (* A fault-injected stall (e.g. lock-holder delay): the thread is
+         charged the penalty before it resumes. *)
+      let pen = th.penalty_ns in
+      th.penalty_ns <- 0;
+      Engine.Counters.incr t.counters "sched.fault_stalls";
+      start + pen
     end
     else start
   in
@@ -635,18 +762,84 @@ let dispatch t p =
       resume t pend);
     t.current <- no_thread
   end
+  end
+
+(* One blocked/joining thread's entry in the deadlock payload. When
+   lock annotations were flowing (any annot subscriber), each entry
+   also names the thread's last blocking site (the lock it last
+   requested) and the locks it still holds. *)
+let stuck_description th =
+  let verb =
+    match th.state with Joining -> "joining" | _ (* Blocked *) -> "blocked"
+  in
+  let site = if th.last_block_site = "" then "" else " at " ^ th.last_block_site in
+  let holding =
+    match th.held_locks with
+    | [] -> ""
+    | held -> Printf.sprintf ", holding [%s]" (String.concat ", " (List.rev held))
+  in
+  Printf.sprintf "%s(#%d %s%s%s)" th.name th.tid verb site holding
 
 let deadlock_report t =
   let stuck =
     Hashtbl.fold
       (fun _ th acc ->
         match th.state with
-        | Blocked -> Printf.sprintf "%s(#%d blocked)" th.name th.tid :: acc
-        | Joining -> Printf.sprintf "%s(#%d joining)" th.name th.tid :: acc
+        | Blocked | Joining -> stuck_description th :: acc
         | Ready | Running | Finished -> acc)
       t.threads []
   in
   String.concat ", " (List.sort String.compare stuck)
+
+let state_name = function
+  | Ready -> "ready"
+  | Running -> "running"
+  | Blocked -> "blocked"
+  | Joining -> "joining"
+  | Finished -> "finished"
+
+(* A deterministic full dump of the machine for structured aborts: no
+   wall-clock, no addresses — byte-identical across runs and domain
+   counts. *)
+let diagnostics t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "machine at t=%dns: %d live thread(s), %d event(s), %d timer(s) pending\n"
+       (machine_time t) t.live t.events (List.length t.timers));
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "  proc %d: now=%dns busy=%dns runq=%d\n" p.pid p.pnow p.busy_ns
+           (Engine.Pqueue.size p.runq + if p.cont != no_thread then 1 else 0)))
+    t.procs;
+  Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []
+  |> List.sort (fun a b -> compare a.tid b.tid)
+  |> List.iter (fun th ->
+         let site = if th.last_block_site = "" then "" else " site=" ^ th.last_block_site in
+         let holding =
+           match th.held_locks with
+           | [] -> ""
+           | held ->
+             Printf.sprintf " holding=[%s]" (String.concat ", " (List.rev held))
+         in
+         Buffer.add_string buf
+           (Printf.sprintf "  thread %s(#%d): %s cpu=%dns%s%s\n" th.name th.tid
+              (state_name th.state) th.cpu_ns site holding));
+  Buffer.contents buf
+
+(* Pop and run every timer due at or before [upto]. Callbacks run
+   host-side (no current thread) and may mutate the machine: stall
+   processors, kill threads, degrade memory modules, re-arm timers.
+   Timers armed during the batch for a time <= [upto] fire on the next
+   loop iteration, so a re-arming callback cannot livelock the batch. *)
+let fire_timers t ~upto =
+  let rec split due = function
+    | (at, _, fn) :: tl when at <= upto -> split (fn :: due) tl
+    | rest -> (List.rev due, rest)
+  in
+  let due, rest = split [] t.timers in
+  t.timers <- rest;
+  List.iter (fun fn -> fn ()) due
 
 let run ?(main_name = "main") t main =
   if t.started then invalid_arg "Sched.run: this machine already ran";
@@ -658,19 +851,49 @@ let run ?(main_name = "main") t main =
   let saved_annots = Ops.annotations_enabled () in
   Ops.set_annotations_enabled (t.annot_hooks <> []);
   Fun.protect
-    ~finally:(fun () -> Ops.set_annotations_enabled saved_annots)
+    ~finally:(fun () ->
+      Ops.set_annotations_enabled saved_annots;
+      t.final <- machine_time t)
     (fun () ->
       let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
       make_ready t main_thread ~at:0;
       let continue = ref true in
       while !continue do
+        (match t.abort with
+        | Some reason -> raise (Abort_requested reason)
+        | None -> ());
         t.events <- t.events + 1;
         Engine.Counters.incr t.counters "sched.events";
         if t.events > t.cfg.max_events then raise Event_limit_exceeded;
         match pick t with
-        | Some p -> dispatch t p
+        | Some (key, p) -> (
+          match t.timers with
+          | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
+          | _ -> dispatch t p)
         | None ->
-          if t.live > 0 then raise (Deadlock (deadlock_report t));
-          continue := false
-      done;
-      t.final <- Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs)
+          if t.live = 0 then
+            (* All threads finished: the run is over. Timers still
+               pending describe faults the execution never reached —
+               discard them rather than perturb the final clocks. *)
+            continue := false
+          else (
+            (* Nothing runnable but threads remain. Pending timers may
+               still revive the machine (a kill releases joiners, a
+               penalty expires), so fire the earliest batch before
+               concluding deadlock. *)
+            match t.timers with
+            | (at, _, _) :: _ -> fire_timers t ~upto:at
+            | [] -> raise (Deadlock (deadlock_report t)))
+      done)
+
+let run_outcome ?main_name t main =
+  match run ?main_name t main with
+  | () -> Completed
+  | exception Deadlock msg ->
+    Aborted { reason = Deadlocked msg; diagnostics = diagnostics t }
+  | exception Event_limit_exceeded ->
+    Aborted { reason = Event_limit; diagnostics = diagnostics t }
+  | exception Thread_crash (name, e) ->
+    Aborted { reason = Crashed (name, e); diagnostics = diagnostics t }
+  | exception Abort_requested reason ->
+    Aborted { reason = Stop_requested reason; diagnostics = diagnostics t }

@@ -15,7 +15,10 @@ type t
 
 exception Deadlock of string
 (** No thread is runnable but blocked/joining threads remain. The
-    payload lists them. *)
+    payload lists them, each with its last blocking site (the lock it
+    last requested) and the locks it still holds, whenever lock
+    annotations were flowing during the run (i.e. at least one
+    annotation subscriber — see {!add_annot_hook}). *)
 
 exception Event_limit_exceeded
 (** The configured [max_events] safety valve fired. *)
@@ -24,12 +27,93 @@ exception Thread_crash of string * exn
 (** A simulated thread raised; payload is the thread name and the
     original exception. *)
 
+exception Abort_requested of string
+(** A host-side observer (typically the {!request_abort} watchdog
+    path) asked the run to stop; the payload is its reason. *)
+
 val create : Config.t -> t
 
 val run : ?main_name:string -> t -> (unit -> unit) -> unit
 (** [run t main] executes [main] as the first thread (on processor 0)
     and returns when all simulated threads have terminated. Raises
     [Invalid_argument] if this machine already ran. *)
+
+(** {1 Structured run outcomes}
+
+    [run] aborts by exception ({!Deadlock}, {!Event_limit_exceeded},
+    {!Thread_crash}, {!Abort_requested}). {!run_outcome} is the
+    recovery-oriented entry point: the same run, but every abort is
+    caught and returned as a structured {!outcome} carrying the reason
+    and a full deterministic diagnostic dump of the machine. *)
+
+type abort_reason =
+  | Deadlocked of string  (** the {!Deadlock} payload *)
+  | Event_limit
+  | Crashed of string * exn  (** thread name and original exception *)
+  | Stop_requested of string  (** {!request_abort} reason (watchdog) *)
+
+type outcome = Completed | Aborted of { reason : abort_reason; diagnostics : string }
+
+val abort_reason_message : abort_reason -> string
+(** One-line human-readable rendering of the reason. *)
+
+val run_outcome : ?main_name:string -> t -> (unit -> unit) -> outcome
+(** Like {!run}, but never lets a scheduler abort escape as an
+    exception: the machine's state at the moment of the abort is
+    rendered by {!diagnostics} and returned alongside the reason. *)
+
+val diagnostics : t -> string
+(** Deterministic dump of the machine: virtual time, per-processor
+    clocks and queue lengths, and one line per thread (state, cpu,
+    last blocking site and held locks when annotations were flowing).
+    Contains no wall-clock or host state, so identical runs dump
+    identical bytes. *)
+
+(** {1 Fault-injection entry points}
+
+    Host-side hooks used by the fault injector ([lib/faults]) and the
+    watchdog ([lib/monitoring]). None of them may be called from
+    simulated code. A machine with no timers, penalties or abort
+    requests behaves bit-for-bit like a fault-free one. *)
+
+val add_timer : t -> at:int -> (unit -> unit) -> unit
+(** Schedule a host-side callback at virtual time [at]. The callback
+    runs between dispatches, before the machine's virtual time first
+    reaches [at]; callbacks fire in (time, insertion) order and may
+    mutate the machine (stall processors, kill threads, degrade memory
+    modules) or re-arm further timers. Timers still pending when the
+    last thread finishes are discarded — the run's final clocks are
+    those of the workload, never of unreached faults. *)
+
+val pending_timers : t -> int
+
+val request_abort : t -> string -> unit
+(** Ask the run loop to stop before its next dispatch. [run] raises
+    {!Abort_requested}; {!run_outcome} returns [Aborted] with reason
+    [Stop_requested]. The first request wins; later ones are ignored. *)
+
+val abort_requested : t -> string option
+
+val stall_processor : t -> proc:int -> ns:int -> unit
+(** Advance a processor's clock by [ns] without running anything: the
+    processor is offline for that window of virtual time. *)
+
+val penalize_thread : t -> tid:int -> ns:int -> bool
+(** Charge [ns] of stall to a thread at its next dispatch (the
+    lock-holder-delay fault). Returns [false] when the thread is
+    unknown or already finished. *)
+
+val kill_thread : t -> tid:int -> at:int -> bool
+(** Crash a thread at virtual time [at]: its suspended computation is
+    discarded (no cleanup runs), joiners are woken as for a normal
+    termination, and any locks it holds stay held. Returns [false]
+    when the thread is unknown or already finished (the kill is then a
+    no-op, which keeps seeded fault plans safe to apply blindly). *)
+
+val machine_time : t -> int
+(** Max over all processor clocks right now (host-side; valid during
+    and after the run — unlike {!final_time}, which is the completed
+    run's last event time). *)
 
 val config : t -> Config.t
 val memory : t -> Memory.t

@@ -1,0 +1,30 @@
+(** Bounded exponential backoff with deterministic jitter.
+
+    The retry policy behind the thread package's recovery paths: a
+    failed attempt waits [base * 2^attempt] capped at [cap], plus a
+    jitter drawn from a seeded {!Rng} stream so that retries from
+    different threads decorrelate without breaking run-to-run
+    determinism. The module is engine-level and knows nothing about
+    the simulator: callers hand {!retry} their own [sleep] (typically
+    [Butterfly.Ops.delay]) so the same policy drives simulated and
+    host-side retries alike. *)
+
+type t
+
+val create : ?base_ns:int -> ?cap_ns:int -> ?jitter_pct:int -> seed:int -> unit -> t
+(** [base_ns] is the first gap (default 1_000), [cap_ns] the bound
+    (default 1_000_000), [jitter_pct] the +/- percentage drawn
+    uniformly around each gap (default 25, clamped to [0, 100]).
+    Raises [Invalid_argument] on non-positive [base_ns]/[cap_ns]. *)
+
+val gap_ns : t -> attempt:int -> int
+(** The wait before retry number [attempt] (0-based): exponential,
+    capped, jittered. Consumes one draw from the policy's RNG stream,
+    so calling it in a loop yields a deterministic but decorrelated
+    schedule. Always at least 1. *)
+
+val retry : t -> max_attempts:int -> sleep:(int -> unit) -> (unit -> bool) -> bool
+(** [retry t ~max_attempts ~sleep f] runs [f ()] up to [max_attempts]
+    times, sleeping [gap_ns] between failures, and returns whether an
+    attempt succeeded. [f] is always called at least once; no sleep
+    follows the final failure. *)

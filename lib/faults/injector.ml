@@ -1,0 +1,93 @@
+module Sched = Butterfly.Sched
+module Memory = Butterfly.Memory
+
+type pending_delay = {
+  delay_from_ns : int;
+  delay_lock : string;
+  delay_ns : int;
+  mutable delivered : bool;
+}
+
+type t = {
+  sched : Sched.t;
+  mutable log_rev : string list;
+  delays : pending_delay list;
+}
+
+let log t fmt = Printf.ksprintf (fun s -> t.log_rev <- s :: t.log_rev) fmt
+
+let arm_timer t { Fault_plan.at_ns; fault } =
+  let nodes = (Sched.config t.sched).Butterfly.Config.processors in
+  match fault with
+  | Fault_plan.Mem_degrade { node; factor; until_ns } ->
+    Sched.add_timer t.sched ~at:at_ns (fun () ->
+        if node < 0 || node >= nodes || factor < 1 then
+          log t "t=%d mem-degrade node=%d (skipped: invalid)" at_ns node
+        else begin
+          Memory.set_degrade_factor (Sched.memory t.sched) ~node factor;
+          log t "t=%d mem-degrade node=%d factor=%d until=%d" at_ns node factor until_ns;
+          if until_ns > at_ns then
+            Sched.add_timer t.sched ~at:until_ns (fun () ->
+                Memory.set_degrade_factor (Sched.memory t.sched) ~node 1;
+                log t "t=%d mem-degrade node=%d restored" until_ns node)
+        end)
+  | Fault_plan.Mem_stuck { node; until_ns } ->
+    Sched.add_timer t.sched ~at:at_ns (fun () ->
+        if node < 0 || node >= nodes then
+          log t "t=%d mem-stuck node=%d (skipped: invalid)" at_ns node
+        else begin
+          Memory.stall_module (Sched.memory t.sched) ~node ~until_ns;
+          log t "t=%d mem-stuck node=%d until=%d" at_ns node until_ns
+        end)
+  | Fault_plan.Proc_stall { proc; ns } ->
+    Sched.add_timer t.sched ~at:at_ns (fun () ->
+        if proc < 0 || proc >= nodes || ns < 0 then
+          log t "t=%d proc-stall proc=%d (skipped: invalid)" at_ns proc
+        else begin
+          Sched.stall_processor t.sched ~proc ~ns;
+          log t "t=%d proc-stall proc=%d ns=%d" at_ns proc ns
+        end)
+  | Fault_plan.Thread_kill { tid } ->
+    Sched.add_timer t.sched ~at:at_ns (fun () ->
+        if Sched.kill_thread t.sched ~tid ~at:at_ns then log t "t=%d kill tid=%d" at_ns tid
+        else log t "t=%d kill tid=%d (no-op: unknown or finished)" at_ns tid)
+  | Fault_plan.Lock_holder_delay _ ->
+    (* handled by the annotation observer armed in [install] *)
+    ()
+
+let install sched ~plan =
+  let delays =
+    List.filter_map
+      (fun { Fault_plan.at_ns; fault } ->
+        match fault with
+        | Fault_plan.Lock_holder_delay { lock; ns } ->
+          Some { delay_from_ns = at_ns; delay_lock = lock; delay_ns = ns; delivered = false }
+        | _ -> None)
+      plan
+  in
+  let t = { sched; log_rev = []; delays } in
+  List.iter (arm_timer t) plan;
+  if delays <> [] then
+    Sched.add_annot_hook sched (fun a ->
+        match a.Sched.annotation with
+        | Butterfly.Ops.A_lock_acquire { lock_name; _ } ->
+          List.iter
+            (fun d ->
+              if
+                (not d.delivered)
+                && a.Sched.annot_time >= d.delay_from_ns
+                && (d.delay_lock = "*" || d.delay_lock = lock_name)
+              then begin
+                d.delivered <- true;
+                if Sched.penalize_thread sched ~tid:a.Sched.annot_tid ~ns:d.delay_ns then
+                  log t "t=%d holder-delay lock=%s tid=%d ns=%d" a.Sched.annot_time
+                    lock_name a.Sched.annot_tid d.delay_ns
+                else
+                  log t "t=%d holder-delay lock=%s tid=%d (no-op: finished)"
+                    a.Sched.annot_time lock_name a.Sched.annot_tid
+              end)
+            t.delays
+        | _ -> ());
+  t
+
+let applied t = List.rev t.log_rev

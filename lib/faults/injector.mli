@@ -1,0 +1,27 @@
+(** Arms a {!Fault_plan} on a machine.
+
+    Each fault becomes a host-side virtual-time timer
+    ({!Butterfly.Sched.add_timer}); holder-delay faults additionally
+    subscribe one annotation observer that watches for the matching
+    lock acquisition. Everything fires off the machine's own virtual
+    clock, so a (plan, config, program) triple perturbs the execution
+    identically on every run and every [--domains] count.
+
+    Installing the {e empty} plan arms nothing at all — no timers, no
+    annotation subscriber — so a machine with an empty plan is
+    bit-for-bit the unperturbed machine. *)
+
+type t
+
+val install : Butterfly.Sched.t -> plan:Fault_plan.t -> t
+(** Must be called after {!Butterfly.Sched.create} and before
+    {!Butterfly.Sched.run} (holder-delay faults need their annotation
+    observer subscribed up front). *)
+
+val applied : t -> string list
+(** One deterministic line per fault that actually fired, in
+    application order — e.g.
+    ["t=40000 mem-degrade node=3 factor=8 until=900000"] or
+    ["t=250000 kill tid=4 (no-op: unknown or finished)"]. Restores
+    (degrade windows ending) are logged too. Valid during and after
+    the run. *)

@@ -10,6 +10,7 @@ type t = {
   reconf : Reconfigurable_lock.t;
   loop : int Adaptive.t;
   budget : Spin_budget.t;
+  mutable guard : Guardrail.t option;
 }
 
 let apply_budget t =
@@ -27,7 +28,26 @@ let simple_adapt _params t obs =
         apply = (fun () -> apply_budget t);
       }
 
-let create ?name ?trace ?sched ?(params = default_params) ?policy ~home () =
+(* Guardrail-filtered simple-adapt: each observation passes through the
+   guardrail first; a Fallback verdict resets the budget to its default
+   combined value (one charged waiting-policy reconfiguration) instead
+   of feeding the policy. *)
+let guarded_adapt params guard t obs =
+  let wedged_low = Spin_budget.spins t.budget = 0 && obs > params.waiting_threshold in
+  match Guardrail.observe guard ~waiting:obs ~wedged_low with
+  | Guardrail.Fallback ->
+    Policy.Reconfigure
+      {
+        label = "guardrail-fallback";
+        cost = Lock_costs.configure_waiting_policy;
+        apply =
+          (fun () ->
+            Spin_budget.reset t.budget;
+            apply_budget t);
+      }
+  | Guardrail.Sample w -> simple_adapt params t w
+
+let create ?name ?trace ?sched ?(params = default_params) ?policy ?guardrail ~home () =
   let name = match name with Some n -> n | None -> "adaptive-lock" in
   let waiting = Waiting.combined ~node:home ~spins:params.n () in
   let reconf = Reconfigurable_lock.create ~name ?trace ?sched ~policy:waiting ~home () in
@@ -42,13 +62,27 @@ let create ?name ?trace ?sched ?(params = default_params) ?policy ~home () =
     Spin_budget.create ~threshold:params.waiting_threshold ~n:params.n ~cap:params.spin_cap
       ~init:params.n
   in
-  let t = { reconf; loop; budget } in
-  let policy = match policy with Some p -> p | None -> simple_adapt params t in
+  let t = { reconf; loop; budget; guard = None } in
+  let policy =
+    match policy with
+    | Some p -> p
+    | None -> (
+      match guardrail with
+      | None -> simple_adapt params t
+      | Some gparams ->
+        let guard = Guardrail.create ~params:gparams () in
+        t.guard <- Some guard;
+        guarded_adapt params guard t)
+  in
   Adaptive.set_policy loop policy;
   t
 
 let lock t = Reconfigurable_lock.lock t.reconf
 let try_lock t = Reconfigurable_lock.try_lock t.reconf
+let lock_timeout t ~deadline_ns = Reconfigurable_lock.lock_timeout t.reconf ~deadline_ns
+
+let lock_retrying t ~backoff ~max_attempts ~slice_ns =
+  Reconfigurable_lock.lock_retrying t.reconf ~backoff ~max_attempts ~slice_ns
 
 let unlock t =
   Reconfigurable_lock.unlock t.reconf;
@@ -62,3 +96,4 @@ let spins_now t = Spin_budget.spins t.budget
 let mode t = Spin_budget.mode t.budget
 let adaptations t = Adaptive.adaptations t.loop
 let samples t = Adaptive.samples t.loop
+let guardrail t = t.guard

@@ -38,16 +38,31 @@ val create :
   ?sched:Lock_sched.kind ->
   ?params:params ->
   ?policy:int Adaptive_core.Policy.t ->
+  ?guardrail:Guardrail.params ->
   home:int ->
   unit ->
   t
 (** [policy] (observations are waiting-thread counts) replaces
     [simple-adapt] entirely when given — this is the "user-provided
     adaptation policy" hook. The lock starts in the combined
-    configuration with [n] spins. *)
+    configuration with [n] spins.
+
+    [guardrail] (ignored when [policy] is given) wraps [simple-adapt]
+    in a {!Guardrail}: observations are clamped, and a run of
+    pathological samples triggers a fallback to the default combined
+    configuration (charged as one reconfiguration) instead of wedging
+    the budget at an extreme. Off by default — without it the lock
+    behaves bit-for-bit as before. *)
 
 val lock : t -> unit
 val try_lock : t -> bool
+
+val lock_timeout : t -> deadline_ns:int -> bool
+(** Timed acquisition (see {!Lock_core.lock_timeout}). *)
+
+val lock_retrying :
+  t -> backoff:Engine.Backoff.t -> max_attempts:int -> slice_ns:int -> bool
+(** Retried timed acquisition (see {!Lock_core.lock_retrying}). *)
 
 val unlock : t -> unit
 (** Releases the lock, then runs the monitor/adaptation tick (the
@@ -67,6 +82,9 @@ val mode : t -> string
 
 val adaptations : t -> int
 val samples : t -> int
+
+val guardrail : t -> Guardrail.t option
+(** The installed guardrail, if any (for tests and reporting). *)
 
 val simple_adapt : params -> t -> int Adaptive_core.Policy.t
 (** The paper's policy, exposed so ablations can wrap it (e.g. with

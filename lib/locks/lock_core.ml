@@ -185,6 +185,61 @@ let try_lock t =
   end;
   got
 
+(* Timed acquisition: the waiting policy's spin phase bounded by an
+   absolute virtual-time deadline (the Waiting timeout generalized to
+   a per-call deadline). A timed waiter never sleeps — a sleeping
+   waiter is released only by an unlock's direct handoff, which cannot
+   be cancelled at a deadline — so it probes with the policy's
+   gap/backoff schedule until either the word is won or the deadline
+   passes. The waiting count is maintained exactly as for a blocking
+   acquisition, so monitors and adaptive policies see timed waiters. *)
+let lock_timeout t ~deadline_ns =
+  if Ops.annotations_enabled () then
+    Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
+  Lock_stats.on_lock t.lock_stats;
+  Ops.work_instrs t.costs.lock_overhead_instrs;
+  if Ops.test_and_set t.word then begin
+    Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
+    note_acquired t;
+    true
+  end
+  else begin
+    let since = Ops.now () in
+    Lock_stats.on_contended t.lock_stats;
+    enter_waiting t;
+    let rec wait_loop gap =
+      if probe t then begin
+        acquired t ~since;
+        true
+      end
+      else if Ops.now () >= deadline_ns then begin
+        leave_waiting t;
+        Lock_stats.on_timeout t.lock_stats;
+        false
+      end
+      else begin
+        retry_overhead t;
+        if gap > 0 then Ops.work gap;
+        let gap =
+          if Attribute.get t.wait_policy.Waiting.backoff then
+            min (max (gap * 2) 1) max_backoff_ns
+          else gap
+        in
+        wait_loop gap
+      end
+    in
+    wait_loop (Attribute.get t.wait_policy.Waiting.delay_ns)
+  end
+
+(* Bounded-retry acquisition: slices of timed waiting separated by
+   exponential-backoff delays (Engine.Backoff), the package's standard
+   recovery idiom for lock acquisition that must survive a delayed or
+   dead lock holder. *)
+let lock_retrying t ~backoff ~max_attempts ~slice_ns =
+  if slice_ns <= 0 then invalid_arg "Lock_core.lock_retrying: slice_ns must be positive";
+  Engine.Backoff.retry backoff ~max_attempts ~sleep:Ops.delay (fun () ->
+      lock_timeout t ~deadline_ns:(Ops.now () + slice_ns))
+
 let unlock t =
   let me = Ops.self () in
   (match t.owner with

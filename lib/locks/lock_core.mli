@@ -54,6 +54,22 @@ val scheduler : t -> Lock_sched.t
 val lock : t -> unit
 val try_lock : t -> bool
 
+val lock_timeout : t -> deadline_ns:int -> bool
+(** Timed acquisition: attempt to take the lock until virtual time
+    reaches [deadline_ns], then give up. Built on the waiting policy's
+    spin machinery (probe gap, Anderson back-off); a timed waiter
+    never sleeps, since a sleeping waiter can only be released by an
+    unlock handoff, which cannot be cancelled. Returns whether the
+    lock was acquired; a [false] return leaves no trace on the lock
+    beyond a {!Lock_stats.timeouts} tick and is safe to retry. *)
+
+val lock_retrying :
+  t -> backoff:Engine.Backoff.t -> max_attempts:int -> slice_ns:int -> bool
+(** [max_attempts] slices of [lock_timeout] of [slice_ns] each,
+    separated by {!Engine.Backoff} delays (the processor is released
+    between attempts). The recovery idiom for acquisitions that must
+    survive a delayed — or dead — lock holder. *)
+
 val unlock : t -> unit
 (** Release the lock. Raises {!Misuse} if the caller is not the
     current owner. *)

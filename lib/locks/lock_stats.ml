@@ -8,6 +8,7 @@ type t = {
   mutable blocks : int;
   mutable handoffs : int;
   mutable reconfigurations : int;
+  mutable timeouts : int;
   mutable total_wait_ns : int;
   mutable max_wait_ns : int;
   wait_histogram : Repro_stats.Histogram.t;
@@ -25,6 +26,7 @@ let create ?(trace = false) name =
     blocks = 0;
     handoffs = 0;
     reconfigurations = 0;
+    timeouts = 0;
     total_wait_ns = 0;
     max_wait_ns = 0;
     wait_histogram = Repro_stats.Histogram.create ();
@@ -46,6 +48,7 @@ let on_spin_probe t = t.spin_probes <- t.spin_probes + 1
 let on_block t = t.blocks <- t.blocks + 1
 let on_handoff t = t.handoffs <- t.handoffs + 1
 let on_reconfigure t = t.reconfigurations <- t.reconfigurations + 1
+let on_timeout t = t.timeouts <- t.timeouts + 1
 
 let record_waiting t ~now ~waiting =
   match t.trace with
@@ -60,6 +63,7 @@ let spin_probes t = t.spin_probes
 let blocks t = t.blocks
 let handoffs t = t.handoffs
 let reconfigurations t = t.reconfigurations
+let timeouts t = t.timeouts
 let total_wait_ns t = t.total_wait_ns
 let max_wait_ns t = t.max_wait_ns
 

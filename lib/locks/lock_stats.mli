@@ -24,6 +24,10 @@ val on_spin_probe : t -> unit
 val on_block : t -> unit
 val on_handoff : t -> unit
 val on_reconfigure : t -> unit
+
+val on_timeout : t -> unit
+(** A timed acquisition ({!Lock_core.lock_timeout}) gave up. *)
+
 val record_waiting : t -> now:int -> waiting:int -> unit
 
 (** {1 Reading} *)
@@ -36,6 +40,10 @@ val spin_probes : t -> int
 val blocks : t -> int
 val handoffs : t -> int
 val reconfigurations : t -> int
+
+val timeouts : t -> int
+(** Timed acquisitions that expired without obtaining the lock. *)
+
 val total_wait_ns : t -> int
 val max_wait_ns : t -> int
 

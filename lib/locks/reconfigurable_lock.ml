@@ -19,6 +19,11 @@ let name t = Lock_core.name t.core_lock
 let stats t = Lock_core.stats t.core_lock
 let lock t = Lock_core.lock t.core_lock
 let try_lock t = Lock_core.try_lock t.core_lock
+let lock_timeout t ~deadline_ns = Lock_core.lock_timeout t.core_lock ~deadline_ns
+
+let lock_retrying t ~backoff ~max_attempts ~slice_ns =
+  Lock_core.lock_retrying t.core_lock ~backoff ~max_attempts ~slice_ns
+
 let unlock t = Lock_core.unlock t.core_lock
 
 let configure_waiting t ?spin_count ?delay_ns ?backoff ?sleep ?timeout_ns () =

@@ -34,6 +34,14 @@ val stats : t -> Lock_stats.t
 
 val lock : t -> unit
 val try_lock : t -> bool
+
+val lock_timeout : t -> deadline_ns:int -> bool
+(** Timed acquisition (see {!Lock_core.lock_timeout}). *)
+
+val lock_retrying :
+  t -> backoff:Engine.Backoff.t -> max_attempts:int -> slice_ns:int -> bool
+(** Retried timed acquisition (see {!Lock_core.lock_retrying}). *)
+
 val unlock : t -> unit
 
 val configure_waiting :

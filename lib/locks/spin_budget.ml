@@ -1,10 +1,13 @@
 module Attribute = Adaptive_core.Attribute
 
-type t = { threshold : int; n : int; cap : int; mutable spins : int }
+type t = { threshold : int; n : int; cap : int; init : int; mutable spins : int }
 
 let create ~threshold ~n ~cap ~init =
   if threshold < 0 || n <= 0 || cap <= 0 then invalid_arg "Spin_budget.create";
-  { threshold; n; cap; spins = max 0 (min cap init) }
+  let init = max 0 (min cap init) in
+  { threshold; n; cap; init; spins = init }
+
+let reset t = t.spins <- t.init
 
 let spins t = t.spins
 

@@ -27,6 +27,10 @@ val step : t -> waiting:int -> int option
 (** Feed one observation; [Some new_budget] when the budget changed
     (a reconfiguration is due), [None] otherwise. *)
 
+val reset : t -> unit
+(** Return the budget to its initial (default combined) value — the
+    {!Guardrail} fallback target. *)
+
 val apply : t -> Waiting.t -> unit
 (** Write the waiting attributes corresponding to the current budget:
     pure spin disables sleeping and spins forever; otherwise the spin

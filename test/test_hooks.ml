@@ -17,9 +17,8 @@ let test_hook_counts_and_clear () =
   check_int "no annot hooks" 0 (Sched.annot_hook_count sim);
   check_int "no trace hooks" 0 (Sched.trace_hook_count sim);
   Sched.add_event_hook sim (fun _ -> ());
-  Sched.set_event_hook sim (fun _ -> ());
-  check_int "set_event_hook subscribes (no single-slot replace)" 2
-    (Sched.event_hook_count sim);
+  Sched.add_event_hook sim (fun _ -> ());
+  check_int "event bus accepts several subscribers" 2 (Sched.event_hook_count sim);
   Sched.clear_event_hooks sim;
   check_int "cleared" 0 (Sched.event_hook_count sim);
   Sched.add_annot_hook sim (fun _ -> ());
@@ -28,11 +27,22 @@ let test_hook_counts_and_clear () =
   Sched.add_access_hook sim (fun _ -> ());
   Sched.clear_access_hooks sim;
   check_int "access cleared" 0 (Sched.access_hook_count sim);
-  Sched.set_trace_hook sim (fun ~time:_ ~tid:_ _ -> ());
+  Sched.add_trace_hook sim (fun ~time:_ ~tid:_ _ -> ());
   Sched.add_trace_hook sim (fun ~time:_ ~tid:_ _ -> ());
   check_int "trace bus" 2 (Sched.trace_hook_count sim);
   Sched.clear_trace_hooks sim;
   check_int "trace cleared" 0 (Sched.trace_hook_count sim)
+
+(* The single remaining pin on the deprecated [set_*_hook] aliases:
+   despite the historical names they append to the bus, never replace. *)
+let test_deprecated_set_aliases_append () =
+  let sim = Sched.create base_cfg in
+  Sched.add_event_hook sim (fun _ -> ());
+  (Sched.set_event_hook [@alert "-deprecated"]) sim (fun _ -> ());
+  check_int "set_event_hook appends" 2 (Sched.event_hook_count sim);
+  Sched.add_trace_hook sim (fun ~time:_ ~tid:_ _ -> ());
+  (Sched.set_trace_hook [@alert "-deprecated"]) sim (fun ~time:_ ~tid:_ _ -> ());
+  check_int "set_trace_hook appends" 2 (Sched.trace_hook_count sim)
 
 let test_event_bus_multiple_observers () =
   let sim = Sched.create base_cfg in
@@ -122,6 +132,8 @@ let test_default_thread_names_are_per_machine () =
 let suite =
   [
     Alcotest.test_case "hook counts and clear" `Quick test_hook_counts_and_clear;
+    Alcotest.test_case "deprecated set aliases append" `Quick
+      test_deprecated_set_aliases_append;
     Alcotest.test_case "event bus fan-out" `Quick test_event_bus_multiple_observers;
     Alcotest.test_case "trace bus fan-out" `Quick test_trace_bus_multiple_sinks;
     Alcotest.test_case "annotations flag tracks subscribers" `Quick

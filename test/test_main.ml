@@ -24,4 +24,5 @@ let () =
       ("properties", Test_properties.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("faults", Test_faults.suite);
     ]

@@ -93,7 +93,7 @@ let test_event_limit () =
 let test_trace_hook () =
   let messages = ref [] in
   let sim = Sched.create base_cfg in
-  Sched.set_trace_hook sim (fun ~time ~tid msg -> messages := (time, tid, msg) :: !messages);
+  Sched.add_trace_hook sim (fun ~time ~tid msg -> messages := (time, tid, msg) :: !messages);
   Sched.run sim (fun () ->
       Ops.work 5_000;
       Ops.trace "hello");
