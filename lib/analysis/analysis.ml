@@ -4,6 +4,9 @@ module Trace = Trace
 module Race = Race
 module Lock_order = Lock_order
 module Discipline = Discipline
+module Causality = Causality
+module Predict = Predict
+module Witness = Witness
 open Butterfly
 
 type report = {
@@ -19,7 +22,7 @@ let cycles report = of_category Diag.Lock_order report
 let lints report = of_category Diag.Discipline report
 let clean report = report.diags = [] && report.aborted = None
 
-let check cfg program =
+let check_trace cfg program =
   let sim = Sched.create cfg in
   let trace = Trace.attach sim in
   let aborted, abort_diag =
@@ -54,12 +57,51 @@ let check cfg program =
     Race.run ~names trace @ Lock_order.run ~names trace @ Discipline.run ~names trace
     @ abort_diag
   in
-  {
-    diags = List.stable_sort Diag.compare diags;
-    events = Trace.events trace;
-    accesses = Trace.accesses trace;
-    aborted;
-  }
+  ( {
+      diags = List.stable_sort Diag.compare diags;
+      events = Trace.events trace;
+      accesses = Trace.accesses trace;
+      aborted;
+    },
+    trace,
+    names )
+
+let check cfg program =
+  let report, _, _ = check_trace cfg program in
+  report
+
+type predicted = {
+  finding : Predict.prediction;
+  rule : string;
+  description : string;
+  witness : Witness.result option;
+}
+
+type predictive = { observed : report; predictions : predicted list }
+
+let check_predictive ?(confirm = false) cfg program =
+  let observed, trace, names = check_trace cfg program in
+  let predictions =
+    List.map
+      (fun p ->
+        {
+          finding = p;
+          rule = Predict.rule p;
+          description = Predict.describe ~names p;
+          witness =
+            (if confirm then Some (Witness.confirm cfg program trace p) else None);
+        })
+      (Predict.run trace)
+  in
+  { observed; predictions }
+
+let confirmed pv =
+  List.filter
+    (fun p ->
+      match p.witness with
+      | Some w -> w.Witness.w_status = Witness.Confirmed
+      | None -> false)
+    pv.predictions
 
 let summary report =
   Printf.sprintf "%d events, %d accesses: %d race(s), %d lock-order cycle(s), %d lint(s)%s"

@@ -24,6 +24,9 @@ module Trace = Trace
 module Race = Race
 module Lock_order = Lock_order
 module Discipline = Discipline
+module Causality = Causality
+module Predict = Predict
+module Witness = Witness
 
 type report = {
   diags : Diag.t list;  (** all findings, sorted by {!Diag.compare} *)
@@ -35,6 +38,41 @@ type report = {
 }
 
 val check : Butterfly.Config.t -> (unit -> unit) -> report
+
+val check_trace :
+  Butterfly.Config.t -> (unit -> unit) -> report * Trace.t * (int -> string)
+(** Like {!check} but also returns the recorded trace and the
+    tid→name function, for passes that go beyond the built-in
+    sanitizers (prediction, witness replay). *)
+
+(** {1 Predictive analysis}
+
+    The observed-trace sanitizers above report what the schedule that
+    actually ran exposed. The predictive pipeline ({!Predict} over
+    {!Causality}) additionally reports bugs reachable only in a
+    {e reordering} of the run, and {!Witness} promotes each prediction
+    to Confirmed by steering a re-execution into the predicted state
+    and replaying it bit-for-bit. *)
+
+type predicted = {
+  finding : Predict.prediction;
+  rule : string;  (** e.g. ["predicted-race"] *)
+  description : string;
+  witness : Witness.result option;  (** present when confirmation ran *)
+}
+
+type predictive = { observed : report; predictions : predicted list }
+
+val check_predictive :
+  ?confirm:bool -> Butterfly.Config.t -> (unit -> unit) -> predictive
+(** [check_predictive cfg program] is {!check} plus the predictive
+    pass over the same recorded trace. With [~confirm:true] (default
+    false) each prediction is put through witness replay — [program]
+    is re-executed under the controlled scheduler, so it must be
+    re-runnable. Deterministic like {!check}. *)
+
+val confirmed : predictive -> predicted list
+(** The predictions whose witness replay confirmed them. *)
 
 val races : report -> Diag.t list
 val cycles : report -> Diag.t list

@@ -16,7 +16,17 @@ type word_state = {
   mutable last_write : prior option;
   reads : (int, prior) Hashtbl.t;  (* latest read per thread since the last write *)
   mutable candidates : key list option;  (* Eraser candidate lockset *)
-  mutable reported : bool;
+}
+
+(* An aggregated race finding: one per (word, site pair, lock sets).
+   Loops hitting the same racy pair every iteration bump [f_count]
+   instead of flooding the report. *)
+type finding = {
+  f_word : key;
+  f_cur : prior;  (* the pair's first occurrence, in trace order *)
+  f_prior : prior;
+  f_candidates : key list option;  (* Eraser candidate set at first occurrence *)
+  mutable f_count : int;
 }
 
 type state = {
@@ -24,10 +34,16 @@ type state = {
   tokens : (int, int array Queue.t) Hashtbl.t;  (* pending wake-token snapshots *)
   release_clocks : (key, int array) Hashtbl.t;  (* per lock: clock at last release *)
   held : (int, key list) Hashtbl.t;  (* per thread: locks held, innermost first *)
+  finished : (int, int array) Hashtbl.t;
+      (* epoch-collapse: a finished thread's clock survives only as
+         this one snapshot (for join edges); its live clock, pending
+         tokens and lockset are dropped so detector state stays
+         bounded by live threads, not by every thread that ever ran *)
   words : (key, word_state) Hashtbl.t;
   exempt : (key, unit) Hashtbl.t;
+  findings : (key * (int * key list) * (int * key list), finding) Hashtbl.t;
+  mutable finding_order : finding list;  (* newest first *)
   names : int -> string;
-  mutable diags : Diag.t list;  (* newest first *)
 }
 
 let clock_of st tid =
@@ -67,37 +83,51 @@ let word_state st k =
   match Hashtbl.find_opt st.words k with
   | Some w -> w
   | None ->
-    let w =
-      { last_write = None; reads = Hashtbl.create 4; candidates = None; reported = false }
-    in
+    let w = { last_write = None; reads = Hashtbl.create 4; candidates = None } in
     Hashtbl.replace st.words k w;
     w
 
-let report_race st word k ~cur ~prior =
-  word.reported <- true;
+(* Record a racing pair, deduped by (word, site pair, lock sets). The
+   site pair is canonicalized by tid order so (a races b) and
+   (b races a) aggregate into one finding. *)
+let note_race st word k ~cur ~prior =
+  let site p = (p.p_tid, List.sort compare p.p_lockset) in
+  let sa, sb = (site prior, site cur) in
+  let fkey = if fst sa <= fst sb then (k, sa, sb) else (k, sb, sa) in
+  match Hashtbl.find_opt st.findings fkey with
+  | Some f -> f.f_count <- f.f_count + 1
+  | None ->
+    let f = { f_word = k; f_cur = cur; f_prior = prior;
+              f_candidates = word.candidates; f_count = 1 } in
+    Hashtbl.replace st.findings fkey f;
+    st.finding_order <- f :: st.finding_order
+
+let finding_diag st f =
   let candidates =
-    match word.candidates with
+    match f.f_candidates with
     | Some (_ :: _ as c) ->
       Printf.sprintf " (candidate locks left: %s)"
         (String.concat ", " (List.map key_name c))
     | Some [] | None -> " (Eraser candidate set empty)"
   in
-  st.diags <-
-    Diag.make ~category:Diag.Race ~rule:"data-race" ~time:cur.p_time
-      ~thread:(st.names cur.p_tid)
-      (Printf.sprintf
-         "word %s: access by %s at %d ns races with access by %s at %d ns; no common \
-          lock and no happens-before order%s"
-         (key_name k) (st.names cur.p_tid) cur.p_time (st.names prior.p_tid)
-         prior.p_time candidates)
-    :: st.diags
+  let occurrences =
+    if f.f_count > 1 then Printf.sprintf "; %d occurrences of this site pair" f.f_count
+    else ""
+  in
+  Diag.make ~category:Diag.Race ~rule:"data-race" ~time:f.f_cur.p_time
+    ~thread:(st.names f.f_cur.p_tid)
+    (Printf.sprintf
+       "word %s: access by %s at %d ns races with access by %s at %d ns; no common \
+        lock and no happens-before order%s%s"
+       (key_name f.f_word) (st.names f.f_cur.p_tid) f.f_cur.p_time
+       (st.names f.f_prior.p_tid) f.f_prior.p_time candidates occurrences)
 
 let check_pair st word k ~cur ~prior =
-  if (not word.reported) && prior.p_tid <> cur.p_tid then begin
+  if prior.p_tid <> cur.p_tid then begin
     let cur_clock = clock_of st cur.p_tid in
     let ordered = prior.p_comp <= Vclock.get cur_clock prior.p_tid in
     if (not ordered) && intersect prior.p_lockset cur.p_lockset = [] then
-      report_race st word k ~cur ~prior
+      note_race st word k ~cur ~prior
   end
 
 let on_access st (a : Sched.access) =
@@ -171,10 +201,25 @@ let on_event st (ev : Sched.event) =
       Vclock.join (clock_of st ev.tid) (Queue.pop q)
     | Some _ | None -> ())
   | Sched.Ev_join ->
-    (* tid = joiner, other = finished thread: join sees everything. *)
-    if ev.other >= 0 then
-      Vclock.join (clock_of st ev.tid) (Vclock.snapshot (clock_of st ev.other))
-  | Sched.Ev_switch | Sched.Ev_preempt | Sched.Ev_block | Sched.Ev_finish -> ()
+    (* tid = joiner, other = finished thread: join sees everything.
+       The target has usually finished already, so its clock lives in
+       the collapsed-snapshot table. *)
+    if ev.other >= 0 then begin
+      let snap =
+        match Hashtbl.find_opt st.finished ev.other with
+        | Some snap -> snap
+        | None -> Vclock.snapshot (clock_of st ev.other)
+      in
+      Vclock.join (clock_of st ev.tid) snap
+    end
+  | Sched.Ev_finish ->
+    (* Epoch-collapse: keep only the final snapshot (joiners may still
+       need the edge); drop the thread's live detector state. *)
+    Hashtbl.replace st.finished ev.tid (Vclock.snapshot (clock_of st ev.tid));
+    Hashtbl.remove st.clocks ev.tid;
+    Hashtbl.remove st.tokens ev.tid;
+    Hashtbl.remove st.held ev.tid
+  | Sched.Ev_switch | Sched.Ev_preempt | Sched.Ev_block -> ()
 
 let on_annot st (an : Sched.annot) =
   match an.annotation with
@@ -205,10 +250,12 @@ let run ~names trace =
       tokens = Hashtbl.create 64;
       release_clocks = Hashtbl.create 64;
       held = Hashtbl.create 64;
+      finished = Hashtbl.create 64;
       words = Hashtbl.create 1024;
       exempt = prescan trace;
+      findings = Hashtbl.create 64;
+      finding_order = [];
       names;
-      diags = [];
     }
   in
   Trace.iter
@@ -217,4 +264,4 @@ let run ~names trace =
       | Trace.Access a -> on_access st a
       | Trace.Annot an -> on_annot st an)
     trace;
-  List.rev st.diags
+  List.rev_map (finding_diag st) st.finding_order

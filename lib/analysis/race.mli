@@ -12,8 +12,17 @@
     Exempt words — never reported: words registered with
     [Ops.A_sync_word] (primitive internals) or [Ops.A_relaxed_word]
     (intentionally racy), and any word ever touched by an atomic
-    operation during the run. At most one race is reported per word
-    (the first in trace order). *)
+    operation during the run.
+
+    Findings are deduplicated per (word, site pair, lock sets): a loop
+    hitting the same racy pair every iteration produces one diagnostic
+    carrying an occurrence count, stamped with the pair's first
+    occurrence in trace order.
+
+    Detector state is bounded by the number of {e live} threads: when
+    a thread finishes, its vector clock collapses to a single snapshot
+    (kept for join edges) and its pending tokens and lockset are
+    dropped. *)
 
 val run : names:(int -> string) -> Trace.t -> Diag.t list
 (** Diagnostics in trace order. [names] maps a tid to the thread name

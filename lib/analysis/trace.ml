@@ -25,6 +25,7 @@ let attach sim =
 
 let length t = t.len
 let iter f t = for i = 0 to t.len - 1 do f t.data.(i) done
+let iteri f t = for i = 0 to t.len - 1 do f i t.data.(i) done
 
 let events t =
   let n = ref 0 in

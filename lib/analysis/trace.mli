@@ -24,6 +24,10 @@ val attach : Sched.t -> t
 val length : t -> int
 val iter : (entry -> unit) -> t -> unit
 
+val iteri : (int -> entry -> unit) -> t -> unit
+(** Like {!iter} with the entry's position in the trace: the global
+    linearization index the predictive passes use to relate events. *)
+
 val events : t -> int
 (** Number of scheduling events recorded. *)
 

@@ -8,6 +8,7 @@ type scenario = {
   config : Config.t;
   program : unit -> unit;
   expect : expect;
+  predicts : string list;
 }
 
 let config ?(seed = 11) processors =
@@ -134,6 +135,7 @@ let shipped () =
       config = config 4;
       program = Workloads.Csweep.scenario (csweep_spec kind);
       expect = Clean;
+      predicts = [];
     }
   in
   let client_server name sched handoff =
@@ -142,6 +144,7 @@ let shipped () =
       config = config 4 ~seed:23;
       program = Workloads.Client_server.scenario (client_server_spec sched handoff);
       expect = Clean;
+      predicts = [];
     }
   in
   let tsp name impl kind =
@@ -151,10 +154,17 @@ let shipped () =
       config = config (spec.Tsp.Parallel.searchers + 1) ~seed:spec.Tsp.Parallel.machine_seed;
       program = Tsp.Parallel.scenario ~impl spec;
       expect = Clean;
+      predicts = [];
     }
   in
   [
-    { scenario_name = "primitives"; config = config 4; program = primitives; expect = Clean };
+    {
+      scenario_name = "primitives";
+      config = config 4;
+      program = primitives;
+      expect = Clean;
+      predicts = [];
+    };
     csweep "spin" Locks.Lock.Spin;
     csweep "blocking" Locks.Lock.Blocking;
     csweep "combined10" (Locks.Lock.Combined 10);
@@ -164,6 +174,7 @@ let shipped () =
       config = config 4 ~seed:31;
       program = Workloads.Phased.scenario phased_spec;
       expect = Clean;
+      predicts = [];
     };
     client_server "fcfs" Locks.Lock_sched.Fcfs false;
     client_server "priority" Locks.Lock_sched.Priority false;
@@ -174,25 +185,58 @@ let shipped () =
   ]
 
 let buggy () =
-  let scenario name program expect =
+  let scenario ?(predicts = []) name program expect =
     {
       scenario_name = "buggy-" ^ name;
       config = config Workloads.Buggy.processors;
       program;
       expect = Flags expect;
+      predicts;
     }
   in
   [
-    scenario "racy-counter" Workloads.Buggy.racy_counter [ "data-race" ];
+    (* racy-counter and deadlock carry their bug on the observed trace
+       too, so the predictor re-finding it is a true positive. *)
+    scenario "racy-counter" ~predicts:[ "predicted-race" ] Workloads.Buggy.racy_counter
+      [ "data-race" ];
     scenario "lock-order" Workloads.Buggy.lock_order_inversion [ "lock-order-cycle" ];
-    scenario "deadlock" Workloads.Buggy.true_deadlock [ "lock-order-cycle"; "deadlock" ];
+    scenario "deadlock" ~predicts:[ "predicted-deadlock" ] Workloads.Buggy.true_deadlock
+      [ "lock-order-cycle"; "deadlock" ];
     scenario "double-unlock" Workloads.Buggy.double_unlock [ "unlock-not-held" ];
     scenario "exit-holding" Workloads.Buggy.exit_while_holding [ "lock-held-at-exit" ];
     scenario "sleep-with-spin-lock" Workloads.Buggy.sleep_with_spin_lock
       [ "block-holding-spin-lock" ];
   ]
 
-let all () = shipped () @ buggy ()
+(* Seeded bugs only a reordering manifests: the observed-trace
+   sanitizers must stay quiet (or, for the lock-order pair, report
+   only the potential), the predictor must name the bug, and witness
+   replay must confirm it. [gated-order] is the negative control:
+   its observed-trace cycle is the classic false positive, and the
+   predictor must report nothing at all. *)
+let predict_only () =
+  let scenario ?(expect = Clean) name program predicts =
+    {
+      scenario_name = "predicted-" ^ name;
+      config = config Workloads.Buggy.processors;
+      program;
+      expect;
+      predicts;
+    }
+  in
+  [
+    scenario "hidden-race" Workloads.Buggy.hidden_race [ "predicted-race" ];
+    scenario "stale-hint" Workloads.Buggy.stale_hint_race [ "predicted-race" ];
+    scenario "latent-deadlock"
+      ~expect:(Flags [ "lock-order-cycle" ])
+      Workloads.Buggy.latent_deadlock [ "predicted-deadlock" ];
+    scenario "lost-wakeup" Workloads.Buggy.lost_wakeup [ "predicted-lost-wakeup" ];
+    scenario "gated-order"
+      ~expect:(Flags [ "lock-order-cycle" ])
+      Workloads.Buggy.gated_order [];
+  ]
+
+let all () = shipped () @ buggy () @ predict_only ()
 
 let check s = Analysis.check s.config s.program
 
@@ -212,3 +256,177 @@ let verdict s report =
         (Printf.sprintf "expected rule(s) %s, got: %s"
            (String.concat ", " missing)
            (Analysis.summary report))
+
+(* {2 The suite runner behind [repro analyze]} *)
+
+type prediction_outcome = {
+  p_rule : string;
+  p_description : string;
+  p_status : string option;
+  p_schedule : int list;
+}
+
+type result = {
+  r_name : string;
+  r_summary : string;
+  r_diags : string list;
+  r_predictions : prediction_outcome list;
+  r_failures : string list;
+}
+
+let passed r = r.r_failures = []
+
+let prediction_outcome (p : Analysis.predicted) =
+  {
+    p_rule = p.Analysis.rule;
+    p_description = p.Analysis.description;
+    p_status =
+      Option.map
+        (fun w -> Analysis.Witness.status_name w.Analysis.Witness.w_status)
+        p.Analysis.witness;
+    p_schedule =
+      (match p.Analysis.witness with
+      | Some w when w.Analysis.Witness.w_status = Analysis.Witness.Confirmed ->
+        w.Analysis.Witness.w_schedule
+      | _ -> []);
+  }
+
+let run_scenario ?(predict = false) ?(confirm = false) s =
+  let report, predictions =
+    if predict || confirm then begin
+      let pv = Analysis.check_predictive ~confirm s.config s.program in
+      (pv.Analysis.observed, pv.Analysis.predictions)
+    end
+    else (check s, [])
+  in
+  let observed_failure =
+    match verdict s report with Ok () -> [] | Error e -> [ e ]
+  in
+  let predicted_rules = List.map (fun p -> p.Analysis.rule) predictions in
+  let missing_predictions =
+    if predict || confirm then
+      List.filter_map
+        (fun rule ->
+          if List.mem rule predicted_rules then None
+          else Some (Printf.sprintf "expected prediction %s never made" rule))
+        s.predicts
+    else []
+  in
+  let confirmation_failures =
+    if confirm then
+      (* every promised prediction must survive witness replay... *)
+      List.filter_map
+        (fun rule ->
+          let confirmed =
+            List.exists
+              (fun (p : Analysis.predicted) ->
+                p.Analysis.rule = rule
+                &&
+                match p.Analysis.witness with
+                | Some w -> w.Analysis.Witness.w_status = Analysis.Witness.Confirmed
+                | None -> false)
+              predictions
+          in
+          if confirmed then None
+          else Some (Printf.sprintf "prediction %s was not confirmed" rule))
+        s.predicts
+      (* ...and nothing beyond the promises may confirm: a Confirmed
+         finding on a scenario that doesn't declare it is a false
+         positive by definition, the thing witness replay exists to
+         rule out. *)
+      @ List.filter_map
+          (fun (p : Analysis.predicted) ->
+            match p.Analysis.witness with
+            | Some w
+              when w.Analysis.Witness.w_status = Analysis.Witness.Confirmed
+                   && not (List.mem p.Analysis.rule s.predicts) ->
+              Some
+                (Printf.sprintf "unexpected confirmed prediction: %s"
+                   p.Analysis.description)
+            | _ -> None)
+          predictions
+    else []
+  in
+  {
+    r_name = s.scenario_name;
+    r_summary = Analysis.summary report;
+    r_diags = List.map Analysis.Diag.to_string report.Analysis.diags;
+    r_predictions = List.map prediction_outcome predictions;
+    r_failures = observed_failure @ missing_predictions @ confirmation_failures;
+  }
+
+let run_all ?domains ?(predict = false) ?(confirm = false) scenarios =
+  Engine.Runner.map ?domains (fun s -> run_scenario ~predict ~confirm s) scenarios
+
+(* -- JSON rendering, hand-rolled like Chaos.to_json: deterministic
+   bytes, no host state -- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string_list l =
+  "["
+  ^ String.concat ", " (List.map (fun s -> Printf.sprintf "\"%s\"" (json_escape s)) l)
+  ^ "]"
+
+let json_int_list l = "[" ^ String.concat ", " (List.map string_of_int l) ^ "]"
+
+let prediction_json p =
+  Printf.sprintf
+    "{ \"rule\": \"%s\", \"status\": %s, \"description\": \"%s\", \
+     \"replay_schedule\": %s }"
+    (json_escape p.p_rule)
+    (match p.p_status with
+    | None -> "null"
+    | Some s -> Printf.sprintf "\"%s\"" (json_escape s))
+    (json_escape p.p_description)
+    (json_int_list p.p_schedule)
+
+let result_json r =
+  String.concat ",\n"
+    [
+      Printf.sprintf "      \"scenario\": \"%s\"" (json_escape r.r_name);
+      Printf.sprintf "      \"summary\": \"%s\"" (json_escape r.r_summary);
+      Printf.sprintf "      \"diagnostics\": %s" (json_string_list r.r_diags);
+      Printf.sprintf "      \"predictions\": [%s]"
+        (String.concat ", " (List.map prediction_json r.r_predictions));
+      Printf.sprintf "      \"failures\": %s" (json_string_list r.r_failures);
+    ]
+
+let to_json results =
+  let failures = List.filter (fun r -> not (passed r)) results in
+  let confirmed =
+    List.concat_map
+      (fun r ->
+        List.filter (fun p -> p.p_status = Some "confirmed") r.r_predictions)
+      results
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"scenarios\": %d,\n" (List.length results));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"predictions\": %d,\n"
+       (List.fold_left (fun n r -> n + List.length r.r_predictions) 0 results));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"confirmed\": %d,\n" (List.length confirmed));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"failures\": %d,\n" (List.length failures));
+  Buffer.add_string buf "  \"results\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n"
+       (List.map (fun r -> "    {\n" ^ result_json r ^ "\n    }") results));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

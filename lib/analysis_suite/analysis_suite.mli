@@ -1,7 +1,9 @@
 (** The scenario catalog behind [repro analyze] and the regression
     tests: every shipped example/experiment workload (expected to
-    analyze clean) plus the seeded-buggy workloads (expected to be
-    flagged with specific rules). *)
+    analyze clean), the seeded-buggy workloads (expected to be flagged
+    with specific rules) and the prediction-only workloads (clean on
+    the observed trace, but with a declared bug the predictive pass
+    must find and confirm). *)
 
 open Butterfly
 
@@ -13,15 +15,66 @@ type scenario = {
   scenario_name : string;
   config : Config.t;
   program : unit -> unit;
-  expect : expect;
+  expect : expect;  (** verdict on the observed trace *)
+  predicts : string list;
+      (** predictive rules that must be reported when the predictor
+          runs (and confirmed when witness replay runs). Scenarios
+          with an empty list promise the opposite: any {e confirmed}
+          prediction on them is a false positive and fails the
+          verdict. *)
 }
 
 val shipped : unit -> scenario list
 val buggy : unit -> scenario list
+
+val predict_only : unit -> scenario list
+(** Seeded bugs only a reordering manifests: the observed-trace
+    sanitizers miss them by construction, the predictor names them,
+    witness replay confirms them. Includes the gated-order negative
+    control (observed false-positive cycle, zero predictions). *)
+
 val all : unit -> scenario list
 
 val check : scenario -> Analysis.report
 (** Run the scenario under {!Analysis.check}. *)
 
 val verdict : scenario -> Analysis.report -> (unit, string) result
-(** Whether the report matches the scenario's expectation. *)
+(** Whether the report matches the scenario's observed expectation. *)
+
+(** {1 The suite runner behind [repro analyze]} *)
+
+type prediction_outcome = {
+  p_rule : string;
+  p_description : string;
+  p_status : string option;
+      (** ["confirmed"] / ["unconfirmed"] when witness replay ran,
+          [None] in predict-only mode *)
+  p_schedule : int list;
+      (** the confirming replay decision list (empty unless confirmed) *)
+}
+
+type result = {
+  r_name : string;
+  r_summary : string;
+  r_diags : string list;
+  r_predictions : prediction_outcome list;
+  r_failures : string list;  (** empty iff the scenario met every expectation *)
+}
+
+val passed : result -> bool
+
+val run_scenario : ?predict:bool -> ?confirm:bool -> scenario -> result
+(** Run one scenario and judge it. With [~predict] the causality
+    predictor runs and every rule in [predicts] must be reported; with
+    [~confirm] witness replay additionally runs, every promised rule
+    must be {e confirmed}, and any confirmed prediction outside
+    [predicts] is a failure. *)
+
+val run_all :
+  ?domains:int -> ?predict:bool -> ?confirm:bool -> scenario list -> result list
+(** {!run_scenario} over the list via {!Engine.Runner.map}
+    (domain-parallel, input order preserved). *)
+
+val to_json : result list -> string
+(** Deterministic machine-readable rendering of the results —
+    the payload of [ANALYSIS_results.json]. *)

@@ -154,7 +154,19 @@ type t = {
          (time, insertion sequence); empty on fault-free machines *)
   mutable timer_seq : int;
   mutable abort : string option;  (* a pending host-side abort request *)
+  mutable control : int list;
+      (* pending schedule-control decisions: the tid each upcoming
+         dispatch must pick. Empty = no control. *)
+  mutable chooser : (choice array -> int) option;
+      (* steering hook consulted per dispatch once [control] is
+         exhausted; returns a candidate tid or -1 for the default
+         pick *)
+  mutable record_schedule : bool;
+  mutable schedule_log : int list;  (* dispatched tids, newest first *)
+  mutable control_diverged : bool;
 }
+
+and choice = { choice_tid : int; choice_proc : int; choice_key : int }
 
 let create (cfg : Config.t) =
   if cfg.processors <= 0 then invalid_arg "Sched.create: need at least one processor";
@@ -189,6 +201,11 @@ let create (cfg : Config.t) =
     timers = [];
     timer_seq = 0;
     abort = None;
+    control = [];
+    chooser = None;
+    record_schedule = false;
+    schedule_log = [];
+    control_diverged = false;
   }
 
 let config t = t.cfg
@@ -266,7 +283,12 @@ let continue_on t p th ~at =
     Engine.Counters.incr t.counters "sched.preemptions";
     emit t ~time:at ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_preempt;
     Engine.Pqueue.add p.runq ~key:at th
-  | _ -> p.cont <- th
+  | _ ->
+    (* Under schedule control a forced dispatch may run a queued thread
+       while another still occupies the continuation slot; queue behind
+       it rather than overwrite (and lose) it. On the default path the
+       slot is always vacant here. *)
+    if p.cont == no_thread then p.cont <- th else Engine.Pqueue.add p.runq ~key:at th
 
 (* Charge [ns] of processor occupancy ending at the thread's next wake
    time: the processor is busy until then (its clock advances), and the
@@ -701,15 +723,8 @@ let pick t =
     t.procs;
   !best
 
-let dispatch t p =
-  let th =
-    if p.cont != no_thread then begin
-      let th = p.cont in
-      p.cont <- no_thread;
-      th
-    end
-    else Engine.Pqueue.pop_min_value_exn p.runq
-  in
+let dispatch_thread t p th =
+  if t.record_schedule then t.schedule_log <- th.tid :: t.schedule_log;
   if th.state = Finished then ()
     (* a killed thread still queued: consume the slot, run nothing *)
   else begin
@@ -763,6 +778,124 @@ let dispatch t p =
     t.current <- no_thread
   end
   end
+
+let dispatch t p =
+  let th =
+    if p.cont != no_thread then begin
+      let th = p.cont in
+      p.cont <- no_thread;
+      th
+    end
+    else Engine.Pqueue.pop_min_value_exn p.runq
+  in
+  dispatch_thread t p th
+
+(* {2 Controlled scheduling}
+
+   Two host-side steering mechanisms over the same dispatch machinery:
+   a {e decision list} (the serialized schedule: the tid every upcoming
+   dispatch must pick, replayable bit-for-bit) and a {e chooser} (a
+   callback consulted per dispatch once the list is exhausted, used by
+   the witness engine to steer a run towards a predicted interleaving).
+   Neither changes what a dispatched thread does — only which runnable
+   thread goes next — so any controlled schedule is a schedule the
+   machine could have taken. *)
+
+let set_schedule_control t decisions = t.control <- decisions
+let schedule_control_remaining t = List.length t.control
+let set_dispatch_chooser t chooser = t.chooser <- chooser
+
+let set_record_schedule t flag =
+  t.record_schedule <- flag;
+  if flag then t.schedule_log <- []
+
+let recorded_schedule t = List.rev t.schedule_log
+let control_diverged t = t.control_diverged
+
+(* Every thread the machine could legally dispatch right now: each
+   processor's continuation slot if occupied (non-preemptive execution
+   means queued threads on that processor are not eligible), otherwise
+   its queued non-finished threads. Sorted by tid for determinism. *)
+let dispatch_candidates t =
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      if p.cont != no_thread then
+        acc :=
+          { choice_tid = p.cont.tid; choice_proc = p.pid;
+            choice_key = max p.pnow p.cont.wake_at }
+          :: !acc
+      else
+        Engine.Pqueue.iter p.runq (fun _ th ->
+            if th.state <> Finished then
+              acc :=
+                { choice_tid = th.tid; choice_proc = p.pid;
+                  choice_key = max p.pnow th.wake_at }
+                :: !acc))
+    t.procs;
+  let arr = Array.of_list !acc in
+  Array.sort (fun a b -> compare a.choice_tid b.choice_tid) arr;
+  arr
+
+(* Locate a dispatchable thread (continuation slot or run queue) without
+   extracting it: the run loop must know the dispatch key first, since a
+   due fault timer fires instead and the decision is then re-evaluated. *)
+let locate_dispatchable t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | None -> None
+  | Some th ->
+    let p = t.procs.(th.proc) in
+    if p.cont == th then Some (p, th)
+    else begin
+      let found = ref false in
+      Engine.Pqueue.iter p.runq (fun _ th' -> if th' == th then found := true);
+      if !found then Some (p, th) else None
+    end
+
+let extract_thread t p th =
+  ignore t;
+  if p.cont == th then begin
+    p.cont <- no_thread;
+    true
+  end
+  else Engine.Pqueue.remove p.runq (fun th' -> th' == th) <> None
+
+(* What the next scheduling step should be, under control. [`Forced]
+   carries whether the pick consumes the head of the decision list. A
+   decision naming a thread that is not dispatchable marks the run as
+   diverged and control is abandoned (default scheduling resumes); the
+   same applies to a chooser returning a non-candidate tid. *)
+let controlled_pick t =
+  let default () =
+    match pick t with Some (key, p) -> Some (key, `Default p) | None -> None
+  in
+  match t.control with
+  | tid :: _ -> (
+    match locate_dispatchable t tid with
+    | Some (p, th) -> Some (max p.pnow th.wake_at, `Forced (p, th, true))
+    | None ->
+      t.control <- [];
+      t.control_diverged <- true;
+      default ())
+  | [] -> (
+    match t.chooser with
+    | None -> default ()
+    | Some choose -> (
+      let cands = dispatch_candidates t in
+      if Array.length cands = 0 then default ()
+      else
+        let tid = choose cands in
+        if tid < 0 then default ()
+        else if not (Array.exists (fun c -> c.choice_tid = tid) cands) then begin
+          t.control_diverged <- true;
+          default ()
+        end
+        else
+          match locate_dispatchable t tid with
+          | Some (p, th) -> Some (max p.pnow th.wake_at, `Forced (p, th, false))
+          | None ->
+            t.control_diverged <- true;
+            default ()))
 
 (* One blocked/joining thread's entry in the deadlock payload. When
    lock annotations were flowing (any annot subscriber), each entry
@@ -858,6 +991,25 @@ let run ?(main_name = "main") t main =
       let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
       make_ready t main_thread ~at:0;
       let continue = ref true in
+      let no_runnable () =
+        if t.live = 0 then
+          (* All threads finished: the run is over. Timers still
+             pending describe faults the execution never reached —
+             discard them rather than perturb the final clocks. *)
+          continue := false
+        else (
+          (* Nothing runnable but threads remain. Pending timers may
+             still revive the machine (a kill releases joiners, a
+             penalty expires), so fire the earliest batch before
+             concluding deadlock. *)
+          match t.timers with
+          | (at, _, _) :: _ -> fire_timers t ~upto:at
+          | [] -> raise (Deadlock (deadlock_report t)))
+      in
+      let uncontrolled t =
+        (match t.control with [] -> true | _ -> false)
+        && match t.chooser with None -> true | Some _ -> false
+      in
       while !continue do
         (match t.abort with
         | Some reason -> raise (Abort_requested reason)
@@ -865,25 +1017,30 @@ let run ?(main_name = "main") t main =
         t.events <- t.events + 1;
         Engine.Counters.incr t.counters "sched.events";
         if t.events > t.cfg.max_events then raise Event_limit_exceeded;
-        match pick t with
-        | Some (key, p) -> (
-          match t.timers with
-          | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
-          | _ -> dispatch t p)
-        | None ->
-          if t.live = 0 then
-            (* All threads finished: the run is over. Timers still
-               pending describe faults the execution never reached —
-               discard them rather than perturb the final clocks. *)
-            continue := false
-          else (
-            (* Nothing runnable but threads remain. Pending timers may
-               still revive the machine (a kill releases joiners, a
-               penalty expires), so fire the earliest batch before
-               concluding deadlock. *)
+        if uncontrolled t then (
+          (* the hot path: identical to the pre-control scheduler *)
+          match pick t with
+          | Some (key, p) -> (
             match t.timers with
-            | (at, _, _) :: _ -> fire_timers t ~upto:at
-            | [] -> raise (Deadlock (deadlock_report t)))
+            | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
+            | _ -> dispatch t p)
+          | None -> no_runnable ())
+        else
+          match controlled_pick t with
+          | Some (key, picked) -> (
+            match t.timers with
+            | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
+            | _ -> (
+              match picked with
+              | `Default p -> dispatch t p
+              | `Forced (p, th, consume) ->
+                if consume then (
+                  match t.control with
+                  | _ :: rest -> t.control <- rest
+                  | [] -> ());
+                if extract_thread t p th then dispatch_thread t p th
+                else t.control_diverged <- true))
+          | None -> no_runnable ()
       done)
 
 let run_outcome ?main_name t main =

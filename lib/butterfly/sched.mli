@@ -247,3 +247,59 @@ val annot_hook_count : t -> int
 
 val thread_report : t -> (int * string * int) list
 (** [(tid, name, cpu_ns)] for every thread that ran, sorted by tid. *)
+
+(** {1 Controlled scheduling}
+
+    Host-side steering of the dispatch order, used by the predictive
+    analysis pipeline ([lib/analysis]) to replay witness schedules and
+    by the chaos harness to pin failing runs. Control never changes
+    what a dispatched thread does — only which runnable thread each
+    dispatch picks — so every controlled schedule is one the machine
+    could have taken on its own, and a recorded schedule replays the
+    run bit-for-bit regardless of host parallelism ([--domains]). *)
+
+type choice = {
+  choice_tid : int;
+  choice_proc : int;  (** processor the thread would run on *)
+  choice_key : int;  (** virtual time the dispatch would start at *)
+}
+(** One thread the machine could legally dispatch right now. A
+    processor whose continuation slot is occupied contributes only that
+    thread (non-preemptive execution); a vacant processor contributes
+    its queued runnable threads. *)
+
+val set_schedule_control : t -> int list -> unit
+(** [set_schedule_control t decisions] pins the next
+    [List.length decisions] dispatches: each element is the tid that
+    dispatch must pick. Fault timers fire between decisions exactly as
+    on the default path and consume no decision. A decision naming a
+    thread that is not currently dispatchable abandons control (the
+    default policy resumes) and marks the run {!control_diverged}.
+    Once the list is exhausted, scheduling continues with the
+    {!set_dispatch_chooser} hook if any, else the default policy. *)
+
+val schedule_control_remaining : t -> int
+(** Decisions not yet consumed. *)
+
+val set_dispatch_chooser : t -> (choice array -> int) option -> unit
+(** Install (or clear) a per-dispatch steering callback, consulted
+    whenever the decision list is empty. It receives the current
+    dispatch candidates sorted by tid and returns the tid to dispatch,
+    or [-1] to defer to the default policy. Returning a tid that is
+    not a candidate abandons the pick to the default policy and marks
+    the run {!control_diverged}. *)
+
+val set_record_schedule : t -> bool -> unit
+(** Enable schedule recording: every dispatch (including the no-op
+    consumption of a killed thread's stale queue entry) appends the
+    dispatched tid to the log. Enabling resets any previous log. *)
+
+val recorded_schedule : t -> int list
+(** The recorded dispatch log, oldest first. Feeding it to
+    {!set_schedule_control} on a fresh machine running the same
+    program replays the run bit-for-bit. *)
+
+val control_diverged : t -> bool
+(** Whether a schedule-control decision or chooser answer ever named a
+    thread the machine could not dispatch (the run then fell back to
+    default scheduling). A successful replay reports [false]. *)

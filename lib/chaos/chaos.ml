@@ -13,6 +13,7 @@ type result = {
   final_time_ns : int;
   events : int;
   accesses : int;
+  pinned_schedule : string option;
 }
 
 let passed r = r.invariant_failures = []
@@ -40,7 +41,8 @@ let kill_fired injected =
     (fun line -> contains_sub line " kill tid=" && not (contains_sub line "(no-op"))
     injected
 
-let run_plan ?(max_events = default_max_events) ~scenario ~seed ~plan () =
+let run_plan_once ?(max_events = default_max_events) ?control ~scenario ~seed ~plan ()
+    =
   let open Analysis_suite in
   let config =
     {
@@ -49,6 +51,8 @@ let run_plan ?(max_events = default_max_events) ~scenario ~seed ~plan () =
     }
   in
   let sim = Sched.create config in
+  Sched.set_record_schedule sim true;
+  (match control with None -> () | Some s -> Sched.set_schedule_control sim s);
   let trace = Analysis.Trace.attach sim in
   let injector = Faults.Injector.install sim ~plan in
   let wrapped () =
@@ -103,20 +107,57 @@ let run_plan ?(max_events = default_max_events) ~scenario ~seed ~plan () =
          else []);
       ]
   in
-  {
-    scenario = scenario.scenario_name;
-    seed;
-    plan = Faults.Fault_plan.to_string plan;
-    injected;
-    outcome = outcome_str;
-    abort_reason;
-    diagnostics;
-    sanitizer_diags = List.map Analysis.Diag.to_string diags;
-    invariant_failures;
-    final_time_ns = Sched.final_time sim;
-    events = Analysis.Trace.events trace;
-    accesses = Analysis.Trace.accesses trace;
-  }
+  let result =
+    {
+      scenario = scenario.scenario_name;
+      seed;
+      plan = Faults.Fault_plan.to_string plan;
+      injected;
+      outcome = outcome_str;
+      abort_reason;
+      diagnostics;
+      sanitizer_diags = List.map Analysis.Diag.to_string diags;
+      invariant_failures;
+      final_time_ns = Sched.final_time sim;
+      events = Analysis.Trace.events trace;
+      accesses = Analysis.Trace.accesses trace;
+      pinned_schedule = None;
+    }
+  in
+  let faithful =
+    match control with
+    | None -> true
+    | Some s ->
+      Sched.recorded_schedule sim = s
+      && (not (Sched.control_diverged sim))
+      && Sched.schedule_control_remaining sim = 0
+  in
+  (result, Sched.recorded_schedule sim, faithful)
+
+let run_plan ?max_events ~scenario ~seed ~plan () =
+  let result, schedule, _ = run_plan_once ?max_events ~scenario ~seed ~plan () in
+  if passed result then result
+  else begin
+    (* Pin the failure: re-execute the same plan under the recorded
+       dispatch schedule (the witness-replay machinery) and attach the
+       decision list only if the failure reproduces bit for bit. *)
+    let replayed, _, faithful =
+      run_plan_once ?max_events ~control:schedule ~scenario ~seed ~plan ()
+    in
+    let reproduced =
+      faithful
+      && replayed.invariant_failures = result.invariant_failures
+      && replayed.outcome = result.outcome
+      && replayed.final_time_ns = result.final_time_ns
+    in
+    if reproduced then
+      {
+        result with
+        pinned_schedule =
+          Some (String.concat "," (List.map string_of_int schedule));
+      }
+    else result
+  end
 
 let run_scenario ?(horizon_ns = default_horizon_ns) ~scenario ~seed () =
   (* Mix the scenario name into the plan seed so the sweep doesn't
@@ -181,6 +222,7 @@ let result_json r =
       Printf.sprintf "      \"final_time_ns\": %d" r.final_time_ns;
       Printf.sprintf "      \"events\": %d" r.events;
       Printf.sprintf "      \"accesses\": %d" r.accesses;
+      Printf.sprintf "      \"pinned_schedule\": %s" (json_opt r.pinned_schedule);
     ]
 
 let to_json results =

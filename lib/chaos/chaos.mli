@@ -36,6 +36,12 @@ type result = {
   final_time_ns : int;
   events : int;
   accesses : int;
+  pinned_schedule : string option;
+      (** On a failing run, the comma-joined dispatch decision list
+          that reproduced the failure bit for bit when replayed through
+          {!Butterfly.Sched.set_schedule_control} (the witness-replay
+          machinery). [None] on passing runs, or if the re-execution
+          did not reproduce the failure exactly. *)
 }
 
 val passed : result -> bool

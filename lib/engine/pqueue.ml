@@ -110,6 +110,28 @@ let pop_min_value_exn q =
   if q.size = 0 then invalid_arg "Pqueue.pop_min_value_exn: empty queue"
   else remove_min q
 
+(* Remove an arbitrary entry: swap it with the last slot, shrink, then
+   restore the heap property in whichever direction the transplanted
+   entry violates it. O(n) scan + O(log n) repair — only used by the
+   controlled scheduler's forced-dispatch path, never on the default
+   hot path. *)
+let remove q pred =
+  let rec find i = if i >= q.size then -1 else if pred q.vals.(i) then i else find (i + 1) in
+  let i = find 0 in
+  if i < 0 then None
+  else begin
+    let v = q.vals.(i) in
+    let last = q.size - 1 in
+    swap q i last;
+    q.vals.(last) <- q.dummy;
+    q.size <- last;
+    if i < last then begin
+      sift_down q i;
+      sift_up q i
+    end;
+    Some v
+  end
+
 let clear q =
   Array.fill q.vals 0 q.size q.dummy;
   q.size <- 0

@@ -47,6 +47,12 @@ val size : 'a t -> int
 
 val is_empty : 'a t -> bool
 
+val remove : 'a t -> ('a -> bool) -> 'a option
+(** [remove q pred] extracts the first entry (in unspecified heap
+    order) whose value satisfies [pred], restoring the heap property.
+    O(n). Used by the controlled scheduler to force-dispatch a
+    specific thread regardless of its queue position. *)
+
 val clear : 'a t -> unit
 (** Remove every entry (overwriting the slots with the dummy). Does
     not shrink the backing array. *)

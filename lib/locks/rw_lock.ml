@@ -92,9 +92,25 @@ let mean div acc n = if n = 0 then 0.0 else float_of_int acc /. float_of_int n /
 let mean_writer_wait_ns t = mean 1.0 t.writer_wait_ns t.writer_acqs
 let mean_reader_wait_ns t = mean 1.0 t.reader_wait_ns t.reader_acqs
 
+(* Both reader and writer acquisitions annotate with the state word as
+   the lock identity: the lock-order and discipline passes then see one
+   lock regardless of mode, so a reader-side acquisition ordered
+   against another lock closes the same cycle a writer-side one would.
+   Both paths spin (no sleeping), hence [spin_wait = true]. *)
+let note_request t =
+  Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.rw_name })
+
+let note_acquired t =
+  Ops.annotate
+    (Ops.A_lock_acquire { lock = t.word; lock_name = t.rw_name; spin_wait = true })
+
+let note_released t =
+  Ops.annotate (Ops.A_lock_release { lock = t.word; lock_name = t.rw_name })
+
 let read_lock t =
   let t0 = Ops.now () in
   Ops.work_instrs 180;
+  note_request t;
   let rec attempt () =
     (* Under writer preference, defer to queued writers. *)
     if t.pref = Writer_pref && Ops.read t.wwait > 0 then begin
@@ -112,17 +128,20 @@ let read_lock t =
     end
   in
   attempt ();
+  note_acquired t;
   t.reader_acqs <- t.reader_acqs + 1;
   t.reader_wait_ns <- t.reader_wait_ns + (Ops.now () - t0)
 
 let read_unlock t =
   Ops.work_instrs 90;
+  note_released t;
   ignore (Ops.fetch_and_add t.word (-2));
   match t.loop with Some loop -> ignore (Adaptive.tick loop) | None -> ()
 
 let write_lock t =
   let t0 = Ops.now () in
   Ops.work_instrs 220;
+  note_request t;
   ignore (Ops.fetch_and_add t.wwait 1);
   let rec attempt () =
     if Ops.compare_and_swap t.word ~expected:0 ~desired:1 then ()
@@ -132,12 +151,14 @@ let write_lock t =
     end
   in
   attempt ();
+  note_acquired t;
   ignore (Ops.fetch_and_add t.wwait (-1));
   t.writer_acqs <- t.writer_acqs + 1;
   t.writer_wait_ns <- t.writer_wait_ns + (Ops.now () - t0)
 
 let write_unlock t =
   Ops.work_instrs 90;
+  note_released t;
   Ops.write t.word 0
 
 let with_read t f =

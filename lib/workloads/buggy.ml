@@ -76,6 +76,138 @@ let exit_while_holding () =
   in
   Cthread.join t
 
+(* {2 Prediction-only bugs}
+
+   The scenarios below are carefully timed so the schedule the
+   simulator actually takes is clean — the observed-trace sanitizers
+   (race detector, lock-order graph, lint) provably see nothing —
+   while a legal reordering manifests the bug. Only the predictive
+   pass (weak causality + witness replay) catches them. *)
+
+let hidden_race () =
+  (* Thread [late] writes [x] after its critical section on the same
+     lock that [early] held while writing — so the observed run orders
+     the writes through the lock's release→acquire happens-before edge
+     and the race detector stays quiet. But [late]'s section never
+     touches [x]: swapping the two sections is legal, and then the
+     writes collide. *)
+  let m = Locks.Lock.create ~name:"guard" ~home:0 Locks.Lock.Blocking in
+  let x = Ops.alloc1 ~node:0 () in
+  let early =
+    Cthread.fork ~name:"early" ~proc:1 (fun () ->
+        Locks.Lock.lock m;
+        Ops.write x 1;
+        Cthread.work 10_000;
+        Locks.Lock.unlock m)
+  in
+  let late =
+    Cthread.fork ~name:"late" ~proc:2 (fun () ->
+        Cthread.work 300_000;
+        Locks.Lock.lock m;
+        Cthread.work 5_000;
+        Locks.Lock.unlock m;
+        Ops.write x 2)
+  in
+  Cthread.join_all [ early; late ]
+
+let stale_hint_race () =
+  (* The adaptive-object shape of the same bug: a reconfigurer updates
+     a policy hint under the policy lock; the fast path reads the hint
+     with no lock after an unrelated pass through the same lock. In
+     the observed run the fast path trails far behind, so the lock's
+     happens-before edge hides the unsynchronized read. *)
+  let policy = Locks.Lock.create ~name:"policy-lock" ~home:0 Locks.Lock.Blocking in
+  let hint = Ops.alloc1 ~node:0 () in
+  let reconfigurer =
+    Cthread.fork ~name:"reconfigurer" ~proc:1 (fun () ->
+        Locks.Lock.lock policy;
+        Ops.write hint 1;
+        Cthread.work 12_000;
+        Locks.Lock.unlock policy)
+  in
+  let fast_path =
+    Cthread.fork ~name:"fast-path" ~proc:2 (fun () ->
+        Cthread.work 320_000;
+        Locks.Lock.lock policy;
+        Cthread.work 4_000;
+        Locks.Lock.unlock policy;
+        ignore (Ops.read hint))
+  in
+  Cthread.join_all [ reconfigurer; fast_path ]
+
+let latent_deadlock () =
+  (* The classic a/b inversion, timed so thread [ab] is long done
+     before [ba] takes its first lock: the observed run cannot
+     deadlock, but no ordering forces that — the reordering where both
+     hold their first lock is reachable and fatal. *)
+  let la = Locks.Lock.create ~name:"lock-a" ~home:0 Locks.Lock.Blocking in
+  let lb = Locks.Lock.create ~name:"lock-b" ~home:0 Locks.Lock.Blocking in
+  let t1 =
+    Cthread.fork ~name:"ab" ~proc:1 (fun () ->
+        Locks.Lock.lock la;
+        Cthread.work 5_000;
+        Locks.Lock.lock lb;
+        Cthread.work 2_000;
+        Locks.Lock.unlock lb;
+        Locks.Lock.unlock la)
+  in
+  let t2 =
+    Cthread.fork ~name:"ba" ~proc:2 (fun () ->
+        Cthread.work 400_000;
+        Locks.Lock.lock lb;
+        Cthread.work 5_000;
+        Locks.Lock.lock la;
+        Locks.Lock.unlock la;
+        Locks.Lock.unlock lb)
+  in
+  Cthread.join_all [ t1; t2 ]
+
+let lost_wakeup () =
+  (* The waiter naps while holding the lock its waker needs. Observed,
+     the waker slips through the lock long before the nap begins and
+     its wakeup is banked as a token — but reordered, the waiter takes
+     the lock first, the waker can never reach its wakeup call, and
+     both sleep forever. *)
+  let m = Locks.Lock.create ~name:"wake-lock" ~home:0 Locks.Lock.Blocking in
+  let waiter =
+    Cthread.fork ~name:"waiter" ~proc:1 (fun () ->
+        Cthread.work 300_000;
+        Locks.Lock.lock m;
+        Cthread.block ();
+        Locks.Lock.unlock m)
+  in
+  let _waker =
+    Cthread.fork ~name:"waker" ~proc:2 (fun () ->
+        Locks.Lock.lock m;
+        Cthread.work 2_000;
+        Locks.Lock.unlock m;
+        Cthread.wakeup waiter)
+  in
+  Cthread.join waiter
+
+let gated_order () =
+  (* Negative control for the predictor: the a/b inversion again, but
+     both nestings sit under a common gate lock, so no reordering can
+     overlap them. The observed-trace lock-order graph still cries
+     cycle (its classic false positive); the predictive pass must
+     stay quiet. *)
+  let gate = Locks.Lock.create ~name:"gate" ~home:0 Locks.Lock.Blocking in
+  let la = Locks.Lock.create ~name:"gated-a" ~home:0 Locks.Lock.Blocking in
+  let lb = Locks.Lock.create ~name:"gated-b" ~home:0 Locks.Lock.Blocking in
+  let pair first second () =
+    Locks.Lock.lock gate;
+    Locks.Lock.lock first;
+    Cthread.work 5_000;
+    Locks.Lock.lock second;
+    Cthread.work 5_000;
+    Locks.Lock.unlock second;
+    Locks.Lock.unlock first;
+    Locks.Lock.unlock gate
+  in
+  let t1 = Cthread.fork ~name:"gated-ab" ~proc:1 (pair la lb) in
+  let t2 = Cthread.fork ~name:"gated-ba" ~proc:2 (pair lb la) in
+  Cthread.join_all [ t1; t2 ]
+
 let sleep_with_spin_lock () =
   (* The holder of a spin-kind lock goes to sleep; a waiter on another
      processor burns cpu for the whole nap. *)

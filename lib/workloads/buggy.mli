@@ -29,3 +29,35 @@ val exit_while_holding : unit -> unit
 val sleep_with_spin_lock : unit -> unit
 (** The holder of a spin-kind lock blocks while a waiter spins
     ([block-holding-spin-lock] lint). *)
+
+(** {1 Prediction-only bugs}
+
+    Timed so the observed schedule is provably clean for the
+    observed-trace sanitizers, while a legal reordering manifests the
+    bug — inputs for the predictive pass (weak causality + witness
+    replay). *)
+
+val hidden_race : unit -> unit
+(** Write/write race hidden behind an accidental release→acquire
+    ordering on a lock whose second critical section never touches the
+    raced word ([predicted-race], confirmable). *)
+
+val stale_hint_race : unit -> unit
+(** Write/read variant: an adaptive-policy hint updated under the
+    policy lock but read with no lock after an unrelated pass through
+    it ([predicted-race], confirmable). *)
+
+val latent_deadlock : unit -> unit
+(** The a/b inversion with threads that never overlap in the observed
+    run: flagged as a cycle by the observed-trace graph, and promoted
+    to a {e confirmed} deadlock by the predictor ([predicted-deadlock]). *)
+
+val lost_wakeup : unit -> unit
+(** A waiter naps holding the lock its waker needs; observed, the
+    wakeup is banked as a token in time — reordered, it is never sent
+    ([predicted-lost-wakeup], confirmable). *)
+
+val gated_order : unit -> unit
+(** Negative control: both lock nestings of an a/b inversion under a
+    common gate lock. The observed-trace graph reports its classic
+    false-positive cycle; the predictor must report nothing. *)

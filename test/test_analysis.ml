@@ -128,6 +128,128 @@ let test_unlock_not_held_raises () =
         [ Locks.Lock.Spin; Locks.Lock.Blocking; Locks.Lock.adaptive_default ]);
   check_int "every bad unlock raised Misuse" 6 !misuses
 
+(* --- rw-lock lock-order coverage ---------------------------------- *)
+
+(* Rw_lock's writer path participates in the lock-order graph: nesting
+   the rw lock against a plain mutex in both orders (by sequential,
+   never-overlapping threads) must produce the cycle. *)
+let rw_vs_mutex ~reader () =
+  let rw = Locks.Rw_lock.create ~name:"rw" ~home:0 () in
+  let m = Locks.Lock.create ~name:"mutex" ~home:0 Locks.Lock.Blocking in
+  let rw_first () =
+    (if reader then Locks.Rw_lock.read_lock rw else Locks.Rw_lock.write_lock rw);
+    Cthread.work 5_000;
+    Locks.Lock.lock m;
+    Cthread.work 5_000;
+    Locks.Lock.unlock m;
+    if reader then Locks.Rw_lock.read_unlock rw else Locks.Rw_lock.write_unlock rw
+  in
+  let m_first () =
+    Locks.Lock.lock m;
+    Cthread.work 5_000;
+    Locks.Rw_lock.write_lock rw;
+    Cthread.work 5_000;
+    Locks.Rw_lock.write_unlock rw;
+    Locks.Lock.unlock m
+  in
+  let t1 = Cthread.fork ~name:"rw-first" ~proc:1 rw_first in
+  Cthread.join t1;
+  let t2 = Cthread.fork ~name:"m-first" ~proc:2 m_first in
+  Cthread.join t2
+
+let test_rw_writer_lock_order_cycle () =
+  let r = Analysis.check (cfg ()) (rw_vs_mutex ~reader:false) in
+  check_bool "writer-path nesting inversion is a cycle" true
+    (List.mem "lock-order-cycle" (rules r))
+
+let test_rw_reader_lock_order_cycle () =
+  (* The read side holds the same lock identity, so a reader nesting
+     against a later writer nesting inverts the same edge. *)
+  let r = Analysis.check (cfg ()) (rw_vs_mutex ~reader:true) in
+  check_bool "reader-path nesting inversion is a cycle" true
+    (List.mem "lock-order-cycle" (rules r))
+
+let test_rw_consistent_order_clean () =
+  let program () =
+    let rw = Locks.Rw_lock.create ~name:"rw" ~home:0 () in
+    let m = Locks.Lock.create ~name:"mutex" ~home:0 Locks.Lock.Blocking in
+    let x = Ops.alloc1 ~node:0 () in
+    let writer =
+      Cthread.fork ~name:"writer" ~proc:1 (fun () ->
+          Locks.Rw_lock.with_write rw (fun () ->
+              Locks.Lock.lock m;
+              Ops.write x (Ops.read x + 1);
+              Locks.Lock.unlock m))
+    in
+    let reader =
+      Cthread.fork ~name:"reader" ~proc:2 (fun () ->
+          Cthread.work 40_000;
+          Locks.Rw_lock.with_read rw (fun () ->
+              Locks.Lock.lock m;
+              ignore (Ops.read x);
+              Locks.Lock.unlock m))
+    in
+    Cthread.join_all [ writer; reader ]
+  in
+  let r = Analysis.check (cfg ()) program in
+  check_bool "consistent rw-then-mutex nesting stays clean" true (Analysis.clean r)
+
+(* --- race-report dedupe and epoch collapse ------------------------ *)
+
+let test_race_reports_deduped () =
+  (* racy_counter races on the same site pair 5 times over; the report
+     must fold them into one finding with an occurrence count. *)
+  let r = Analysis.check (cfg ()) Workloads.Buggy.racy_counter in
+  let race_diags =
+    List.filter (fun d -> d.Analysis.Diag.rule = "data-race") r.Analysis.diags
+  in
+  check_int "one finding per (site pair, lock sets)" 1 (List.length race_diags);
+  match race_diags with
+  | [ d ] ->
+    let msg = d.Analysis.Diag.message in
+    let has_count =
+      let n = String.length "occurrences" and m = String.length msg in
+      let rec go i =
+        i + n <= m && (String.sub msg i n = "occurrences" || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "finding carries its occurrence count" true has_count
+  | _ -> ()
+
+let test_race_detected_after_thread_churn () =
+  (* Many short-lived joined threads first: their vector clocks are
+     collapsed into the finish epoch, and detection on the survivors
+     must still work afterwards. *)
+  let program ~locked () =
+    let scratch = Ops.alloc ~node:0 8 in
+    for round = 0 to 15 do
+      let t =
+        Cthread.fork ~name:(Printf.sprintf "short%d" round) ~proc:(1 + (round mod 3))
+          (fun () -> Ops.write scratch.(round mod 8) round)
+      in
+      Cthread.join t
+    done;
+    let x = Ops.alloc1 ~node:0 () in
+    let m = Locks.Lock.create ~home:0 Locks.Lock.Blocking in
+    let touch v () =
+      if locked then begin
+        Locks.Lock.lock m;
+        Ops.write x v;
+        Locks.Lock.unlock m
+      end
+      else Ops.write x v
+    in
+    let a = Cthread.fork ~name:"late-a" ~proc:1 (touch 1) in
+    let b = Cthread.fork ~name:"late-b" ~proc:2 (touch 2) in
+    Cthread.join_all [ a; b ]
+  in
+  let racy = Analysis.check (cfg ()) (program ~locked:false) in
+  check_bool "race still detected after churn" true
+    (List.mem "data-race" (rules racy));
+  let clean = Analysis.check (cfg ()) (program ~locked:true) in
+  check_bool "locked variant stays clean after churn" true (Analysis.clean clean)
+
 (* --- scenario suite ----------------------------------------------- *)
 
 let test_suite_verdicts () =
@@ -154,6 +276,26 @@ let test_deterministic_report () =
   check_int "identical event counts" r1.Analysis.events r2.Analysis.events;
   check_int "identical access counts" r1.Analysis.accesses r2.Analysis.accesses
 
+let test_runner_json_deterministic () =
+  (* The suite runner parallelizes over domains; its JSON must not
+     depend on the domain count. *)
+  let picked =
+    List.filter
+      (fun s ->
+        List.mem s.Analysis_suite.scenario_name
+          [ "primitives"; "buggy-racy-counter"; "predicted-gated-order" ])
+      (Analysis_suite.all ())
+  in
+  check_int "picked the three scenarios" 3 (List.length picked);
+  let run domains =
+    Analysis_suite.to_json (Analysis_suite.run_all ~domains ~predict:true picked)
+  in
+  Alcotest.(check string) "identical JSON at domains 1 and 2" (run 1) (run 2);
+  List.iter
+    (fun r ->
+      check_bool (r.Analysis_suite.r_name ^ " passed") true (Analysis_suite.passed r))
+    (Analysis_suite.run_all ~domains:2 ~predict:true picked)
+
 let suite =
   [
     Alcotest.test_case "release-acquire orders" `Quick test_release_acquire_orders;
@@ -163,6 +305,17 @@ let suite =
     Alcotest.test_case "blocked_spans unmatched block" `Quick
       test_blocked_spans_unmatched_final_block;
     Alcotest.test_case "unlock misuse raises" `Quick test_unlock_not_held_raises;
+    Alcotest.test_case "rw writer path in lock-order graph" `Quick
+      test_rw_writer_lock_order_cycle;
+    Alcotest.test_case "rw reader path in lock-order graph" `Quick
+      test_rw_reader_lock_order_cycle;
+    Alcotest.test_case "rw consistent nesting clean" `Quick
+      test_rw_consistent_order_clean;
+    Alcotest.test_case "race reports deduped" `Quick test_race_reports_deduped;
+    Alcotest.test_case "race detected after thread churn" `Quick
+      test_race_detected_after_thread_churn;
     Alcotest.test_case "suite verdicts" `Slow test_suite_verdicts;
     Alcotest.test_case "deterministic report" `Quick test_deterministic_report;
+    Alcotest.test_case "suite runner json deterministic" `Quick
+      test_runner_json_deterministic;
   ]

@@ -24,5 +24,6 @@ let () =
       ("properties", Test_properties.suite);
       ("experiments", Test_experiments.suite);
       ("analysis", Test_analysis.suite);
+      ("predict", Test_predict.suite);
       ("faults", Test_faults.suite);
     ]
