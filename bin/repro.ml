@@ -130,11 +130,29 @@ let ablation_cmds =
         Experiments.Report.print_threshold ());
     simple "ablation-phases" "Phased contention, adaptive vs static" (fun () ->
         Experiments.Report.print_phases ());
+    simple "ablation-barriers" "Adaptive vs fixed barrier arrival strategies" (fun () ->
+        Experiments.Report.print_barriers ());
     simple "ablation-architecture" "Lock implementations across UMA/NUMA" (fun () ->
         Experiments.Report.print_architecture ());
     simple "ablation-advisory" "Advisory locks on variable-length sections" (fun () ->
         Experiments.Report.print_advisory ());
   ]
+
+let objects_cmd =
+  let doc =
+    "Run the sync-objects workload (one of each adaptive object: lock, rw-lock, \
+     barrier, condition, semaphore) and dump the adaptive-object registry — per-object \
+     samples, policy runs, adaptations, charged cost and transition log. With \
+     --csv-dir, also writes OBJECTS_results.json (byte-identical at any --domains)."
+  in
+  let run csv_dir domains =
+    set_domains domains;
+    Experiments.Report.print_objects ?csv_dir ();
+    match csv_dir with
+    | Some dir -> Printf.printf "wrote %s\n" (Filename.concat dir "OBJECTS_results.json")
+    | None -> ()
+  in
+  Cmd.v (Cmd.info "objects" ~doc) Term.(const run $ csv_dir $ domains)
 
 let all_cmd =
   let run csv_dir domains =
@@ -343,6 +361,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: bench_cmd :: analyze_cmd :: chaos_cmd :: fig1_cmd :: tsp_cmd
-            :: table_cmds)
+          ((all_cmd :: bench_cmd :: analyze_cmd :: chaos_cmd :: objects_cmd :: fig1_cmd
+            :: tsp_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

@@ -370,7 +370,7 @@ let on_annot st idx (an : Sched.annot) =
     in
     Hashtbl.replace st.held tid (remove (held st tid));
     Causality.on_release st.cau ~tid ~lock:k
-  | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ()
+  | Ops.A_sync_word _ | Ops.A_relaxed_word _ | Ops.A_adaptation _ -> ()
 
 (* Pair up reverse edges into deadlock predictions: (H, L) by thread A
    and (L, H) by thread B, weakly unordered requests, and no gate lock

@@ -241,7 +241,7 @@ let on_annot st (an : Sched.annot) =
     let clock = clock_of st tid in
     Hashtbl.replace st.release_clocks k (Vclock.snapshot clock);
     Vclock.incr clock tid
-  | Ops.A_lock_request _ | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ()
+  | Ops.A_lock_request _ | Ops.A_sync_word _ | Ops.A_relaxed_word _ | Ops.A_adaptation _ -> ()
 
 let run ~names trace =
   let st =

@@ -36,3 +36,35 @@ let accesses t =
   let n = ref 0 in
   iter (function Access _ -> incr n | _ -> ()) t;
   !n
+
+type adaptation = {
+  ad_time : int;
+  ad_tid : int;
+  ad_obj : string;
+  ad_kind : string;
+  ad_label : string;
+}
+
+let adaptations t =
+  let acc = ref [] in
+  iter
+    (function
+      | Annot
+          {
+            Sched.annotation = Ops.A_adaptation { obj_name; kind; label };
+            annot_time;
+            annot_tid;
+            _;
+          } ->
+        acc :=
+          {
+            ad_time = annot_time;
+            ad_tid = annot_tid;
+            ad_obj = obj_name;
+            ad_kind = kind;
+            ad_label = label;
+          }
+          :: !acc
+      | _ -> ())
+    t;
+  List.rev !acc

@@ -33,3 +33,17 @@ val events : t -> int
 
 val accesses : t -> int
 (** Number of memory accesses recorded. *)
+
+type adaptation = {
+  ad_time : int;  (** virtual time the reconfiguration applied *)
+  ad_tid : int;  (** thread that ran the policy *)
+  ad_obj : string;  (** object name, e.g. ["round-barrier"] *)
+  ad_kind : string;  (** object family, e.g. ["barrier"] *)
+  ad_label : string;  (** transition label, e.g. ["spin-more"] *)
+}
+
+val adaptations : t -> adaptation list
+(** The [Ops.A_adaptation] annotations of the trace, in arrival order:
+    every reconfiguration any adaptive object applied during the run,
+    so analysis reports can relate flagged windows to the
+    reconfigurations that preceded them. *)

@@ -283,7 +283,7 @@ let install_hooks sim mon =
         let tid = an.Sched.annot_tid in
         Hashtbl.replace mon.lock_held tid
           (remove_first (Causality.key lock) (tracked_held mon tid))
-      | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ());
+      | Ops.A_sync_word _ | Ops.A_relaxed_word _ | Ops.A_adaptation _ -> ());
   Sched.add_event_hook sim (fun ev ->
       match ev.Sched.kind with
       | Sched.Ev_block | Sched.Ev_token_use ->

@@ -108,6 +108,17 @@ let phased_spec =
       ];
   }
 
+(* Small enough to trace and chaos-sweep, big enough that every
+   adaptive-object family still reconfigures at least once. *)
+let sync_objects_spec =
+  {
+    Workloads.Sync_objects.default with
+    Workloads.Sync_objects.processors = 6;
+    workers = 4;
+    rounds = 6;
+    items_each = 2;
+  }
+
 let client_server_spec sched handoff_to_server =
   {
     Workloads.Client_server.default with
@@ -173,6 +184,13 @@ let shipped () =
       scenario_name = "phased-adaptive";
       config = config 4 ~seed:31;
       program = Workloads.Phased.scenario phased_spec;
+      expect = Clean;
+      predicts = [];
+    };
+    {
+      scenario_name = "sync-objects";
+      config = config 6 ~seed:47;
+      program = Workloads.Sync_objects.scenario sync_objects_spec;
       expect = Clean;
       predicts = [];
     };

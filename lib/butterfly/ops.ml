@@ -8,6 +8,7 @@ type annotation =
   | A_lock_request of { lock : Memory.addr; lock_name : string }
   | A_lock_acquire of { lock : Memory.addr; lock_name : string; spin_wait : bool }
   | A_lock_release of { lock : Memory.addr; lock_name : string }
+  | A_adaptation of { obj_name : string; kind : string; label : string }
 
 type _ Effect.t +=
   | E_alloc : int option * int -> Memory.addr array Effect.t

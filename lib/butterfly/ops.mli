@@ -36,13 +36,19 @@ type fork_spec = {
     - [A_lock_acquire]/[A_lock_release]: a mutual-exclusion span over
       the lock identified by its lock word. [spin_wait] is true when
       the lock's current waiting policy never sleeps, so waiters burn
-      their processor for as long as the owner holds it. *)
+      their processor for as long as the owner holds it.
+    - [A_adaptation]: an adaptive object applied a reconfiguration
+      ([kind] is the object family, e.g. ["lock"] or ["barrier"];
+      [label] names the transition). Emitted by the adaptive feedback
+      loop so recorded traces — including predictive runs — see every
+      reconfiguration in its linearized position. *)
 type annotation =
   | A_sync_word of Memory.addr
   | A_relaxed_word of Memory.addr
   | A_lock_request of { lock : Memory.addr; lock_name : string }
   | A_lock_acquire of { lock : Memory.addr; lock_name : string; spin_wait : bool }
   | A_lock_release of { lock : Memory.addr; lock_name : string }
+  | A_adaptation of { obj_name : string; kind : string; label : string }
 
 (** The raw effect constructors, exposed so {!Sched} can handle them.
     Client code should use the wrapper functions below instead. *)

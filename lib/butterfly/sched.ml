@@ -661,7 +661,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
             | hd :: tl -> if String.equal hd lock_name then tl else hd :: remove_first tl
           in
           th.held_locks <- remove_first th.held_locks
-        | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ());
+        | Ops.A_sync_word _ | Ops.A_relaxed_word _ | Ops.A_adaptation _ -> ());
         (match t.annot_hooks with
         | [] -> ()
         | hooks ->

@@ -1,5 +1,7 @@
 type 'obs t = {
   obj_name : string;
+  obj_kind : string;
+  mutable registry_id : int;
   sensor : 'obs Sensor.t;
   mutable policy : 'obs Policy.t;
   scratch : Butterfly.Memory.addr;
@@ -7,23 +9,13 @@ type 'obs t = {
   mutable adaptation_count : int;
   mutable adaptation_log : (int * string) list;  (* newest first *)
   mutable cost_sum : Cost.t;
+  mutable subscribers : (Registry.event -> unit) list;  (* subscription order *)
 }
 
-let create ?(name = "adaptive-object") ~home ~sensor ~policy () =
-  let scratch = Butterfly.Ops.alloc1 ~node:home () in
-  Butterfly.Ops.mark_sync_words [| scratch |];
-  {
-    obj_name = name;
-    sensor;
-    policy;
-    scratch;
-    policy_run_count = 0;
-    adaptation_count = 0;
-    adaptation_log = [];
-    cost_sum = Cost.zero;
-  }
-
 let name t = t.obj_name
+let kind t = t.obj_kind
+let registry_id t = t.registry_id
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
 
 let decide t obs =
   t.policy_run_count <- t.policy_run_count + 1;
@@ -33,14 +25,26 @@ let decide t obs =
     Cost.charge ~scratch:t.scratch cost;
     apply ();
     t.adaptation_count <- t.adaptation_count + 1;
-    t.adaptation_log <- (Butterfly.Ops.now (), label) :: t.adaptation_log;
+    let at = Butterfly.Ops.now () in
+    t.adaptation_log <- (at, label) :: t.adaptation_log;
     t.cost_sum <- Cost.( + ) t.cost_sum cost;
+    if Butterfly.Ops.annotations_enabled () then
+      Butterfly.Ops.annotate
+        (Butterfly.Ops.A_adaptation { obj_name = t.obj_name; kind = t.obj_kind; label });
+    (match t.subscribers with
+    | [] -> ()
+    | subs ->
+      let ev =
+        { Registry.at; obj_name = t.obj_name; obj_kind = t.obj_kind; label }
+      in
+      List.iter (fun f -> f ev) subs);
     true
 
 let tick t =
   match Sensor.tick t.sensor with None -> false | Some obs -> decide t obs
 
 let feed t obs = decide t obs
+let poll t = decide t (Sensor.force t.sensor)
 let set_policy t p = t.policy <- p
 let samples t = Sensor.samples_taken t.sensor
 let policy_runs t = t.policy_run_count
@@ -48,3 +52,39 @@ let adaptations t = t.adaptation_count
 let last_label t = match t.adaptation_log with [] -> None | (_, l) :: _ -> Some l
 let log t = List.rev t.adaptation_log
 let total_cost t = t.cost_sum
+
+let stats t =
+  {
+    Registry.samples = samples t;
+    policy_runs = t.policy_run_count;
+    adaptations = t.adaptation_count;
+    total_cost = t.cost_sum;
+    last_label = last_label t;
+    log = log t;
+  }
+
+let create ?(name = "adaptive-object") ?(kind = "object") ~home ~sensor ~policy () =
+  let scratch = Butterfly.Ops.alloc1 ~node:home () in
+  Butterfly.Ops.mark_sync_words [| scratch |];
+  let t =
+    {
+      obj_name = name;
+      obj_kind = kind;
+      registry_id = -1;
+      sensor;
+      policy;
+      scratch;
+      policy_run_count = 0;
+      adaptation_count = 0;
+      adaptation_log = [];
+      cost_sum = Cost.zero;
+      subscribers = [];
+    }
+  in
+  t.registry_id <-
+    Registry.register ~name ~kind
+      ~stats:(fun () -> stats t)
+      ~subscribe:(fun f -> subscribe t f)
+      ~drive:(fun () -> poll t)
+      ();
+  t

@@ -8,23 +8,45 @@
     methods (e.g. every unlock), so a decision always acts on the
     current object state — the property §3 argues is needed to avoid
     adaptation lag. The {b loosely coupled} alternative feeds
-    observations from an external monitoring thread through {!feed};
-    the [Monitoring] library builds that variant and the coupling
-    ablation compares the two. *)
+    observations from an external monitoring thread through {!feed}
+    (or lets the monitor force whole cycles with {!poll}); the
+    [Monitoring] library builds that variant and the coupling ablation
+    compares the two.
+
+    Every loop self-registers in the per-domain {!Registry} at
+    creation, so the whole thread package's adaptive objects — locks,
+    barriers, conditions, semaphores, rw-locks — are enumerable with
+    one call, and {!subscribe} hooks let monitors and analysis observe
+    reconfigurations as events instead of polling counters. Each
+    applied reconfiguration is also published as an
+    [Ops.A_adaptation] annotation, so recorded traces see it in its
+    linearized position. *)
 
 type 'obs t
 
 val create :
   ?name:string ->
+  ?kind:string ->
   home:int ->
   sensor:'obs Sensor.t ->
   policy:'obs Policy.t ->
   unit ->
   'obs t
 (** Must run inside a simulation: allocates the scratch word used to
-    charge reconfiguration costs at [home]. *)
+    charge reconfiguration costs at [home]. [kind] names the object
+    family for the registry and annotations (["lock"], ["barrier"],
+    ...; default ["object"]). The new loop registers itself in
+    {!Registry}. *)
 
 val name : 'obs t -> string
+val kind : 'obs t -> string
+
+val registry_id : 'obs t -> int
+(** This loop's id in the per-domain {!Registry}. *)
+
+val subscribe : 'obs t -> (Registry.event -> unit) -> unit
+(** [subscribe t f] calls [f] (in subscription order, host-side, free
+    of virtual charge) after every applied reconfiguration. *)
 
 val tick : 'obs t -> bool
 (** One instrumentation event (closely-coupled path). Runs the sensor
@@ -35,6 +57,11 @@ val tick : 'obs t -> bool
 val feed : 'obs t -> 'obs -> bool
 (** Inject an observation directly (loosely-coupled path). Runs the
     policy on it, bypassing the sensor. *)
+
+val poll : 'obs t -> bool
+(** Force one full sense-decide cycle regardless of the sensor's
+    period (the registry's [drive] hook; what [Monitor_thread] uses to
+    drive arbitrary registered objects). *)
 
 val set_policy : 'obs t -> 'obs Policy.t -> unit
 
@@ -55,3 +82,6 @@ val log : 'obs t -> (int * string) list
 
 val total_cost : 'obs t -> Cost.t
 (** Sum of the declared costs of applied reconfigurations. *)
+
+val stats : 'obs t -> Registry.stats
+(** The loop's metrics as a registry snapshot record. *)

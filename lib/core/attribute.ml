@@ -25,10 +25,19 @@ let make ~name ?mutable_ v =
 let name t = t.attr_name
 let get t = t.value
 
+(* Ownership violations name the holder, not just the attribute:
+   "spin-time (held by thread 3, caller thread 7)". *)
+let not_owner_msg t ~holder =
+  let me = Ops.self () in
+  match holder with
+  | 0 -> Printf.sprintf "%s (not owned, caller thread %d)" t.attr_name me
+  | h -> Printf.sprintf "%s (held by thread %d, caller thread %d)" t.attr_name (h - 1) me
+
 let set t v =
   if not t.is_mutable then raise (Immutable_attribute t.attr_name);
   let owner = Ops.read t.owner_word in
-  if owner <> 0 && owner <> Ops.self () + 1 then raise (Not_owner t.attr_name);
+  if owner <> 0 && owner <> Ops.self () + 1 then
+    raise (Not_owner (not_owner_msg t ~holder:owner));
   t.value <- v;
   t.update_count <- t.update_count + 1
 
@@ -43,7 +52,7 @@ let acquire t =
 let release t =
   let me = Ops.self () + 1 in
   if not (Ops.compare_and_swap t.owner_word ~expected:me ~desired:0) then
-    raise (Not_owner t.attr_name)
+    raise (Not_owner (not_owner_msg t ~holder:(Ops.read t.owner_word)))
 
 let owner t =
   match Ops.read t.owner_word with 0 -> None | v -> Some (v - 1)

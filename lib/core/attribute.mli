@@ -34,7 +34,11 @@ val set : 'a t -> 'a -> unit
     thread other than the caller. *)
 
 exception Immutable_attribute of string
+(** Payload is the attribute name. *)
+
 exception Not_owner of string
+(** Payload names the attribute, the holding thread (if any) and the
+    caller: ["spin-time (held by thread 3, caller thread 7)"]. *)
 
 val mutability : 'a t -> bool
 val set_mutability : 'a t -> bool -> unit

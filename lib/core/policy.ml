@@ -11,6 +11,47 @@ let reconfigure ~label ?(cost = Cost.reads_writes 1 1) apply =
 
 let compose p q obs = match p obs with No_change -> q obs | d -> d
 
+module Guard = struct
+  type t = {
+    limit : int;
+    cooldown : int;
+    mutable streak : int;
+    mutable cooldown_left : int;
+    mutable fallbacks : int;
+  }
+
+  let create ?(pathological_limit = 4) ?(cooldown = 8) () =
+    if pathological_limit <= 0 || cooldown < 0 then invalid_arg "Policy.Guard.create";
+    { limit = pathological_limit; cooldown; streak = 0; cooldown_left = 0; fallbacks = 0 }
+
+  let note t ~pathological =
+    if t.cooldown_left > 0 then begin
+      t.cooldown_left <- t.cooldown_left - 1;
+      false
+    end
+    else if pathological then begin
+      t.streak <- t.streak + 1;
+      if t.streak >= t.limit then begin
+        t.streak <- 0;
+        t.cooldown_left <- t.cooldown;
+        t.fallbacks <- t.fallbacks + 1;
+        true
+      end
+      else false
+    end
+    else begin
+      t.streak <- 0;
+      false
+    end
+
+  let streak t = t.streak
+  let fallbacks t = t.fallbacks
+end
+
+let guarded ~guard ~clamp ~fallback policy obs =
+  let obs, pathological = clamp obs in
+  if Guard.note guard ~pathological then fallback obs else policy obs
+
 let with_hysteresis ~min_gap policy =
   let last_applied = ref None in
   fun obs ->

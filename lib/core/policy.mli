@@ -28,6 +28,41 @@ val compose : 'obs t -> 'obs t -> 'obs t
 (** [compose p q] consults [p] first and falls back to [q] when [p]
     decides [No_change]. *)
 
+(** Guardrail state machine usable by any adaptive object: count
+    consecutive pathological observations, order a fallback after a
+    streak, then suspend counting for a cooldown (hysteresis, so the
+    fallback cannot immediately re-trigger). [Locks.Guardrail] wraps
+    this with lock-specific clamping; {!guarded} below composes it
+    into a policy directly. *)
+module Guard : sig
+  type t
+
+  val create : ?pathological_limit:int -> ?cooldown:int -> unit -> t
+  (** Defaults: 4 consecutive pathological observations trigger a
+      fallback; counting suspended for the following 8. *)
+
+  val note : t -> pathological:bool -> bool
+  (** Record one observation's verdict; [true] orders a fallback. *)
+
+  val streak : t -> int
+  (** Current consecutive pathological-observation count. *)
+
+  val fallbacks : t -> int
+  (** Fallbacks ordered so far. *)
+end
+
+val guarded :
+  guard:Guard.t ->
+  clamp:('obs -> 'obs * bool) ->
+  fallback:'obs t ->
+  'obs t ->
+  'obs t
+(** [guarded ~guard ~clamp ~fallback p] filters every observation
+    before [p] sees it: [clamp] returns the sanitized observation and
+    whether the raw one was pathological; when [guard] reports a
+    pathological streak, [fallback] decides instead of [p] (typically
+    a reset to the object's default configuration). *)
+
 val with_hysteresis : min_gap:int -> 'obs t -> 'obs t
 (** Suppress reconfigurations closer than [min_gap] virtual ns to the
     previous applied one (a guard against thrashing; must run inside

@@ -1,0 +1,128 @@
+type event = { at : int; obj_name : string; obj_kind : string; label : string }
+
+type stats = {
+  samples : int;
+  policy_runs : int;
+  adaptations : int;
+  total_cost : Cost.t;
+  last_label : string option;
+  log : (int * string) list;
+}
+
+type metrics = { id : int; name : string; kind : string; stats : stats }
+
+type entry = {
+  e_id : int;
+  e_name : string;
+  e_kind : string;
+  e_stats : unit -> stats;
+  e_subscribe : (event -> unit) -> unit;
+  e_drive : (unit -> bool) option;
+}
+
+(* Per-domain state, like [Ops.annotations_flag]: each simulation runs
+   entirely on one host domain, so domain-local registration keeps
+   concurrent Engine.Runner simulations from interleaving their
+   objects, and registration order — hence snapshot order — stays the
+   deterministic object-creation order of the run. *)
+type state = { mutable entries : entry list (* newest first *); mutable next_id : int }
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { entries = []; next_id = 0 })
+
+let state () = Domain.DLS.get state_key
+
+let reset () =
+  let st = state () in
+  st.entries <- [];
+  st.next_id <- 0
+
+let register ~name ~kind ~stats ?(subscribe = fun _ -> ()) ?drive () =
+  let st = state () in
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  st.entries <-
+    { e_id = id; e_name = name; e_kind = kind; e_stats = stats;
+      e_subscribe = subscribe; e_drive = drive }
+    :: st.entries;
+  id
+
+let entries () = List.rev (state ()).entries
+let size () = List.length (state ()).entries
+
+let snapshot () =
+  List.map
+    (fun e -> { id = e.e_id; name = e.e_name; kind = e.e_kind; stats = e.e_stats () })
+    (entries ())
+
+let subscribe_all f = List.iter (fun e -> e.e_subscribe f) (entries ())
+
+let subscribe_from from f =
+  let st = state () in
+  List.iter (fun e -> if e.e_id >= from then e.e_subscribe f) st.entries;
+  st.next_id
+
+let drive_all () =
+  List.fold_left
+    (fun n e ->
+      match e.e_drive with
+      | Some drive -> if drive () then n + 1 else n
+      | None -> n)
+    0 (entries ())
+
+(* -- deterministic JSON (hand-rolled, like Chaos.to_json: stable
+   bytes, no host state) -- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let metrics_json m =
+  let log =
+    String.concat ", "
+      (List.map
+         (fun (t, label) ->
+           Printf.sprintf "{ \"t\": %d, \"label\": \"%s\" }" t (json_escape label))
+         m.stats.log)
+  in
+  String.concat ",\n"
+    [
+      Printf.sprintf "      \"id\": %d" m.id;
+      Printf.sprintf "      \"name\": \"%s\"" (json_escape m.name);
+      Printf.sprintf "      \"kind\": \"%s\"" (json_escape m.kind);
+      Printf.sprintf "      \"samples\": %d" m.stats.samples;
+      Printf.sprintf "      \"policy_runs\": %d" m.stats.policy_runs;
+      Printf.sprintf "      \"adaptations\": %d" m.stats.adaptations;
+      Printf.sprintf
+        "      \"total_cost\": { \"reads\": %d, \"writes\": %d, \"instrs\": %d }"
+        m.stats.total_cost.Cost.reads m.stats.total_cost.Cost.writes
+        m.stats.total_cost.Cost.instrs;
+      Printf.sprintf "      \"last_label\": %s"
+        (match m.stats.last_label with
+        | None -> "null"
+        | Some l -> Printf.sprintf "\"%s\"" (json_escape l));
+      Printf.sprintf "      \"log\": [%s]" log;
+    ]
+
+let to_json ms =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf (Printf.sprintf "  \"objects\": %d,\n" (List.length ms));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"adaptations\": %d,\n"
+       (List.fold_left (fun n m -> n + m.stats.adaptations) 0 ms));
+  Buffer.add_string buf "  \"registry\": [\n";
+  Buffer.add_string buf
+    (String.concat ",\n" (List.map (fun m -> "    {\n" ^ metrics_json m ^ "\n    }") ms));
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

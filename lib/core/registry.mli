@@ -1,0 +1,81 @@
+(** Per-domain registry of live adaptive objects.
+
+    Every {!Adaptive.t} self-registers at creation, so monitors,
+    experiments and the [repro objects] CLI can enumerate the whole
+    thread package's adaptive objects — locks, barriers, conditions,
+    semaphores, rw-locks — without each library exporting its own
+    metrics plumbing.
+
+    State is domain-local (the [Ops.annotations_flag] pattern): an
+    [Engine.Runner] simulation runs wholly on one host domain, so
+    concurrent simulations never see each other's objects, and
+    snapshot order is the run's deterministic object-creation order —
+    which is what makes registry JSON byte-identical at any
+    [--domains] count. Call {!reset} at the start of a simulated
+    program that will take snapshots; entries from previous runs on
+    the same domain are forgotten. *)
+
+type event = {
+  at : int;  (** virtual time of the reconfiguration *)
+  obj_name : string;
+  obj_kind : string;  (** object family, e.g. ["lock"], ["barrier"] *)
+  label : string;  (** transition label from the policy's decision *)
+}
+(** One applied reconfiguration, as delivered to {!Adaptive.subscribe}
+    hooks. *)
+
+type stats = {
+  samples : int;
+  policy_runs : int;
+  adaptations : int;
+  total_cost : Cost.t;
+  last_label : string option;
+  log : (int * string) list;  (** (virtual time, label), oldest first *)
+}
+(** Typed metrics snapshot of one object's feedback loop. *)
+
+type metrics = { id : int; name : string; kind : string; stats : stats }
+(** [id] is the registration ordinal within the current run. *)
+
+val reset : unit -> unit
+(** Forget every registered object on the calling domain. *)
+
+val register :
+  name:string ->
+  kind:string ->
+  stats:(unit -> stats) ->
+  ?subscribe:((event -> unit) -> unit) ->
+  ?drive:(unit -> bool) ->
+  unit ->
+  int
+(** Register an object; returns its registry id. [stats] is consulted
+    lazily at snapshot time. [subscribe] lets {!subscribe_all} attach
+    adaptation-event hooks; [drive] (when given) forces one
+    sense-decide cycle — {!drive_all} uses it so a monitoring thread
+    can run every loosely-drivable object. Called by
+    [Adaptive.create]; most clients never call this directly. *)
+
+val size : unit -> int
+
+val snapshot : unit -> metrics list
+(** Current metrics of every registered object, in registration
+    order. *)
+
+val subscribe_all : (event -> unit) -> unit
+(** Attach [f] as an adaptation-event hook on every currently
+    registered object (objects registered later are not included). *)
+
+val subscribe_from : int -> (event -> unit) -> int
+(** [subscribe_from id f] attaches [f] only to objects with registry
+    id >= [id] and returns the id one past the newest entry — pass it
+    back on the next call to subscribe to objects registered since
+    (how a periodically-polling consumer like the watchdog keeps up
+    without double-subscribing). *)
+
+val drive_all : unit -> int
+(** Force one sense-decide cycle on every drivable object; returns how
+    many applied a reconfiguration. *)
+
+val to_json : metrics list -> string
+(** Deterministic JSON document (stable bytes across hosts and domain
+    counts) with per-object metrics and aggregate counts. *)

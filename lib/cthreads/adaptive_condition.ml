@@ -1,0 +1,121 @@
+open Butterfly
+module Attribute = Adaptive_core.Attribute
+module Adaptive = Adaptive_core.Adaptive
+module Sensor = Adaptive_core.Sensor
+module Policy = Adaptive_core.Policy
+
+type observation = { waiting : int; broadcast : bool }
+
+type t = {
+  guard : Spin.t;  (* protects the waiter list *)
+  mutable sleepers : int list;  (* FIFO, oldest first *)
+  signal_seq : Memory.addr;  (* bumped per signal/broadcast: the spin hint *)
+  spin_ns : int Attribute.t;  (* wait spin budget before descheduling *)
+  broadcast_hint : bool Attribute.t;  (* escalate signal to broadcast *)
+  loop : observation Adaptive.t;
+}
+
+let probe_gap_ns = Spin.probe_gap_ns
+
+(* Wake-strategy adaptation: when signals keep finding a crowd, one
+   broadcast replaces a train of signal calls (ActiveMonitor's
+   monitor-reconfiguration observation); when waiters are scarce,
+   broadcast would only cause thundering-herd wakeups, so fall back to
+   single-thread signalling. *)
+let default_policy t ~broadcast_over obs =
+  if obs.waiting >= broadcast_over && not obs.broadcast then
+    Policy.reconfigure ~label:"escalate-broadcast" (fun () ->
+        Attribute.set t.broadcast_hint true)
+  else if obs.waiting <= 1 && obs.broadcast then
+    Policy.reconfigure ~label:"signal-only" (fun () ->
+        Attribute.set t.broadcast_hint false)
+  else Policy.No_change
+
+let create ?node ?(name = "adaptive-condition") ?(period = 2) ?(broadcast_over = 4) ()
+    =
+  let signal_seq = Ops.alloc1 ?node () in
+  Ops.mark_sync_words [| signal_seq |];
+  let home = match node with Some p -> p | None -> Ops.my_processor () in
+  let rec t =
+    lazy
+      {
+        guard = Spin.create ?node ();
+        sleepers = [];
+        signal_seq;
+        spin_ns = Attribute.make_at ~name:"wait-spin-ns" ~node:home 0;
+        broadcast_hint = Attribute.make_at ~name:"broadcast-hint" ~node:home false;
+        loop =
+          Adaptive.create ~name ~kind:"condition" ~home
+            ~sensor:
+              (Sensor.make ~name:"waiting-at-signal" ~period (fun () ->
+                   let c = Lazy.force t in
+                   {
+                     waiting = List.length c.sleepers;
+                     broadcast = Attribute.get c.broadcast_hint;
+                   }))
+            ~policy:(fun obs -> default_policy (Lazy.force t) ~broadcast_over obs)
+            ();
+      }
+  in
+  Lazy.force t
+
+let wait t mu =
+  Spin.lock t.guard;
+  t.sleepers <- t.sleepers @ [ Ops.self () ];
+  Spin.unlock t.guard;
+  (* Release the monitor mutex only after registering, so a signal
+     racing with this wait cannot be lost (the wake token absorbs an
+     early wakeup). *)
+  Spin.unlock mu;
+  (* Spin phase: watch the signal sequence word purely as a hint. The
+     wakeup targets a specific thread, so seeing a bump does not mean
+     it was for us — which is why the phase ALWAYS ends in [block]:
+     if our signal arrived during the spin, the pending wake token
+     makes [block] return immediately (saving the deschedule/resume
+     pair); otherwise we sleep as the fixed condition does. Skipping
+     [block] would leak the token into our next unrelated block. *)
+  let budget = Attribute.get t.spin_ns in
+  if budget > 0 then begin
+    let seq0 = Ops.read t.signal_seq in
+    let spent = ref 0 in
+    while Ops.read t.signal_seq = seq0 && !spent < budget do
+      Ops.work probe_gap_ns;
+      spent := !spent + probe_gap_ns
+    done
+  end;
+  Ops.block ();
+  Spin.lock mu
+
+let wake_all t =
+  Spin.lock t.guard;
+  let sleepers = t.sleepers in
+  t.sleepers <- [];
+  Ops.write t.signal_seq (Ops.read t.signal_seq + 1);
+  Spin.unlock t.guard;
+  List.iter Ops.wakeup sleepers
+
+let signal t =
+  (* Tick before dequeuing so the sensor sees the pre-wake crowd. *)
+  ignore (Adaptive.tick t.loop);
+  if Attribute.get t.broadcast_hint then wake_all t
+  else begin
+    Spin.lock t.guard;
+    match t.sleepers with
+    | [] -> Spin.unlock t.guard
+    | tid :: rest ->
+      t.sleepers <- rest;
+      Ops.write t.signal_seq (Ops.read t.signal_seq + 1);
+      Spin.unlock t.guard;
+      Ops.wakeup tid
+  end
+
+let broadcast t =
+  ignore (Adaptive.tick t.loop);
+  wake_all t
+
+let waiting t = List.length t.sleepers
+let spin_budget_ns t = Attribute.get t.spin_ns
+let spin_attr t = t.spin_ns
+let broadcast_attr t = t.broadcast_hint
+let broadcasting t = Attribute.get t.broadcast_hint
+let loop t = t.loop

@@ -1,0 +1,54 @@
+(** Adaptive condition variable: wake-strategy and spin-wait budget as
+    reconfigurable attributes.
+
+    Two attributes drive it. [wait-spin-ns] gives each waiter a spin
+    budget: after registering (so no signal can be lost) it polls the
+    condition's signal-sequence word as a {e hint}, then always calls
+    [block] — a signal that landed during the spin left a wake token,
+    so the block returns immediately and the deschedule/resume pair is
+    saved; the hint can never break correctness. [broadcast-hint]
+    escalates {!signal} to waking every waiter; the built-in monitor
+    samples the waiter count at signal time and the default policy
+    turns the hint on when signals keep finding a crowd and off when
+    waiters are scarce. The fixed {!Condition} stays the zero-cost
+    default. *)
+
+type t
+
+type observation = {
+  waiting : int;  (** waiters present when the signal was issued *)
+  broadcast : bool;  (** current wake strategy *)
+}
+
+val create :
+  ?node:int -> ?name:string -> ?period:int -> ?broadcast_over:int -> unit -> t
+(** [period] is the sensor sampling period in signal operations
+    (default 2, the paper's every-other-operation rate). The default
+    policy escalates to broadcast at [broadcast_over] waiters (default
+    4) and de-escalates at <= 1. *)
+
+val wait : t -> Spin.t -> unit
+(** [wait t mu] atomically releases [mu], waits to be woken (spinning
+    up to the current budget first), and re-acquires [mu]. *)
+
+val signal : t -> unit
+(** Wake the oldest waiter — or everyone, when the [broadcast-hint]
+    attribute is set. Ticks the adaptive loop. *)
+
+val broadcast : t -> unit
+(** Wake all current waiters. *)
+
+val waiting : t -> int
+(** Waiters currently registered (racy snapshot, for metrics). *)
+
+val spin_budget_ns : t -> int
+val spin_attr : t -> int Adaptive_core.Attribute.t
+
+val broadcasting : t -> bool
+(** Current wake strategy (true = signal escalates to broadcast). *)
+
+val broadcast_attr : t -> bool Adaptive_core.Attribute.t
+
+val loop : t -> observation Adaptive_core.Adaptive.t
+(** The condition's feedback loop (subscribe, swap policies, read
+    metrics). *)

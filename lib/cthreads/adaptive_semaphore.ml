@@ -1,0 +1,124 @@
+open Butterfly
+module Attribute = Adaptive_core.Attribute
+module Adaptive = Adaptive_core.Adaptive
+module Sensor = Adaptive_core.Sensor
+module Policy = Adaptive_core.Policy
+
+type observation = { waiting : int; budget_ns : int }
+
+type t = {
+  mutex : Spin.t;
+  permits : Memory.addr;  (* simulated word: current permit count *)
+  waiters : int Queue.t;  (* host-side FIFO of blocked tids *)
+  spin_ns : int Attribute.t;  (* acquire spin budget before blocking *)
+  loop : observation Adaptive.t;
+}
+
+let probe_gap_ns = Spin.probe_gap_ns
+let max_budget_ns = 19_200
+let step_up b = if b = 0 then probe_gap_ns * 2 else min max_budget_ns (b * 2)
+let step_down b = if b <= probe_gap_ns * 2 then 0 else b / 2
+
+(* Permits turning over with nobody queued means waits are short —
+   spin for them; a standing queue means a permit takes long enough to
+   come back that blocking is the right strategy (the inverse of a
+   lock's simple-adapt, because here depth measures permit latency). *)
+let default_policy t ~block_over obs =
+  if obs.waiting = 0 && obs.budget_ns < max_budget_ns then
+    Policy.reconfigure ~label:"spin-more" (fun () ->
+        Attribute.set t.spin_ns (step_up obs.budget_ns))
+  else if obs.waiting >= block_over && obs.budget_ns > 0 then
+    Policy.reconfigure ~label:"spin-less" (fun () ->
+        Attribute.set t.spin_ns (step_down obs.budget_ns))
+  else Policy.No_change
+
+let create ?node ?(name = "adaptive-semaphore") ?(period = 2) ?(block_over = 2) n =
+  if n < 0 then invalid_arg "Adaptive_semaphore.create: negative permits";
+  let permits = Ops.alloc1 ?node () in
+  Ops.mark_sync_words [| permits |];
+  Ops.write permits n;
+  let home = match node with Some p -> p | None -> Ops.my_processor () in
+  let rec t =
+    lazy
+      {
+        mutex = Spin.create ?node ();
+        permits;
+        waiters = Queue.create ();
+        spin_ns = Attribute.make_at ~name:"acquire-spin-ns" ~node:home 0;
+        loop =
+          Adaptive.create ~name ~kind:"semaphore" ~home
+            ~sensor:
+              (Sensor.make ~name:"waiting-at-release" ~period (fun () ->
+                   let s = Lazy.force t in
+                   {
+                     waiting = Queue.length s.waiters;
+                     budget_ns = Attribute.get s.spin_ns;
+                   }))
+            ~policy:(fun obs -> default_policy (Lazy.force t) ~block_over obs)
+            ();
+      }
+  in
+  Lazy.force t
+
+(* One locked attempt at taking a permit. *)
+let try_take t =
+  Spin.lock t.mutex;
+  let n = Ops.read t.permits in
+  let ok = n > 0 in
+  if ok then Ops.write t.permits (n - 1);
+  Spin.unlock t.mutex;
+  ok
+
+let acquire t =
+  if not (try_take t) then begin
+    (* Spin phase: poll the permit word racily as a hint and retry the
+       locked take when it looks positive. We are not queued, so a
+       release in this window increments the count rather than handing
+       off — exactly what the poll watches for. *)
+    let budget = Attribute.get t.spin_ns in
+    let spent = ref 0 in
+    let got = ref false in
+    while (not !got) && !spent < budget do
+      Ops.work probe_gap_ns;
+      spent := !spent + probe_gap_ns;
+      if Ops.read t.permits > 0 then got := try_take t
+    done;
+    if not !got then begin
+      (* Register under the mutex, re-checking first: a release between
+         our last poll and here must either leave a visible permit or
+         find us already queued for direct handoff. *)
+      Spin.lock t.mutex;
+      let n = Ops.read t.permits in
+      if n > 0 then begin
+        Ops.write t.permits (n - 1);
+        Spin.unlock t.mutex
+      end
+      else begin
+        Queue.add (Ops.self ()) t.waiters;
+        Spin.unlock t.mutex;
+        (* A release racing ahead leaves a wake token, so this never hangs. *)
+        Ops.block ()
+      end
+    end
+  end
+
+let try_acquire t = try_take t
+
+let release t =
+  (* Closely-coupled tick: sample queue depth before the handoff. *)
+  ignore (Adaptive.tick t.loop);
+  Spin.lock t.mutex;
+  match Queue.take_opt t.waiters with
+  | Some tid ->
+    Spin.unlock t.mutex;
+    (* Hand the permit directly to the waiter. *)
+    Ops.wakeup tid
+  | None ->
+    Ops.write t.permits (Ops.read t.permits + 1);
+    Spin.unlock t.mutex
+
+let available t = Ops.read t.permits
+let waiting t = Queue.length t.waiters
+let spin_budget_ns t = Attribute.get t.spin_ns
+let spin_attr t = t.spin_ns
+let loop t = t.loop

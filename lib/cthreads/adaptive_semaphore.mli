@@ -1,0 +1,48 @@
+(** Adaptive counting semaphore: spin-then-block acquire with the spin
+    budget adapted from observed queue depth.
+
+    An acquirer that finds no permit polls the permit word for up to
+    the [acquire-spin-ns] attribute's budget (retrying the locked take
+    when the word looks positive) before queuing and blocking. The
+    built-in monitor samples the blocked-waiter count at release time;
+    the default policy widens the budget while releases find an empty
+    queue (permits turn over quickly, so waits are short) and shrinks
+    it toward pure blocking when a standing queue forms. The fixed
+    {!Semaphore} stays the zero-cost default. *)
+
+type t
+
+type observation = {
+  waiting : int;  (** blocked waiters at release time *)
+  budget_ns : int;  (** current acquire spin budget *)
+}
+
+val create : ?node:int -> ?name:string -> ?period:int -> ?block_over:int -> int -> t
+(** [create n] starts with [n] permits ([n >= 0]) and a spin budget of
+    0 (pure blocking, like {!Semaphore}). [period] is the sensor
+    sampling period in release operations (default 2). The default
+    policy steps the budget down once the queue depth reaches
+    [block_over] (default 2). *)
+
+val acquire : t -> unit
+(** Take a permit, spin-then-blocking until one is available. *)
+
+val try_acquire : t -> bool
+(** Take a permit iff one is immediately available. *)
+
+val release : t -> unit
+(** Return a permit (handed directly to the oldest waiter, if any).
+    Ticks the adaptive loop. *)
+
+val available : t -> int
+(** Current permit count (racy snapshot, for metrics). *)
+
+val waiting : t -> int
+(** Blocked waiters (racy snapshot, for metrics). *)
+
+val spin_budget_ns : t -> int
+val spin_attr : t -> int Adaptive_core.Attribute.t
+
+val loop : t -> observation Adaptive_core.Adaptive.t
+(** The semaphore's feedback loop (subscribe, swap policies, read
+    metrics). *)

@@ -282,6 +282,99 @@ let architecture ?machine ?domains () =
   in
   Engine.Runner.map ?domains (fun (arch, cfg, impl) -> run_one arch cfg impl) grid
 
+type barrier_row = {
+  barrier_impl : string;
+  total_ns : int;
+  barrier_adaptations : int;
+  final_spin_ns : int;
+}
+
+(* Phased barrier workload: twelve workers, two per processor (1-6),
+   alternating balanced rounds (arrivals nearly simultaneous — spinning
+   on the generation word beats a deschedule/resume pair) with a skewed
+   middle phase where worker 0 straggles by 5 ms — a spinning arrival
+   then starves the co-located straggler, so blocking is right. No
+   fixed arrival strategy wins both phases; the adaptive barrier reads
+   the inter-arrival spread and moves its spin budget. *)
+let barriers ?machine ?domains () =
+  let cfg =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let cfg = { cfg with Config.processors = max cfg.Config.processors 8 } in
+  let workers = 12 in
+  let rounds_balanced = 30 and rounds_skewed = 24 in
+  let drive ~await =
+    let body idx () =
+      let round extra =
+        Cthread.work (3_000 + extra);
+        await ()
+      in
+      for _ = 1 to rounds_balanced do
+        round 0
+      done;
+      for _ = 1 to rounds_skewed do
+        round (if idx = 0 then 5_000_000 else 0)
+      done;
+      for _ = 1 to rounds_balanced do
+        round 0
+      done
+    in
+    let threads =
+      List.init workers (fun i -> Cthread.fork ~proc:(1 + (i mod 6)) (body i))
+    in
+    Cthread.join_all threads
+  in
+  let run_one (label, make) =
+    let sim = Sched.create cfg in
+    let adaptations = ref 0 and final = ref 0 in
+    Sched.run sim (fun () ->
+        let await, finish = make () in
+        drive ~await;
+        let a, f = finish () in
+        adaptations := a;
+        final := f);
+    {
+      barrier_impl = label;
+      total_ns = Sched.final_time sim;
+      barrier_adaptations = !adaptations;
+      final_spin_ns = !final;
+    }
+  in
+  let adaptive_metrics b () =
+    ( Adaptive_core.Adaptive.adaptations (Adaptive_barrier.loop b),
+      Adaptive_barrier.spin_budget_ns b )
+  in
+  Engine.Runner.map ?domains run_one
+    [
+      ( "fixed always-block",
+        fun () ->
+          let b = Barrier.create ~node:0 workers in
+          ((fun () -> Barrier.await b), fun () -> (0, 0)) );
+      ( "fixed always-spin",
+        fun () ->
+          (* An adaptive barrier frozen open: sampling disabled, spin
+             budget pinned above any skew. *)
+          let b =
+            Adaptive_barrier.create ~node:0 ~name:"fixed-spin-barrier" ~period:max_int
+              workers
+          in
+          Adaptive_core.Attribute.set (Adaptive_barrier.spin_attr b) 10_000_000;
+          ((fun () -> Adaptive_barrier.await b), adaptive_metrics b) );
+      ( "adaptive",
+        fun () ->
+          (* Thresholds bracket this machine's measured spreads: ~1.9 ms
+             between blocked balanced arrivals (the resume cascade of 11
+             sleepers, two per processor), ~4.4 ms when the straggler
+             skews. The budget cap must exceed the blocked-mode spread
+             or spinners can never bridge the block-to-spin transition. *)
+          let b =
+            Adaptive_barrier.create ~node:0 ~name:"ablation-barrier"
+              ~spin_if_under:2_800_000 ~block_if_over:3_600_000 ~max_spin_ns:4_915_200
+              workers
+          in
+          ((fun () -> Adaptive_barrier.await b), adaptive_metrics b) );
+    ]
+
 type advisory_row = {
   advisory_lock : string;
   total_ns : int;

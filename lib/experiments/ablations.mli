@@ -91,6 +91,20 @@ val architecture : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> arch_r
     machine and its UMA variant. Local spinning should pay off only on
     NUMA. *)
 
+type barrier_row = {
+  barrier_impl : string;  (** "fixed always-block" / "fixed always-spin" / "adaptive" *)
+  total_ns : int;
+  barrier_adaptations : int;
+  final_spin_ns : int;  (** arrival spin budget at the end of the run *)
+}
+
+val barriers : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> barrier_row list
+(** Adaptive vs fixed barrier arrival strategies on a phased workload:
+    balanced rounds (spin wins), a skewed-straggler middle phase
+    (spinning starves the co-located straggler; block wins), balanced
+    again. The adaptive barrier must reconfigure and beat the worst
+    fixed strategy. *)
+
 type advisory_row = {
   advisory_lock : string;
   total_ns : int;

@@ -316,6 +316,73 @@ let print_phases ?(out = std) ?domains () =
     (Repro_stats.Table.render
        ~title:"Ablation: phased contention (adaptive vs static waiting policies)" tbl)
 
+let print_barriers ?(out = std) ?domains () =
+  let rows = Ablations.barriers ?domains () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:[ "barrier"; "total (ms)"; "adaptations"; "final spin budget (ns)" ]
+  in
+  List.iter
+    (fun (r : Ablations.barrier_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          r.Ablations.barrier_impl;
+          Repro_stats.Table.ms_of_ns r.Ablations.total_ns;
+          string_of_int r.Ablations.barrier_adaptations;
+          string_of_int r.Ablations.final_spin_ns;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: barrier arrival strategies on phased skew (adaptive spin budget vs \
+          fixed spin/block)"
+       tbl)
+
+let print_objects ?(out = std) ?csv_dir ?domains () =
+  let r =
+    List.hd
+      (Engine.Runner.map ?domains
+         (fun spec -> Workloads.Sync_objects.run spec)
+         [ Workloads.Sync_objects.default ])
+  in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:
+        [
+          "id"; "kind"; "name"; "samples"; "policy runs"; "adaptations";
+          "cost (r/w/i)"; "last transition";
+        ]
+  in
+  List.iter
+    (fun (m : Adaptive_core.Registry.metrics) ->
+      let s = m.Adaptive_core.Registry.stats in
+      Repro_stats.Table.add_row tbl
+        [
+          string_of_int m.Adaptive_core.Registry.id;
+          m.Adaptive_core.Registry.kind;
+          m.Adaptive_core.Registry.name;
+          string_of_int s.Adaptive_core.Registry.samples;
+          string_of_int s.Adaptive_core.Registry.policy_runs;
+          string_of_int s.Adaptive_core.Registry.adaptations;
+          Printf.sprintf "%d/%d/%d"
+            s.Adaptive_core.Registry.total_cost.Adaptive_core.Cost.reads
+            s.Adaptive_core.Registry.total_cost.Adaptive_core.Cost.writes
+            s.Adaptive_core.Registry.total_cost.Adaptive_core.Cost.instrs;
+          (match s.Adaptive_core.Registry.last_label with None -> "-" | Some l -> l);
+        ])
+    r.Workloads.Sync_objects.snapshot;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:"Adaptive-object registry after the sync-objects workload" tbl);
+  Format.fprintf out "objects=%d adaptations=%d total=%s ms@."
+    (List.length r.Workloads.Sync_objects.snapshot)
+    r.Workloads.Sync_objects.adaptations
+    (Repro_stats.Table.ms_of_ns r.Workloads.Sync_objects.total_ns);
+  with_csv csv_dir "OBJECTS_results.json" (fun oc ->
+      output_string oc
+        (Adaptive_core.Registry.to_json r.Workloads.Sync_objects.snapshot))
+
 let print_everything ?(out = std) ?csv_dir ?domains () =
   (* Sections render in paper order; inside each section the
      simulations fan out across domains. Rendering stays on the
@@ -336,5 +403,8 @@ let print_everything ?(out = std) ?csv_dir ?domains () =
   print_sampling ~out ?domains ();
   print_threshold ~out ?domains ();
   print_phases ~out ?domains ();
+  print_barriers ~out ?domains ();
   print_advisory ~out ?domains ();
-  print_architecture ~out ?domains ()
+  print_architecture ~out ?domains ();
+  Format.fprintf out "=== Adaptive-object registry ===@.@.";
+  print_objects ~out ?csv_dir ?domains ()

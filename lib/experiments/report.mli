@@ -32,6 +32,14 @@ val print_threshold : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_phases : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_advisory : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_architecture : ?out:Format.formatter -> ?domains:int -> unit -> unit
+val print_barriers : ?out:Format.formatter -> ?domains:int -> unit -> unit
+
+val print_objects :
+  ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
+(** Run the sync-objects workload and dump the adaptive-object registry
+    as a table; with [csv_dir], also write [OBJECTS_results.json]
+    ({!Adaptive_core.Registry.to_json} — byte-identical at any
+    [domains]). *)
 
 val print_everything : ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
 (** All tables, figures and ablations, in paper order. The independent

@@ -17,25 +17,34 @@ let apply_budget t =
   Spin_budget.apply t.budget (Lock_core.policy (Reconfigurable_lock.core t.reconf));
   Lock_stats.on_reconfigure (Reconfigurable_lock.stats t.reconf)
 
-let simple_adapt _params t obs =
-  match Spin_budget.step t.budget ~waiting:obs with
+(* The [simple-adapt] step as a policy over any spin budget — the
+   plumbing shared by this closely-coupled lock and Monitoring's
+   loosely-coupled one, which differ only in how observations arrive
+   and how [apply] reaches the attributes. *)
+let budget_policy ~budget ~apply obs =
+  match Spin_budget.step budget ~waiting:obs with
   | None -> Policy.No_change
   | Some _ ->
     Policy.Reconfigure
       {
-        label = Spin_budget.mode t.budget;
+        label = Spin_budget.mode budget;
         cost = Lock_costs.configure_waiting_policy;
-        apply = (fun () -> apply_budget t);
+        apply;
       }
 
-(* Guardrail-filtered simple-adapt: each observation passes through the
-   guardrail first; a Fallback verdict resets the budget to its default
-   combined value (one charged waiting-policy reconfiguration) instead
-   of feeding the policy. *)
-let guarded_adapt params guard t obs =
-  let wedged_low = Spin_budget.spins t.budget = 0 && obs > params.waiting_threshold in
-  match Guardrail.observe guard ~waiting:obs ~wedged_low with
-  | Guardrail.Fallback ->
+let simple_adapt _params t =
+  budget_policy ~budget:t.budget ~apply:(fun () -> apply_budget t)
+
+(* Guardrail-filtered simple-adapt via the generic [Policy.guarded]
+   combinator: each observation is clamped first; a pathological
+   streak resets the budget to its default combined value (one charged
+   waiting-policy reconfiguration) instead of feeding the policy. *)
+let guarded_adapt params guard t =
+  let clamp obs =
+    let wedged_low = Spin_budget.spins t.budget = 0 && obs > params.waiting_threshold in
+    Guardrail.classify guard ~waiting:obs ~wedged_low
+  in
+  let fallback _ =
     Policy.Reconfigure
       {
         label = "guardrail-fallback";
@@ -45,7 +54,9 @@ let guarded_adapt params guard t obs =
             Spin_budget.reset t.budget;
             apply_budget t);
       }
-  | Guardrail.Sample w -> simple_adapt params t w
+  in
+  Policy.guarded ~guard:(Guardrail.guard guard) ~clamp ~fallback
+    (simple_adapt params t)
 
 let create ?name ?trace ?sched ?(params = default_params) ?policy ?guardrail ~home () =
   let name = match name with Some n -> n | None -> "adaptive-lock" in
@@ -57,7 +68,7 @@ let create ?name ?trace ?sched ?(params = default_params) ?policy ?guardrail ~ho
       ~overhead_instrs:40
       (fun () -> Lock_core.waiting_now core)
   in
-  let loop = Adaptive.create ~name ~home ~sensor ~policy:Policy.no_op () in
+  let loop = Adaptive.create ~name ~kind:"lock" ~home ~sensor ~policy:Policy.no_op () in
   let budget =
     Spin_budget.create ~threshold:params.waiting_threshold ~n:params.n ~cap:params.spin_cap
       ~init:params.n

@@ -89,3 +89,10 @@ val guardrail : t -> Guardrail.t option
 val simple_adapt : params -> t -> int Adaptive_core.Policy.t
 (** The paper's policy, exposed so ablations can wrap it (e.g. with
     hysteresis) or sweep its constants. *)
+
+val budget_policy :
+  budget:Spin_budget.t -> apply:(unit -> unit) -> int Adaptive_core.Policy.t
+(** The [simple-adapt] step over an arbitrary {!Spin_budget} and
+    reconfiguration action — the policy shared with the
+    loosely-coupled lock in [Monitoring], which supplies an [apply]
+    that acquires attribute ownership as an external agent must. *)

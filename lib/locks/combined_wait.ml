@@ -1,0 +1,35 @@
+open Butterfly
+module Attribute = Adaptive_core.Attribute
+
+(* Exponential back-off cap: keeps Anderson-style gaps bounded. *)
+let max_backoff_ns = 2_000_000
+
+let wait ~(policy : Waiting.t) ?(advice = fun () -> 0) ~since ~probe ~on_retry ~sleep
+    () =
+  (* The waiting loop re-consults the mutable attributes (and any
+     advice) on every probe, so a reconfiguration takes effect for
+     threads already waiting — the closely-coupled behaviour
+     adaptation depends on. *)
+  let rec wait_loop attempts gap =
+    let advice = advice () in
+    let spin_limit =
+      if advice = 1 then max_int
+      else if advice = 2 then 0
+      else Attribute.get policy.Waiting.spin_count
+    in
+    let sleep_enabled = advice = 2 || Attribute.get policy.Waiting.sleep in
+    let timeout = Attribute.get policy.Waiting.timeout_ns in
+    let expired = timeout > 0 && Ops.now () >= since + timeout in
+    if (attempts >= spin_limit || expired) && sleep_enabled then sleep ()
+    else if probe () then ()
+    else begin
+      on_retry ();
+      if gap > 0 then Ops.work gap;
+      let gap =
+        if Attribute.get policy.Waiting.backoff then min (max (gap * 2) 1) max_backoff_ns
+        else gap
+      in
+      wait_loop (attempts + 1) gap
+    end
+  in
+  wait_loop 0 (Attribute.get policy.Waiting.delay_ns)

@@ -1,0 +1,28 @@
+(** The attribute-driven spin-then-block waiting loop, factored out of
+    {!Lock_core} so every lock-like object waits with the same
+    machinery: the {!Waiting} attributes (spin count, probe gap,
+    Anderson back-off, sleep, timeout) are re-consulted on every probe,
+    so reconfigurations take effect for threads already waiting.
+    {!Lock_core} drives it for mutex acquisition; {!Rw_lock} for both
+    its reader and writer sides. *)
+
+val max_backoff_ns : int
+(** Cap on the exponential back-off gap. *)
+
+val wait :
+  policy:Waiting.t ->
+  ?advice:(unit -> int) ->
+  since:int ->
+  probe:(unit -> bool) ->
+  on_retry:(unit -> unit) ->
+  sleep:(unit -> unit) ->
+  unit ->
+  unit
+(** Run the waiting loop until the object is acquired. [probe] makes
+    one acquisition attempt and, on success, performs the caller's
+    acquisition bookkeeping. [sleep] is the blocking path: register,
+    re-check, block until handed the object (it returns having
+    acquired). [on_retry] is charged per failed probe (the paper's
+    per-probe library-call overhead). [advice] (default none) returns
+    the owner's current advice: 0 none, 1 force spinning, 2 force
+    sleeping. [since] anchors the policy's timeout. *)

@@ -1,42 +1,37 @@
+module Policy = Adaptive_core.Policy
+
 type params = { clamp_max : int; pathological_limit : int; cooldown : int }
 
 let default_params = { clamp_max = 64; pathological_limit = 4; cooldown = 8 }
 
-type t = {
-  p : params;
-  mutable streak : int;
-  mutable cooldown_left : int;
-  mutable fallbacks : int;
-}
+(* The streak/cooldown state machine lives in [Policy.Guard] (usable by
+   any adaptive object); this module adds the lock-specific clamping
+   and the waiting-count vocabulary. *)
+type t = { p : params; g : Policy.Guard.t }
 
 let create ?(params = default_params) () =
   if params.clamp_max < 0 || params.pathological_limit <= 0 || params.cooldown < 0 then
     invalid_arg "Guardrail.create";
-  { p = params; streak = 0; cooldown_left = 0; fallbacks = 0 }
+  {
+    p = params;
+    g =
+      Policy.Guard.create ~pathological_limit:params.pathological_limit
+        ~cooldown:params.cooldown ();
+  }
 
 type verdict = Sample of int | Fallback
 
-let observe t ~waiting ~wedged_low =
-  let clamped = max 0 (min t.p.clamp_max waiting) in
-  let pathological = clamped <> waiting || wedged_low in
-  if t.cooldown_left > 0 then begin
-    t.cooldown_left <- t.cooldown_left - 1;
-    Sample clamped
-  end
-  else if pathological then begin
-    t.streak <- t.streak + 1;
-    if t.streak >= t.p.pathological_limit then begin
-      t.streak <- 0;
-      t.cooldown_left <- t.p.cooldown;
-      t.fallbacks <- t.fallbacks + 1;
-      Fallback
-    end
-    else Sample clamped
-  end
-  else begin
-    t.streak <- 0;
-    Sample clamped
-  end
+let clamp t waiting = max 0 (min t.p.clamp_max waiting)
 
-let streak t = t.streak
-let fallbacks t = t.fallbacks
+let classify t ~waiting ~wedged_low =
+  let clamped = clamp t waiting in
+  (clamped, clamped <> waiting || wedged_low)
+
+let observe t ~waiting ~wedged_low =
+  let clamped, pathological = classify t ~waiting ~wedged_low in
+  if Policy.Guard.note t.g ~pathological then Fallback else Sample clamped
+
+let guard t = t.g
+let config t = t.p
+let streak t = Policy.Guard.streak t.g
+let fallbacks t = Policy.Guard.fallbacks t.g

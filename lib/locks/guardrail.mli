@@ -26,7 +26,12 @@
 
     Guardrails are opt-in ({!Adaptive_lock.create}'s [?guardrail]):
     with none installed the adaptive lock behaves bit-for-bit as
-    before. *)
+    before.
+
+    The streak/cooldown/fallback state machine itself is
+    [Adaptive_core.Policy.Guard] — reusable by any adaptive object via
+    the [Policy.guarded] combinator; this module is the lock-flavoured
+    wrapper adding waiting-count clamping and wedge vocabulary. *)
 
 type params = {
   clamp_max : int;  (** samples clamped into [0, clamp_max] *)
@@ -49,6 +54,18 @@ val observe : t -> waiting:int -> wedged_low:bool -> verdict
 (** Filter one observation. [wedged_low] is the caller's statement
     that the budget currently sits at the pure-blocking extreme and
     this sample would keep it there. *)
+
+val classify : t -> waiting:int -> wedged_low:bool -> int * bool
+(** The clamp half of {!observe} alone: the sanitized sample and
+    whether the raw one was pathological — the shape
+    [Policy.guarded]'s [clamp] argument wants, without advancing the
+    streak machine. *)
+
+val guard : t -> Adaptive_core.Policy.Guard.t
+(** The underlying streak/cooldown state machine, for composing with
+    [Policy.guarded] directly. *)
+
+val config : t -> params
 
 val streak : t -> int
 (** Current consecutive pathological-sample count (for tests). *)

@@ -64,8 +64,7 @@ let guard_lock t =
 
 let guard_unlock t = Ops.write t.guard 0
 
-(* Exponential back-off cap: keeps Anderson-style gaps bounded. *)
-let max_backoff_ns = 2_000_000
+let max_backoff_ns = Combined_wait.max_backoff_ns
 
 let enter_waiting t =
   let waiting = Ops.fetch_and_add t.nwait 1 + 1 in
@@ -133,36 +132,23 @@ let contended_path t =
   let since = Ops.now () in
   Lock_stats.on_contended t.lock_stats;
   enter_waiting t;
-  (* The waiting loop re-consults the mutable attributes and the
+  (* The shared waiting loop re-consults the mutable attributes and the
      owner's advice word on every probe, so a reconfiguration or a
      fresh advice takes effect for threads already waiting — the
      closely-coupled behaviour adaptation depends on. *)
-  let rec wait_loop attempts gap =
+  Combined_wait.wait ~policy:t.wait_policy
     (* Only advisory locks pay for consulting the advice word. *)
-    let advice = if t.uses_advice then Ops.read t.advice_word else 0 in
-    let spin_limit =
-      if advice = 1 then max_int
-      else if advice = 2 then 0
-      else Attribute.get t.wait_policy.Waiting.spin_count
-    in
-    let sleep_enabled = advice = 2 || Attribute.get t.wait_policy.Waiting.sleep in
-    let timeout = Attribute.get t.wait_policy.Waiting.timeout_ns in
-    let expired = timeout > 0 && Ops.now () >= since + timeout in
-    if (attempts >= spin_limit || expired) && sleep_enabled then
-      sleep_until_handoff t ~since
-    else if probe t then acquired t ~since
-    else begin
-      retry_overhead t;
-      if gap > 0 then Ops.work gap;
-      let gap =
-        if Attribute.get t.wait_policy.Waiting.backoff then
-          min (max (gap * 2) 1) max_backoff_ns
-        else gap
-      in
-      wait_loop (attempts + 1) gap
-    end
-  in
-  wait_loop 0 (Attribute.get t.wait_policy.Waiting.delay_ns)
+    ~advice:(fun () -> if t.uses_advice then Ops.read t.advice_word else 0)
+    ~since
+    ~probe:(fun () ->
+      if probe t then begin
+        acquired t ~since;
+        true
+      end
+      else false)
+    ~on_retry:(fun () -> retry_overhead t)
+    ~sleep:(fun () -> sleep_until_handoff t ~since)
+    ()
 
 let lock t =
   if Ops.annotations_enabled () then

@@ -1,4 +1,5 @@
 open Butterfly
+module Attribute = Adaptive_core.Attribute
 module Sensor = Adaptive_core.Sensor
 module Policy = Adaptive_core.Policy
 module Adaptive = Adaptive_core.Adaptive
@@ -7,14 +8,23 @@ type preference = Reader_pref | Writer_pref
 
 (* State word encoding: bit 0 = writer holds; higher bits = 2 x active
    readers. Readers CAS in (+2) only while bit 0 is clear; the writer
-   CASes 0 -> 1. *)
+   CASes 0 -> 1. Waiting runs through Combined_wait (the same
+   attribute-driven spin-then-block machinery as Lock_core): failed
+   probes spin per the Waiting attributes, then register on a sleeper
+   list under the guard word and block until a release grants the lock
+   directly (readers are granted their +2, a writer its bit, before
+   being woken — a woken thread owns the lock, no re-probe). *)
 type t = {
   rw_name : string;
+  home_node : int;
   word : Memory.addr;
+  guard : Memory.addr;  (* protects the sleeper lists and grants *)
   wwait : Memory.addr;  (* waiting-writer count (the monitored variable) *)
-  mutable pref : preference;
+  pref : preference Attribute.t;  (* the reconfigurable bias attribute *)
+  wait_policy : Waiting.t;
+  mutable reader_sleepers : int list;  (* FIFO, oldest first *)
+  mutable writer_sleepers : int list;  (* FIFO, oldest first *)
   loop : int Adaptive.t option;
-  mutable adaptation_count : int;
   mutable reader_acqs : int;
   mutable writer_acqs : int;
   mutable reader_wait_ns : int;
@@ -23,18 +33,32 @@ type t = {
 
 let retry_gap_ns = 15_000
 
+(* Probes before a contended reader/writer falls back to sleeping: a
+   handful of retry_gap_ns-spaced attempts, the combined configuration
+   the paper recommends as default. *)
+let default_policy ~home () =
+  Waiting.make ~node:home ~spin_count:6 ~delay_ns:retry_gap_ns ~backoff:false
+    ~sleep:true ~timeout_ns:0 ()
+
 let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
-    ?(sample_period = 2) ~home () =
-  let words = Ops.alloc ~node:home 2 in
+    ?(sample_period = 2) ?policy ~home () =
+  let words = Ops.alloc ~node:home 3 in
   Ops.mark_sync_words words;
+  let wait_policy =
+    match policy with Some p -> p | None -> default_policy ~home ()
+  in
   let t =
     {
       rw_name = name;
+      home_node = home;
       word = words.(0);
-      wwait = words.(1);
-      pref = preference;
+      guard = words.(1);
+      wwait = words.(2);
+      pref = Attribute.make_at ~name:"rw-preference" ~node:home preference;
+      wait_policy;
+      reader_sleepers = [];
+      writer_sleepers = [];
       loop = None;
-      adaptation_count = 0;
       reader_acqs = 0;
       writer_acqs = 0;
       reader_wait_ns = 0;
@@ -43,48 +67,46 @@ let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
   in
   if not adaptive then t
   else begin
-    let t_ref = ref t in
     let sensor =
       Sensor.make ~name:(name ^ ".waiting-writers") ~period:sample_period
         ~overhead_instrs:40
-        (fun () -> Ops.read words.(1))
+        (fun () -> Ops.read words.(2))
     in
     (* Hysteresis: require a few writer-free samples before giving the
        readers their preference back. *)
     let calm = ref 0 in
     let policy waiting_writers =
-      let t = !t_ref in
       if waiting_writers > 0 then begin
         calm := 0;
-        if t.pref = Reader_pref then
+        if Attribute.get t.pref = Reader_pref then
           Policy.reconfigure ~label:"writer-pref"
             ~cost:Lock_costs.configure_waiting_policy (fun () ->
-              t.pref <- Writer_pref;
-              t.adaptation_count <- t.adaptation_count + 1)
+              Attribute.set t.pref Writer_pref)
         else Policy.No_change
       end
       else begin
         incr calm;
-        if t.pref = Writer_pref && !calm >= 3 then
+        if Attribute.get t.pref = Writer_pref && !calm >= 3 then
           Policy.reconfigure ~label:"reader-pref"
             ~cost:Lock_costs.configure_waiting_policy (fun () ->
-              t.pref <- Reader_pref;
-              t.adaptation_count <- t.adaptation_count + 1)
+              Attribute.set t.pref Reader_pref)
         else Policy.No_change
       end
     in
-    let loop = Adaptive.create ~name ~home ~sensor ~policy () in
-    let t = { t with loop = Some loop } in
-    t_ref := t;
-    t
+    let loop = Adaptive.create ~name ~kind:"rw-lock" ~home ~sensor ~policy () in
+    { t with loop = Some loop }
   end
 
 let name t = t.rw_name
-let preference t = t.pref
-let set_preference t p = t.pref <- p
+let home t = t.home_node
+let preference t = Attribute.get t.pref
+let set_preference t p = Attribute.set t.pref p
+let preference_attr t = t.pref
+let waiting_policy t = t.wait_policy
+let loop t = t.loop
 let readers_now t = Ops.read t.word / 2
 let writers_waiting t = Ops.read t.wwait
-let adaptations t = t.adaptation_count
+let adaptations t = match t.loop with Some l -> Adaptive.adaptations l | None -> 0
 let reader_acquisitions t = t.reader_acqs
 let writer_acquisitions t = t.writer_acqs
 
@@ -95,47 +117,101 @@ let mean_reader_wait_ns t = mean 1.0 t.reader_wait_ns t.reader_acqs
 (* Both reader and writer acquisitions annotate with the state word as
    the lock identity: the lock-order and discipline passes then see one
    lock regardless of mode, so a reader-side acquisition ordered
-   against another lock closes the same cycle a writer-side one would.
-   Both paths spin (no sleeping), hence [spin_wait = true]. *)
+   against another lock closes the same cycle a writer-side one would. *)
 let note_request t =
   Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.rw_name })
 
 let note_acquired t =
-  Ops.annotate
-    (Ops.A_lock_acquire { lock = t.word; lock_name = t.rw_name; spin_wait = true })
+  if Ops.annotations_enabled () then
+    Ops.annotate
+      (Ops.A_lock_acquire
+         {
+           lock = t.word;
+           lock_name = t.rw_name;
+           spin_wait = not (Attribute.get t.wait_policy.Waiting.sleep);
+         })
 
 let note_released t =
   Ops.annotate (Ops.A_lock_release { lock = t.word; lock_name = t.rw_name })
+
+let guard_lock t =
+  while not (Ops.test_and_set t.guard) do
+    ()
+  done
+
+let guard_unlock t = Ops.write t.guard 0
+
+(* One reader acquisition attempt. Under writer preference, defer to
+   waiting writers (spinning or sleeping — both count in wwait). *)
+let read_probe t =
+  if Attribute.get t.pref = Writer_pref && Ops.read t.wwait > 0 then false
+  else begin
+    let v = Ops.read t.word in
+    v land 1 = 0 && Ops.compare_and_swap t.word ~expected:v ~desired:(v + 2)
+  end
+
+let write_probe t = Ops.compare_and_swap t.word ~expected:0 ~desired:1
+
+(* Sleep paths: register under the guard after one last probe — every
+   grant also runs under the guard, so either the re-probe sees the
+   state that would have woken us, or we are on the list before the
+   granter looks. A woken thread was granted the lock (its +2 or the
+   writer bit) before its wakeup, so waking is acquiring. *)
+let reader_sleep t =
+  guard_lock t;
+  if read_probe t then guard_unlock t
+  else begin
+    t.reader_sleepers <- t.reader_sleepers @ [ Ops.self () ];
+    guard_unlock t;
+    Ops.block ();
+    Ops.work_instrs 800 (* resume charge *)
+  end
+
+let writer_sleep t =
+  guard_lock t;
+  if write_probe t then guard_unlock t
+  else begin
+    t.writer_sleepers <- t.writer_sleepers @ [ Ops.self () ];
+    guard_unlock t;
+    Ops.block ();
+    Ops.work_instrs 800 (* resume charge *)
+  end
 
 let read_lock t =
   let t0 = Ops.now () in
   Ops.work_instrs 180;
   note_request t;
-  let rec attempt () =
-    (* Under writer preference, defer to queued writers. *)
-    if t.pref = Writer_pref && Ops.read t.wwait > 0 then begin
-      Ops.work retry_gap_ns;
-      attempt ()
-    end
-    else begin
-      let v = Ops.read t.word in
-      if v land 1 = 1 then begin
-        Ops.work retry_gap_ns;
-        attempt ()
-      end
-      else if Ops.compare_and_swap t.word ~expected:v ~desired:(v + 2) then ()
-      else attempt ()
-    end
-  in
-  attempt ();
+  if not (read_probe t) then
+    Combined_wait.wait ~policy:t.wait_policy ~since:t0 ~probe:(fun () -> read_probe t)
+      ~on_retry:(fun () -> Ops.work_instrs 180)
+      ~sleep:(fun () -> reader_sleep t)
+      ();
   note_acquired t;
   t.reader_acqs <- t.reader_acqs + 1;
   t.reader_wait_ns <- t.reader_wait_ns + (Ops.now () - t0)
 
+(* The last leaving reader hands the lock to the oldest sleeping
+   writer: CAS 0 -> 1 under the guard, then wake. A failed CAS means a
+   fresh reader (or a spinning writer) slipped in; its own release will
+   re-attempt the grant, so the chain never drops a sleeping writer. *)
+let grant_writer_if_idle t =
+  guard_lock t;
+  (match t.writer_sleepers with
+  | [] -> guard_unlock t
+  | tid :: rest ->
+    if write_probe t then begin
+      t.writer_sleepers <- rest;
+      guard_unlock t;
+      Ops.wakeup tid
+    end
+    else guard_unlock t);
+  ()
+
 let read_unlock t =
   Ops.work_instrs 90;
   note_released t;
-  ignore (Ops.fetch_and_add t.word (-2));
+  let remaining = Ops.fetch_and_add t.word (-2) - 2 in
+  if remaining = 0 then grant_writer_if_idle t;
   match t.loop with Some loop -> ignore (Adaptive.tick loop) | None -> ()
 
 let write_lock t =
@@ -143,14 +219,12 @@ let write_lock t =
   Ops.work_instrs 220;
   note_request t;
   ignore (Ops.fetch_and_add t.wwait 1);
-  let rec attempt () =
-    if Ops.compare_and_swap t.word ~expected:0 ~desired:1 then ()
-    else begin
-      Ops.work retry_gap_ns;
-      attempt ()
-    end
-  in
-  attempt ();
+  if not (write_probe t) then
+    Combined_wait.wait ~policy:t.wait_policy ~since:t0
+      ~probe:(fun () -> write_probe t)
+      ~on_retry:(fun () -> Ops.work_instrs 220)
+      ~sleep:(fun () -> writer_sleep t)
+      ();
   note_acquired t;
   ignore (Ops.fetch_and_add t.wwait (-1));
   t.writer_acqs <- t.writer_acqs + 1;
@@ -159,7 +233,35 @@ let write_lock t =
 let write_unlock t =
   Ops.work_instrs 90;
   note_released t;
-  Ops.write t.word 0
+  guard_lock t;
+  let writers_first =
+    Attribute.get t.pref = Writer_pref || t.reader_sleepers = []
+  in
+  match (if writers_first then t.writer_sleepers else []) with
+  | tid :: rest ->
+    (* Direct handoff: the word stays held (bit 0 set); the sleeper
+       owns it. *)
+    t.writer_sleepers <- rest;
+    guard_unlock t;
+    Ops.wakeup tid
+  | [] -> (
+    match t.reader_sleepers with
+    | [] -> (
+      match t.writer_sleepers with
+      | tid :: rest ->
+        t.writer_sleepers <- rest;
+        guard_unlock t;
+        Ops.wakeup tid
+      | [] ->
+        Ops.write t.word 0;
+        guard_unlock t)
+    | readers ->
+      (* Grant every sleeping reader its +2 in one write, then wake
+         them; spinning readers may CAS in on top concurrently. *)
+      t.reader_sleepers <- [];
+      Ops.write t.word (2 * List.length readers);
+      guard_unlock t;
+      List.iter Ops.wakeup readers)
 
 let with_read t f =
   read_lock t;

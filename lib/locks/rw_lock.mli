@@ -14,7 +14,15 @@
     The adaptive variant monitors the waiting-writer count with a
     built-in sensor (sampled at read-side releases) and switches the
     preference attribute: writers queueing up flips it to
-    [Writer_pref]; a sustained writer-free stretch flips it back. *)
+    [Writer_pref]; a sustained writer-free stretch flips it back.
+
+    Waiting runs through {!Combined_wait} — the same attribute-driven
+    spin-then-block machinery as {!Lock_core}: contended readers and
+    writers spin per the lock's {!Waiting} attributes, then register
+    on a sleeper list and block; releases grant the lock directly
+    (readers their +2, a writer its bit) before waking, so a woken
+    thread owns the lock. The preference is a reconfigurable
+    {!Adaptive_core.Attribute}. *)
 
 type preference = Reader_pref | Writer_pref
 
@@ -25,12 +33,18 @@ val create :
   ?preference:preference ->
   ?adaptive:bool ->
   ?sample_period:int ->
+  ?policy:Waiting.t ->
   home:int ->
   unit ->
   t
 (** [preference] defaults to [Reader_pref]; with [adaptive] (default
-    false) the preference becomes a monitored, self-tuning attribute.
-    Must run inside a simulation. *)
+    false) the preference becomes a monitored, self-tuning attribute
+    (the feedback loop registers in [Core.Registry] with kind
+    ["rw-lock"]). [policy] is the waiting policy shared by both sides
+    (default: 6 gap-spaced probes, then sleep). Must run inside a
+    simulation. *)
+
+val home : t -> int
 
 val name : t -> string
 val read_lock : t -> unit
@@ -43,6 +57,17 @@ val with_write : t -> (unit -> 'a) -> 'a
 
 val preference : t -> preference
 val set_preference : t -> preference -> unit
+
+val preference_attr : t -> preference Adaptive_core.Attribute.t
+(** The bias attribute itself, for external reconfiguration agents and
+    ownership tests. *)
+
+val waiting_policy : t -> Waiting.t
+(** The waiting attributes consulted by contended readers/writers. *)
+
+val loop : t -> int Adaptive_core.Adaptive.t option
+(** The adaptive variant's feedback loop (observations are
+    waiting-writer counts); [None] for fixed-preference locks. *)
 
 val readers_now : t -> int
 (** Active readers (simulated read). *)

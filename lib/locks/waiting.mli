@@ -28,6 +28,18 @@ type t = {
   timeout_ns : int Adaptive_core.Attribute.t;
 }
 
+val make :
+  ?node:int ->
+  spin_count:int ->
+  delay_ns:int ->
+  backoff:bool ->
+  sleep:bool ->
+  timeout_ns:int ->
+  unit ->
+  t
+(** Fully explicit constructor; the named flavours below are the
+    common rows of the table. *)
+
 val pure_spin : ?node:int -> unit -> t
 val backoff_spin : ?node:int -> ?delay_ns:int -> unit -> t
 val pure_sleep : ?node:int -> unit -> t

@@ -1,15 +1,20 @@
 open Butterfly
 module AL = Locks.Adaptive_lock
+module Adaptive = Adaptive_core.Adaptive
+module Sensor = Adaptive_core.Sensor
 
 type t = {
   reconf : Locks.Reconfigurable_lock.t;
   ring : (int * int) Ring_buffer.t;
   monitor : (int * int) Monitor_thread.t;
   budget : Locks.Spin_budget.t;
+  loop : int Adaptive.t;
   sample_period : int;
   mutable unlocks_until_sample : int;
-  mutable adaptation_count : int;
 }
+
+let waiting_count reconf =
+  Locks.Lock_core.waiting_now (Locks.Reconfigurable_lock.core reconf)
 
 let create ?(name = "loose-adaptive-lock") ?trace ?(params = AL.default_params)
     ?ring_capacity ?poll_interval_ns ~home ~monitor_proc () =
@@ -20,48 +25,46 @@ let create ?(name = "loose-adaptive-lock") ?trace ?(params = AL.default_params)
     Locks.Spin_budget.create ~threshold:params.AL.waiting_threshold ~n:params.AL.n
       ~cap:params.AL.spin_cap ~init:params.AL.n
   in
-  let t_ref = ref None in
-  let deliver waiting_count =
-    match !t_ref with
-    | None -> ()
-    | Some t -> (
-      match Locks.Spin_budget.step t.budget ~waiting:waiting_count with
-      | None -> ()
-      | Some _ ->
-        (* External agent: must own the attributes to reconfigure. *)
-        if Locks.Reconfigurable_lock.acquire_ownership t.reconf then begin
-          Locks.Reconfigurable_lock.configure_waiting t.reconf
-            ~spin_count:
-              (if Locks.Spin_budget.spins t.budget >= params.AL.spin_cap then max_int
-               else Locks.Spin_budget.spins t.budget)
-            ~sleep:(Locks.Spin_budget.spins t.budget < params.AL.spin_cap)
-            ();
-          Locks.Reconfigurable_lock.release_ownership t.reconf;
-          t.adaptation_count <- t.adaptation_count + 1
-        end)
+  (* External agent path: the monitor thread must own the attributes
+     to reconfigure them. The policy itself — stepping the budget and
+     mapping it onto the waiting attributes — is the exact
+     [simple-adapt] plumbing the closely-coupled lock uses
+     ({!Locks.Adaptive_lock.budget_policy}); only the [apply] differs. *)
+  let apply () =
+    if Locks.Reconfigurable_lock.acquire_ownership reconf then begin
+      Locks.Spin_budget.apply budget
+        (Locks.Lock_core.policy (Locks.Reconfigurable_lock.core reconf));
+      Locks.Lock_stats.on_reconfigure (Locks.Reconfigurable_lock.stats reconf);
+      Locks.Reconfigurable_lock.release_ownership reconf
+    end
   in
+  let loop =
+    Adaptive.create ~name ~kind:"lock" ~home
+      ~sensor:
+        (Sensor.make ~name:(name ^ ".no-of-waiting-threads") ~overhead_instrs:40
+           (fun () -> waiting_count reconf))
+      ~policy:(AL.budget_policy ~budget ~apply)
+      ()
+  in
+  (* The loosely-coupled feedback path: the monitor thread drains the
+     ring and feeds each (possibly stale) observation to the loop. *)
   let monitor =
     Monitor_thread.start_timestamped ~name:(name ^ ".monitor") ?poll_interval_ns
-      ~proc:monitor_proc ~ring ~deliver ()
+      ~proc:monitor_proc ~ring
+      ~deliver:(fun waiting -> ignore (Adaptive.feed loop waiting))
+      ()
   in
-  let t =
-    {
-      reconf;
-      ring;
-      monitor;
-      budget;
-      sample_period = params.AL.sample_period;
-      unlocks_until_sample = params.AL.sample_period;
-      adaptation_count = 0;
-    }
-  in
-  t_ref := Some t;
-  t
+  {
+    reconf;
+    ring;
+    monitor;
+    budget;
+    loop;
+    sample_period = params.AL.sample_period;
+    unlocks_until_sample = params.AL.sample_period;
+  }
 
 let lock t = Locks.Reconfigurable_lock.lock t.reconf
-
-let waiting_count reconf =
-  Locks.Lock_core.waiting_now (Locks.Reconfigurable_lock.core reconf)
 
 let unlock t =
   Locks.Reconfigurable_lock.unlock t.reconf;
@@ -73,7 +76,8 @@ let unlock t =
 
 let stats t = Locks.Reconfigurable_lock.stats t.reconf
 let shutdown t = Monitor_thread.stop t.monitor
-let adaptations t = t.adaptation_count
+let feedback t = t.loop
+let adaptations t = Adaptive.adaptations t.loop
 let observations_published t = Ring_buffer.published t.ring
 let observations_processed t = Monitor_thread.processed t.monitor
 let max_lag_ns t = Monitor_thread.max_lag_ns t.monitor

@@ -4,13 +4,16 @@
 
     Every [sample_period]-th unlock publishes (timestamp,
     waiting-thread count) into a {!Ring_buffer}; a {!Monitor_thread} on
-    a dedicated processor drains the buffer, runs the policy on the
-    (possibly stale) observation and applies reconfigurations from
-    outside — acquiring attribute ownership the way an external agent
-    must. The paper found exactly this structure "too loosely coupled
-    to be used in adaptive lock objects"; the coupling ablation
-    quantifies that claim by comparing this lock against the built-in
-    closely-coupled one. *)
+    a dedicated processor drains the buffer and feeds each (possibly
+    stale) observation to a genuine [Adaptive_core.Adaptive] loop via
+    [Adaptive.feed] — the policy is the same [simple-adapt] plumbing
+    the closely-coupled lock uses
+    ({!Locks.Adaptive_lock.budget_policy}); only the [apply] differs,
+    acquiring attribute ownership the way an external agent must. The
+    paper found exactly this structure "too loosely coupled to be used
+    in adaptive lock objects"; the coupling ablation quantifies that
+    claim by comparing this lock against the built-in closely-coupled
+    one. *)
 
 type t
 
@@ -35,6 +38,10 @@ val stats : t -> Locks.Lock_stats.t
 val shutdown : t -> unit
 (** Stop and join the monitor thread (required before the simulation
     can finish). *)
+
+val feedback : t -> int Adaptive_core.Adaptive.t
+(** The lock's loosely-coupled feedback loop (registered in
+    [Core.Registry] like every adaptive object). *)
 
 val adaptations : t -> int
 val observations_published : t -> int

@@ -46,6 +46,31 @@ let start_timestamped ?name ?poll_interval_ns ~proc ~ring ~deliver () =
       deliver value)
     ()
 
+let start_registry ?(name = "registry-monitor") ?(poll_interval_ns = default_poll_ns)
+    ~proc () =
+  let stop_flag = ref false in
+  let t =
+    { thread = Cthreads.Cthread.of_id 0; stop_flag; processed_count = 0; max_lag = 0 }
+  in
+  let sweep () =
+    let n = Adaptive_core.Registry.size () in
+    if n > 0 then begin
+      (* Each driven object pays the general monitor's per-record
+         processing cost, same as the ring-buffer path. *)
+      Ops.work_instrs (Locks.Lock_costs.monitor_sample_instrs * n);
+      ignore (Adaptive_core.Registry.drive_all ());
+      t.processed_count <- t.processed_count + n
+    end
+  in
+  let body () =
+    while not !stop_flag do
+      sweep ();
+      Ops.delay poll_interval_ns
+    done
+  in
+  t.thread <- Cthreads.Cthread.fork ~name ~proc body;
+  t
+
 let stop t =
   t.stop_flag := true;
   Cthreads.Cthread.join t.thread

@@ -38,6 +38,14 @@ val max_lag_ns : 'a t -> int
     value) pairs registered through {!start}'s [deliver] wrapping — see
     {!start_timestamped}. Returns 0 for untimestamped monitors. *)
 
+val start_registry :
+  ?name:string -> ?poll_interval_ns:int -> proc:int -> unit -> unit t
+(** A registry-wide monitor: every [poll_interval_ns] it forces one
+    sense-decide cycle on {e every} object in [Core.Registry]
+    ([Registry.drive_all]) — one monitor thread drives all registered
+    adaptive objects, charging the general monitor's per-record
+    processing cost for each. [processed] counts objects driven. *)
+
 val start_timestamped :
   ?name:string ->
   ?poll_interval_ns:int ->

@@ -34,12 +34,20 @@ val start :
   ?proc:int ->
   ?poll_interval_ns:int ->
   ?stale_limit:int ->
+  ?track_adaptations:bool ->
   sched:Butterfly.Sched.t ->
   unit ->
   t
 (** Fork the watchdog thread (must be called from inside the
     simulation, e.g. at the top of the main thread). Defaults: [proc]
-    0, [poll_interval_ns] 200_000, [stale_limit] 5. *)
+    0, [poll_interval_ns] 200_000, [stale_limit] 5.
+
+    With [track_adaptations] (default false) the watchdog also
+    subscribes to every object in [Core.Registry] — including objects
+    registered after it starts — and folds the adaptation-event count
+    into its progress fingerprint: a reconfiguring object counts as
+    progress, and the abort diagnostic names the last adaptation seen
+    before the stall. *)
 
 val stop : t -> unit
 (** Ask the watchdog to exit and join it — call when the workload
@@ -50,3 +58,7 @@ val polls : t -> int
 
 val fired : t -> bool
 (** Whether the watchdog requested an abort. *)
+
+val adaptation_events : t -> int
+(** Adaptation events observed via registry subscriptions (always 0
+    unless started with [~track_adaptations:true]). *)

@@ -16,6 +16,11 @@ let run main =
   Sched.run sim main;
   sim
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec find i = i + n <= m && (String.sub s i n = sub || find (i + 1)) in
+  find 0
+
 let test_cost_algebra () =
   let a = Cost.make ~reads:1 ~writes:2 ~instrs:10 () in
   let b = Cost.reads_writes 3 4 in
@@ -90,7 +95,11 @@ let test_attribute_ownership () =
         while not !holding do
           Ops.delay 10_000
         done;
-        (try Attribute.set a 3 with Attribute.Not_owner "x" -> stranger_rejected := true);
+        (try Attribute.set a 3
+         with Attribute.Not_owner msg ->
+           (* The message names the attribute and the holding thread. *)
+           stranger_rejected :=
+             contains ~sub:"x (held by thread" msg && contains ~sub:"caller thread" msg);
         Cthreads.Cthread.join owner;
         (* Released: anyone may set again. *)
         Attribute.set a 4)
@@ -118,7 +127,7 @@ let test_attribute_release_by_stranger_rejected () =
         ignore (Attribute.acquire a);
         let stranger =
           Cthreads.Cthread.fork ~proc:1 (fun () ->
-              try Attribute.release a with Attribute.Not_owner "x" -> raised := true)
+              try Attribute.release a with Attribute.Not_owner _ -> raised := true)
         in
         Cthreads.Cthread.join stranger;
         Attribute.release a)

@@ -26,4 +26,5 @@ let () =
       ("analysis", Test_analysis.suite);
       ("predict", Test_predict.suite);
       ("faults", Test_faults.suite);
+      ("objects", Test_objects.suite);
     ]
