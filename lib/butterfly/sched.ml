@@ -974,9 +974,27 @@ let fire_timers t ~upto =
   t.timers <- rest;
   List.iter (fun fn -> fn ()) due
 
+(* Host-side hooks fired at the start of every [run], on the domain
+   about to run the machine. Registered once, at module-initialisation
+   time, by libraries layered above the machine that keep per-domain
+   state keyed to "the current simulation" — e.g. the adaptive-object
+   registry resets itself here so entries never leak from a finished
+   run into the next one on the same domain. The list is
+   prepend-then-read under an [Atomic] so concurrent [Engine.Runner]
+   domains starting runs never observe a torn list. *)
+let run_start_hooks : (unit -> unit) list Atomic.t = Atomic.make []
+
+let at_run_start f =
+  let rec add () =
+    let hooks = Atomic.get run_start_hooks in
+    if not (Atomic.compare_and_set run_start_hooks hooks (f :: hooks)) then add ()
+  in
+  add ()
+
 let run ?(main_name = "main") t main =
   if t.started then invalid_arg "Sched.run: this machine already ran";
   t.started <- true;
+  List.iter (fun f -> f ()) (List.rev (Atomic.get run_start_hooks));
   (* Publish the annotation-subscriber state for this machine to the
      domain running it: with no subscriber, Ops.annotate skips the
      effect (and the payload) entirely. Saved/restored so nested or

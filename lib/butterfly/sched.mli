@@ -36,7 +36,16 @@ val create : Config.t -> t
 val run : ?main_name:string -> t -> (unit -> unit) -> unit
 (** [run t main] executes [main] as the first thread (on processor 0)
     and returns when all simulated threads have terminated. Raises
-    [Invalid_argument] if this machine already ran. *)
+    [Invalid_argument] if this machine already ran. Before the first
+    dispatch, every {!at_run_start} hook fires on the calling domain. *)
+
+val at_run_start : (unit -> unit) -> unit
+(** Register a host-side hook fired at the start of every {!run}, on
+    the domain about to run the machine — how libraries above the
+    machine reset per-domain state keyed to "the current simulation"
+    (the adaptive-object registry uses it to drop entries from earlier
+    runs). Intended to be called once at module-initialisation time;
+    hooks fire in registration order and are never removed. *)
 
 (** {1 Structured run outcomes}
 

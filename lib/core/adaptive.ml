@@ -22,23 +22,29 @@ let decide t obs =
   match t.policy obs with
   | Policy.No_change -> false
   | Policy.Reconfigure { label; cost; apply } ->
+    (* The attempt's mechanism cost is charged whether or not it takes
+       effect, but only an apply that reports success counts as an
+       adaptation — a no-op apply (e.g. an external agent losing the
+       ownership race) must not inflate metrics or publish events. *)
     Cost.charge ~scratch:t.scratch cost;
-    apply ();
-    t.adaptation_count <- t.adaptation_count + 1;
-    let at = Butterfly.Ops.now () in
-    t.adaptation_log <- (at, label) :: t.adaptation_log;
-    t.cost_sum <- Cost.( + ) t.cost_sum cost;
-    if Butterfly.Ops.annotations_enabled () then
-      Butterfly.Ops.annotate
-        (Butterfly.Ops.A_adaptation { obj_name = t.obj_name; kind = t.obj_kind; label });
-    (match t.subscribers with
-    | [] -> ()
-    | subs ->
-      let ev =
-        { Registry.at; obj_name = t.obj_name; obj_kind = t.obj_kind; label }
-      in
-      List.iter (fun f -> f ev) subs);
-    true
+    if not (apply ()) then false
+    else begin
+      t.adaptation_count <- t.adaptation_count + 1;
+      let at = Butterfly.Ops.now () in
+      t.adaptation_log <- (at, label) :: t.adaptation_log;
+      t.cost_sum <- Cost.( + ) t.cost_sum cost;
+      if Butterfly.Ops.annotations_enabled () then
+        Butterfly.Ops.annotate
+          (Butterfly.Ops.A_adaptation { obj_name = t.obj_name; kind = t.obj_kind; label });
+      (match t.subscribers with
+      | [] -> ()
+      | subs ->
+        let ev =
+          { Registry.at; obj_name = t.obj_name; obj_kind = t.obj_kind; label }
+        in
+        List.iter (fun f -> f ev) subs);
+      true
+    end
 
 let tick t =
   match Sensor.tick t.sensor with None -> false | Some obs -> decide t obs

@@ -1,12 +1,23 @@
 type decision =
   | No_change
-  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> unit }
+  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> bool }
 
 type 'obs t = 'obs -> decision
 
 let no_op _ = No_change
 
 let reconfigure ~label ?(cost = Cost.reads_writes 1 1) apply =
+  Reconfigure
+    {
+      label;
+      cost;
+      apply =
+        (fun () ->
+          apply ();
+          true);
+    }
+
+let reconfigure_checked ~label ?(cost = Cost.reads_writes 1 1) apply =
   Reconfigure { label; cost; apply }
 
 let compose p q obs = match p obs with No_change -> q obs | d -> d

@@ -9,9 +9,12 @@
 
 type decision =
   | No_change
-  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> unit }
+  | Reconfigure of { label : string; cost : Cost.t; apply : unit -> bool }
       (** [label] names the transition for traces and tests; [apply]
-          performs the actual attribute/method changes. *)
+          performs the actual attribute/method changes and reports
+          whether they took effect — an external-agent apply that
+          cannot acquire attribute ownership returns [false], and the
+          feedback loop then counts, logs and announces nothing. *)
 
 type 'obs t = 'obs -> decision
 (** A policy maps monitor observations to decisions. *)
@@ -21,8 +24,15 @@ val no_op : 'obs t
     monitored one — the baseline in overhead ablations). *)
 
 val reconfigure : label:string -> ?cost:Cost.t -> (unit -> unit) -> decision
-(** Convenience constructor; [cost] defaults to the paper's simple
-    waiting-policy reconfiguration, 1R 1W. *)
+(** Convenience constructor for an apply that always takes effect;
+    [cost] defaults to the paper's simple waiting-policy
+    reconfiguration, 1R 1W. *)
+
+val reconfigure_checked :
+  label:string -> ?cost:Cost.t -> (unit -> bool) -> decision
+(** Like {!reconfigure} for an apply that can fail (e.g. an external
+    agent that must first win attribute ownership) and reports whether
+    it took effect. *)
 
 val compose : 'obs t -> 'obs t -> 'obs t
 (** [compose p q] consults [p] first and falls back to [q] when [p]

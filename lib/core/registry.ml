@@ -37,6 +37,13 @@ let reset () =
   st.entries <- [];
   st.next_id <- 0
 
+(* Entries hold closures over a specific machine's [Memory.addr]s, so
+   an entry surviving into the next simulation on the same domain
+   would issue Ops against an unrelated heap. Resetting at every run
+   start makes the registry per-run by construction — no caller has to
+   remember to do it. *)
+let () = Butterfly.Sched.at_run_start reset
+
 let register ~name ~kind ~stats ?(subscribe = fun _ -> ()) ?drive () =
   let st = state () in
   let id = st.next_id in
@@ -66,8 +73,15 @@ let drive_all () =
   List.fold_left
     (fun n e ->
       match e.e_drive with
-      | Some drive -> if drive () then n + 1 else n
-      | None -> n)
+      | None -> n
+      | Some drive -> (
+        (* An external sweep races object-side agents for attribute
+           ownership; losing the race must skip this object, not take
+           down the driving thread. *)
+        match drive () with
+        | true -> n + 1
+        | false -> n
+        | exception Attribute.Not_owner _ -> n))
     0 (entries ())
 
 (* -- deterministic JSON (hand-rolled, like Chaos.to_json: stable

@@ -11,9 +11,11 @@
     concurrent simulations never see each other's objects, and
     snapshot order is the run's deterministic object-creation order —
     which is what makes registry JSON byte-identical at any
-    [--domains] count. Call {!reset} at the start of a simulated
-    program that will take snapshots; entries from previous runs on
-    the same domain are forgotten. *)
+    [--domains] count. The registry resets itself at the start of
+    every [Sched.run] (via [Sched.at_run_start]), so entries never
+    leak from a finished run into the next one on the same domain;
+    {!reset} remains available for host-side tests that register
+    synthetic entries outside a run. *)
 
 type event = {
   at : int;  (** virtual time of the reconfiguration *)
@@ -38,7 +40,8 @@ type metrics = { id : int; name : string; kind : string; stats : stats }
 (** [id] is the registration ordinal within the current run. *)
 
 val reset : unit -> unit
-(** Forget every registered object on the calling domain. *)
+(** Forget every registered object on the calling domain. Runs
+    automatically at the start of every [Sched.run]. *)
 
 val register :
   name:string ->
@@ -74,7 +77,10 @@ val subscribe_from : int -> (event -> unit) -> int
 
 val drive_all : unit -> int
 (** Force one sense-decide cycle on every drivable object; returns how
-    many applied a reconfiguration. *)
+    many applied a reconfiguration. An object whose drive raises
+    {!Attribute.Not_owner} (an external agent concurrently holds its
+    attributes) is skipped for this sweep rather than letting the
+    exception take down the driving thread. *)
 
 val to_json : metrics list -> string
 (** Deterministic JSON document (stable bytes across hosts and domain

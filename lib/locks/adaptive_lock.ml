@@ -20,7 +20,9 @@ let apply_budget t =
 (* The [simple-adapt] step as a policy over any spin budget — the
    plumbing shared by this closely-coupled lock and Monitoring's
    loosely-coupled one, which differ only in how observations arrive
-   and how [apply] reaches the attributes. *)
+   and how [apply] reaches the attributes. [apply] reports whether the
+   reconfiguration took effect: the closely-coupled path always
+   succeeds, the external-agent path can lose the ownership race. *)
 let budget_policy ~budget ~apply obs =
   match Spin_budget.step budget ~waiting:obs with
   | None -> Policy.No_change
@@ -33,7 +35,10 @@ let budget_policy ~budget ~apply obs =
       }
 
 let simple_adapt _params t =
-  budget_policy ~budget:t.budget ~apply:(fun () -> apply_budget t)
+  budget_policy ~budget:t.budget
+    ~apply:(fun () ->
+      apply_budget t;
+      true)
 
 (* Guardrail-filtered simple-adapt via the generic [Policy.guarded]
    combinator: each observation is clamped first; a pathological
@@ -45,15 +50,10 @@ let guarded_adapt params guard t =
     Guardrail.classify guard ~waiting:obs ~wedged_low
   in
   let fallback _ =
-    Policy.Reconfigure
-      {
-        label = "guardrail-fallback";
-        cost = Lock_costs.configure_waiting_policy;
-        apply =
-          (fun () ->
-            Spin_budget.reset t.budget;
-            apply_budget t);
-      }
+    Policy.reconfigure ~label:"guardrail-fallback"
+      ~cost:Lock_costs.configure_waiting_policy (fun () ->
+        Spin_budget.reset t.budget;
+        apply_budget t)
   in
   Policy.guarded ~guard:(Guardrail.guard guard) ~clamp ~fallback
     (simple_adapt params t)

@@ -91,8 +91,11 @@ val simple_adapt : params -> t -> int Adaptive_core.Policy.t
     hysteresis) or sweep its constants. *)
 
 val budget_policy :
-  budget:Spin_budget.t -> apply:(unit -> unit) -> int Adaptive_core.Policy.t
+  budget:Spin_budget.t -> apply:(unit -> bool) -> int Adaptive_core.Policy.t
 (** The [simple-adapt] step over an arbitrary {!Spin_budget} and
     reconfiguration action — the policy shared with the
     loosely-coupled lock in [Monitoring], which supplies an [apply]
-    that acquires attribute ownership as an external agent must. *)
+    that acquires attribute ownership as an external agent must.
+    [apply] reports whether the reconfiguration took effect, so an
+    external agent that loses the ownership race is not counted as an
+    adaptation. *)

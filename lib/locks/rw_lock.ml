@@ -156,10 +156,26 @@ let write_probe t = Ops.compare_and_swap t.word ~expected:0 ~desired:1
    grant also runs under the guard, so either the re-probe sees the
    state that would have woken us, or we are on the list before the
    granter looks. A woken thread was granted the lock (its +2 or the
-   writer bit) before its wakeup, so waking is acquiring. *)
+   writer bit) before its wakeup, so waking is acquiring.
+
+   The reader probe can also fail from pure CAS contention: an
+   unguarded spinning reader's +2 (or a leaving reader's -2) between
+   our read and CAS, with the word readable and no writer to defer to.
+   Registering then would strand us — only [write_unlock] drains
+   [reader_sleepers], and nothing guarantees a writer ever arrives —
+   so retry until the probe either succeeds or fails for a reason that
+   guarantees a future [write_unlock] (writer holds the word, or we
+   defer to a waiting writer). *)
 let reader_sleep t =
   guard_lock t;
-  if read_probe t then guard_unlock t
+  let rec settle () =
+    if read_probe t then true
+    else
+      let deferring = Attribute.get t.pref = Writer_pref && Ops.read t.wwait > 0 in
+      if (not deferring) && Ops.read t.word land 1 = 0 then settle ()
+      else false
+  in
+  if settle () then guard_unlock t
   else begin
     t.reader_sleepers <- t.reader_sleepers @ [ Ops.self () ];
     guard_unlock t;

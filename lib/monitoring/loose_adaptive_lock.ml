@@ -35,8 +35,10 @@ let create ?(name = "loose-adaptive-lock") ?trace ?(params = AL.default_params)
       Locks.Spin_budget.apply budget
         (Locks.Lock_core.policy (Locks.Reconfigurable_lock.core reconf));
       Locks.Lock_stats.on_reconfigure (Locks.Reconfigurable_lock.stats reconf);
-      Locks.Reconfigurable_lock.release_ownership reconf
+      Locks.Reconfigurable_lock.release_ownership reconf;
+      true
     end
+    else false (* lost the ownership race: nothing changed, don't count it *)
   in
   let loop =
     Adaptive.create ~name ~kind:"lock" ~home

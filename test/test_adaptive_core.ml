@@ -218,7 +218,7 @@ let test_policy_hysteresis () =
         let p = Policy.with_hysteresis ~min_gap:100_000 base in
         let fire () =
           match p 0 with
-          | Policy.Reconfigure { apply; _ } -> apply ()
+          | Policy.Reconfigure { apply; _ } -> ignore (apply () : bool)
           | Policy.No_change -> ()
         in
         fire ();
@@ -285,7 +285,7 @@ let test_feedback_charges_cost () =
         let sensor = Sensor.make ~name:"s" ~period:1 ~overhead_instrs:0 (fun () -> 0) in
         let policy _ =
           Policy.Reconfigure
-            { label = "x"; cost = Cost.reads_writes 1 1; apply = (fun () -> ()) }
+            { label = "x"; cost = Cost.reads_writes 1 1; apply = (fun () -> true) }
         in
         let loop = Adaptive.create ~home:0 ~sensor ~policy () in
         let t0 = Ops.now () in
@@ -297,6 +297,33 @@ let test_feedback_charges_cost () =
   Alcotest.(check int) "1R 1W charged"
     (cfg.Config.local_read_ns + cfg.Config.local_write_ns)
     !dt
+
+(* A decision whose apply reports failure (e.g. an external agent
+   losing the attribute-ownership race) must not count as an
+   adaptation: no metrics, no log entry, no subscriber event. *)
+let test_feedback_failed_apply_not_counted () =
+  let events = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let sensor =
+          Sensor.make ~name:"s" ~period:1 ~overhead_instrs:0 (fun () -> 0)
+        in
+        let ok = ref false in
+        let policy _ = Policy.reconfigure_checked ~label:"maybe" (fun () -> !ok) in
+        let loop = Adaptive.create ~home:0 ~sensor ~policy () in
+        Adaptive.subscribe loop (fun _ -> incr events);
+        Alcotest.(check bool) "failed apply reports false" false (Adaptive.tick loop);
+        Alcotest.(check int) "policy ran" 1 (Adaptive.policy_runs loop);
+        Alcotest.(check int) "not counted" 0 (Adaptive.adaptations loop);
+        Alcotest.(check bool) "no label" true (Adaptive.last_label loop = None);
+        Alcotest.(check bool) "no cost accumulated" true
+          (Adaptive.total_cost loop = Cost.zero);
+        ok := true;
+        Alcotest.(check bool) "successful apply reports true" true
+          (Adaptive.tick loop);
+        Alcotest.(check int) "counted once" 1 (Adaptive.adaptations loop))
+  in
+  Alcotest.(check int) "subscribers saw only the applied one" 1 !events
 
 let suite =
   [
@@ -318,4 +345,6 @@ let suite =
     Alcotest.test_case "feedback adapts" `Quick test_feedback_loop_adapts;
     Alcotest.test_case "feedback feed" `Quick test_feedback_feed_bypasses_sensor;
     Alcotest.test_case "feedback charges cost" `Quick test_feedback_charges_cost;
+    Alcotest.test_case "feedback failed apply" `Quick
+      test_feedback_failed_apply_not_counted;
   ]

@@ -134,6 +134,35 @@ let test_rw_readers_overlap () =
   in
   check_bool "readers ran concurrently" true (!peak >= 2)
 
+(* Regression for the stranded-reader bug: a reader whose guarded probe
+   failed purely from CAS contention with other readers used to
+   register on the sleeper list, which only a writer's unlock drains —
+   reader-only traffic then deadlocked. With a policy that sends every
+   failed probe straight to the sleep path and no writer ever arriving,
+   the churn must still terminate. *)
+let test_rw_reader_only_churn_terminates () =
+  let acqs = ref 0 in
+  let rounds = 40 and readers = 6 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let policy =
+          Locks.Waiting.make ~node:0 ~spin_count:0 ~delay_ns:0 ~backoff:false
+            ~sleep:true ~timeout_ns:0 ()
+        in
+        let rw = Locks.Rw_lock.create ~policy ~home:0 () in
+        let reader () =
+          for _ = 1 to rounds do
+            Locks.Rw_lock.read_lock rw;
+            Cthread.work 1_000;
+            Locks.Rw_lock.read_unlock rw
+          done
+        in
+        let ts = List.init readers (fun i -> Cthread.fork ~proc:(i + 1) reader) in
+        Cthread.join_all ts;
+        acqs := Locks.Rw_lock.reader_acquisitions rw)
+  in
+  check_int "every acquisition completed" (rounds * readers) !acqs
+
 let test_rw_writer_exclusive () =
   let value = ref 0 and races = ref 0 in
   let (_ : Sched.t) =
@@ -255,6 +284,8 @@ let suite =
     Alcotest.test_case "event log blocked spans" `Quick test_event_log_blocked_spans;
     Alcotest.test_case "event log timeline" `Quick test_event_log_timeline;
     Alcotest.test_case "rw: readers overlap" `Quick test_rw_readers_overlap;
+    Alcotest.test_case "rw: reader-only churn terminates" `Quick
+      test_rw_reader_only_churn_terminates;
     Alcotest.test_case "rw: writer exclusive" `Quick test_rw_writer_exclusive;
     Alcotest.test_case "rw: writer preference" `Quick test_rw_writer_pref_reduces_writer_wait;
     Alcotest.test_case "rw: adaptive switches" `Quick test_rw_adaptive_switches;

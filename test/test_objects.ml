@@ -94,6 +94,55 @@ let test_registry_drive_all () =
   check_int "one object reconfigured" 1 !driven;
   check_int "drive forced a sensor sample" 1 !samples
 
+(* An external sweep must skip (not crash on) an object whose drive
+   loses the attribute-ownership race and raises Not_owner. *)
+let test_registry_drive_all_skips_not_owner () =
+  let driven = ref (-1) and healthy_samples = ref 0 in
+  let empty_stats () =
+    {
+      Registry.samples = 0;
+      policy_runs = 0;
+      adaptations = 0;
+      total_cost = Adaptive_core.Cost.zero;
+      last_label = None;
+      log = [];
+    }
+  in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let (_ : int) =
+          Registry.register ~name:"contended" ~kind:"test" ~stats:empty_stats
+            ~drive:(fun () ->
+              raise (Adaptive_core.Attribute.Not_owner "held elsewhere"))
+            ()
+        in
+        let healthy = always_adapt ~name:"healthy" () in
+        driven := Registry.drive_all ();
+        healthy_samples := Adaptive.samples healthy)
+  in
+  check_int "sweep survives and counts the healthy object" 1 !driven;
+  check_int "healthy object was still driven" 1 !healthy_samples
+
+(* The registry resets itself at every [Sched.run] start: back-to-back
+   simulations on one domain never see each other's (dead) entries,
+   even when nobody calls [Registry.reset]. *)
+let test_registry_resets_between_runs () =
+  let first = ref 0 and at_start = ref (-1) and after = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let (_ : int Adaptive.t) = always_adapt ~name:"stale" () in
+        first := Registry.size ())
+  in
+  let (_ : Sched.t) =
+    run (fun () ->
+        at_start := Registry.size ();
+        let (_ : int Adaptive.t) = always_adapt ~name:"fresh" () in
+        after := Registry.size ())
+  in
+  check_int "first run registered its object" 1 !first;
+  check_int "second run starts clean without a manual reset" 0 !at_start;
+  check_int "second run sees only its own objects" 1 !after
+
 let small_spec =
   { Workloads.Sync_objects.default with
     processors = 6;
@@ -400,6 +449,10 @@ let suite =
     Alcotest.test_case "registry enumerates" `Quick test_registry_enumerates_objects;
     Alcotest.test_case "registry cursor" `Quick test_registry_subscribe_from_cursor;
     Alcotest.test_case "registry drive_all" `Quick test_registry_drive_all;
+    Alcotest.test_case "registry drive_all skips Not_owner" `Quick
+      test_registry_drive_all_skips_not_owner;
+    Alcotest.test_case "registry resets between runs" `Quick
+      test_registry_resets_between_runs;
     Alcotest.test_case "registry json deterministic" `Quick
       test_registry_json_deterministic;
     Alcotest.test_case "sync-objects smoke" `Quick test_sync_objects_smoke;
