@@ -192,6 +192,70 @@ let bench_cmd =
   in
   Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ csv_dir $ domains)
 
+let check_policies_cmd =
+  let doc =
+    "Statically model-check every shipped adaptation-policy spec — thrash cycles, dead \
+     configurations, threshold overlaps/inversions, dead hysteresis, guardrail gaps \
+     and cross-object conflicts — without running the simulator, then run the checker \
+     over the seeded-bad fixture specs, each of which must be flagged with its \
+     expected finding kinds. Exits non-zero when a shipped spec has findings or a \
+     fixture misses its expectation. With --csv-dir, writes POLICY_results.json \
+     (byte-identical at any --domains)."
+  in
+  let run csv_dir domains =
+    set_domains domains;
+    let module PC = Analysis.Policy_check in
+    let ((reports, cross) as shipped) = PC.run (PC.shipped ()) in
+    let fixtures =
+      Engine.Runner.map
+        (fun (name, specs, expect) -> PC.check_fixture ~name ~expect specs)
+        (Analysis_suite.policy_fixtures ())
+    in
+    List.iter
+      (fun r ->
+        Printf.printf "%-22s %-10s %2d configs %2d transitions  %s\n" r.PC.sr_name
+          r.PC.sr_kind r.PC.sr_configs r.PC.sr_transitions
+          (match r.PC.sr_findings with
+          | [] -> "clean"
+          | fs -> Printf.sprintf "%d finding(s)" (List.length fs));
+        List.iter
+          (fun f -> Printf.printf "    [%s] %s\n" f.PC.f_kind f.PC.f_message)
+          r.PC.sr_findings)
+      reports;
+    List.iter
+      (fun f -> Printf.printf "conflict [%s] %s\n" f.PC.f_kind f.PC.f_message)
+      cross;
+    List.iter
+      (fun x ->
+        Printf.printf "fixture %-22s expects %-38s %s\n" x.PC.x_name
+          (String.concat ", " x.PC.x_expected)
+          (if x.PC.x_missing = [] then "flagged"
+           else "MISSED " ^ String.concat ", " x.PC.x_missing))
+      fixtures;
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "POLICY_results.json" in
+      let oc = open_out path in
+      output_string oc (PC.to_json ~shipped ~fixtures);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    let shipped_clean = PC.clean shipped in
+    let fixtures_ok = List.for_all (fun x -> x.PC.x_missing = []) fixtures in
+    if shipped_clean && fixtures_ok then
+      print_endline
+        "policy check: every shipped spec verifies clean; every fixture flagged"
+    else begin
+      if not shipped_clean then print_endline "policy check: FINDINGS on shipped specs";
+      if not fixtures_ok then
+        print_endline "policy check: fixtures MISSED expected findings";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "check-policies" ~doc) Term.(const run $ csv_dir $ domains)
+
 let analyze_cmd =
   let doc =
     "Run the sanitizers (race detector, lock-order graph, lock-discipline lint) over \
@@ -361,6 +425,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: bench_cmd :: analyze_cmd :: chaos_cmd :: objects_cmd :: fig1_cmd
+          ((all_cmd :: bench_cmd :: analyze_cmd :: check_policies_cmd :: chaos_cmd
+            :: objects_cmd :: fig1_cmd
             :: tsp_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))

@@ -7,6 +7,7 @@ module Discipline = Discipline
 module Causality = Causality
 module Predict = Predict
 module Witness = Witness
+module Policy_check = Policy_check
 open Butterfly
 
 type report = {

@@ -27,6 +27,7 @@ module Discipline = Discipline
 module Causality = Causality
 module Predict = Predict
 module Witness = Witness
+module Policy_check = Policy_check
 
 type report = {
   diags : Diag.t list;  (** all findings, sorted by {!Diag.compare} *)

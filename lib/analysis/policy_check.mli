@@ -1,0 +1,112 @@
+(** Static model checker for adaptation-policy specs.
+
+    Every shipped adaptive object reifies its policy as an
+    {!Adaptive_core.Policy.Spec} (the same data its runtime policy is
+    compiled from), so this checker can verify adaptation behaviour
+    without running the simulator. The abstraction: the observed
+    metric axis is cut at every declared threshold into finitely many
+    {e regions}, inside which each condition keeps one truth value;
+    one representative per region therefore decides every transition,
+    and the per-region step relation is a functional graph over the
+    configurations. The checks:
+
+    - {b thrash-cycle}: a configuration cycle closed inside one metric
+      region — the policy adapts forever while the workload does not
+      change at all (hysteresis only slows such a cycle, it cannot
+      break one);
+    - {b dead-config}: a configuration unreachable from the initial
+      one along first-match edges and guard fallbacks;
+    - {b threshold-overlap}: an up- and a down-transition from the
+      same configuration enabled by overlapping metric values, or a
+      transition fully shadowed by higher-priority ones;
+    - {b threshold-inverted}: up/down conditions on the wrong sides of
+      each other for the spec's declared {!Adaptive_core.Policy.Spec.monotone}
+      polarity;
+    - {b hysteresis-dead}: a [t_repeats > 1] transition whose counter
+      can never advance because every enabling sample is claimed by a
+      higher-priority transition;
+    - {b guardrail-gap}: a transition or wedge condition lying
+      entirely outside the guard's metric clamp, or a fallback
+      configuration that is a sink;
+    - {b cross-object-conflict}: two specs naming the same
+      [s_attribute] whose combined step relations cycle while both
+      metrics stay put (each policy stable alone, unstable together);
+    - {b malformed-spec}: structural errors from
+      {!Adaptive_core.Policy.Spec.validate} (these suppress the
+      behavioural checks for that spec).
+
+    Soundness caveats mirror the IR's: one scalar metric per spec,
+    regions assume the metric can hold any value indefinitely (the
+    checker over-approximates reachable metric sequences, so a
+    reported thrash cycle needs a workload that actually parks the
+    metric in the region), and externally forced off-spec attribute
+    values are outside the model (the compiled policy goes inert
+    there). *)
+
+type finding = {
+  f_kind : string;  (** one of the kind strings above *)
+  f_spec : string;  (** spec name, or ["a + b"] for conflict findings *)
+  f_configs : string list;  (** configurations involved, display names *)
+  f_region : string option;  (** metric region, when the finding has one *)
+  f_message : string;
+}
+
+val check : Adaptive_core.Policy.Spec.t -> finding list
+(** All single-spec checks, in deterministic order. *)
+
+val conflicts :
+  Adaptive_core.Policy.Spec.t -> Adaptive_core.Policy.Spec.t -> finding list
+(** Cross-object conflicts between two specs; [[]] unless they name
+    the same [s_attribute]. *)
+
+val shipped : unit -> Adaptive_core.Policy.Spec.t list
+(** The specs of every shipped adaptive object's default policy:
+    adaptive lock (plain and guardrailed), rw-lock preference,
+    barrier/condition/semaphore. Pure data — needs no simulation. *)
+
+type spec_report = {
+  sr_name : string;
+  sr_kind : string;
+  sr_attribute : string;
+  sr_metric : string;
+  sr_configs : int;
+  sr_transitions : int;
+  sr_findings : finding list;
+}
+
+val report : Adaptive_core.Policy.Spec.t -> spec_report
+
+val run :
+  ?domains:int ->
+  Adaptive_core.Policy.Spec.t list ->
+  spec_report list * finding list
+(** Check every spec and every unordered pair, fanning out across host
+    cores via {!Engine.Runner.map} (input-order-preserving, so the
+    result — and any JSON rendered from it — is byte-identical at any
+    [domains]). Returns per-spec reports in input order plus the
+    cross-object conflict findings. *)
+
+val clean : spec_report list * finding list -> bool
+
+type fixture_outcome = {
+  x_name : string;
+  x_expected : string list;  (** finding kinds the fixture must trigger *)
+  x_found : string list;  (** kinds actually found (sorted, deduped) *)
+  x_missing : string list;  (** expected kinds not found — should be [[]] *)
+  x_findings : finding list;
+}
+
+val check_fixture :
+  name:string ->
+  expect:string list ->
+  Adaptive_core.Policy.Spec.t list ->
+  fixture_outcome
+(** Run the checker over a seeded-bad fixture (one spec, or a pair for
+    conflict fixtures) and compare the finding kinds against the
+    expectation. *)
+
+val to_json :
+  shipped:spec_report list * finding list ->
+  fixtures:fixture_outcome list ->
+  string
+(** Deterministic rendering — the payload of [POLICY_results.json]. *)

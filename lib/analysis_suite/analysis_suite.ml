@@ -256,6 +256,134 @@ let predict_only () =
 
 let all () = shipped () @ buggy () @ predict_only ()
 
+(* -- seeded-bad policy specs: positive controls for the static policy
+   checker. Pure data, no simulation; each triggers a specific finding
+   kind while every shipped spec checks clean. -- *)
+
+let policy_fixtures () =
+  let module Spec = Adaptive_core.Policy.Spec in
+  let cost = Adaptive_core.Cost.reads_writes 1 1 in
+  let trans ?(repeats = 1) t_from cond t_target t_label =
+    {
+      Spec.t_from;
+      t_cond = cond;
+      t_target;
+      t_label;
+      t_repeats = repeats;
+      t_cost = cost;
+    }
+  in
+  let base name ~metric ~monotone ~configs ~initial ~transitions =
+    {
+      Spec.s_name = name;
+      s_kind = "fixture";
+      s_attribute = name ^ ".attr";
+      s_metric = metric;
+      s_monotone = monotone;
+      s_configs = List.map (fun (n, v) -> { Spec.c_name = n; c_value = v }) configs;
+      s_initial = initial;
+      s_transitions = transitions;
+      s_guard = None;
+    }
+  in
+  (* A barrier whose spin-more threshold sits above its spin-less one:
+     any spread in the overlap band enables both directions and the
+     budget ladder cycles at its top forever. *)
+  let thrasher =
+    Cthreads.Adaptive_barrier.policy_spec ~name:"fixture-thrashing-barrier"
+      ~spin_if_under:2_000_000 ~block_if_over:1_000_000 ()
+  in
+  (* A mode the transition system can never enter. *)
+  let dead =
+    base "fixture-dead-config" ~metric:"queue-depth" ~monotone:Spec.Up_at_high
+      ~configs:[ ("idle", 0); ("busy", 1); ("turbo", 2) ]
+      ~initial:0
+      ~transitions:
+        [
+          trans 0 (Spec.cond 1) 1 "busy";
+          trans 1 (Spec.cond 0 ~hi:0) 0 "idle";
+        ]
+  in
+  (* Up/down thresholds plugged in backwards for the declared
+     up-at-low-metric polarity. *)
+  let inverted =
+    base "fixture-inverted-thresholds" ~metric:"wait-ns" ~monotone:Spec.Up_at_low
+      ~configs:[ ("block", 0); ("spin", 1) ]
+      ~initial:0
+      ~transitions:
+        [
+          trans 0 (Spec.cond 10) 1 "spin";
+          trans 1 (Spec.cond 0 ~hi:5) 0 "block";
+        ]
+  in
+  (* A hysteretic transition fully shadowed by a higher-priority one:
+     its counter can never advance, and its target mode dies with it. *)
+  let shadowed =
+    base "fixture-shadowed-hysteresis" ~metric:"misses" ~monotone:Spec.Unordered
+      ~configs:[ ("small", 0); ("medium", 1); ("large", 2) ]
+      ~initial:0
+      ~transitions:
+        [
+          trans 0 (Spec.cond 1) 1 "medium";
+          trans ~repeats:4 0 (Spec.cond 3 ~hi:8) 2 "large";
+          trans 1 (Spec.cond 0 ~hi:0) 0 "small";
+        ]
+  in
+  (* A guard whose metric clamp cuts off the only transition: the
+     policy can never fire and one fallback parks it for good. *)
+  let clamped_out =
+    {
+      (base "fixture-clamped-out" ~metric:"backlog" ~monotone:Spec.Up_at_high
+         ~configs:[ ("calm", 0); ("boost", 1) ]
+         ~initial:0
+         ~transitions:[ trans 0 (Spec.cond 20) 1 "boost" ])
+      with
+      Spec.s_guard =
+        Some
+          {
+            Spec.g_clamp_lo = 0;
+            g_clamp_hi = 10;
+            g_wedge = None;
+            g_limit = 4;
+            g_cooldown = 8;
+            g_fallback = 0;
+            g_fallback_label = "fallback";
+            g_fallback_cost = cost;
+          };
+    }
+  in
+  (* Two well-formed specs co-writing one attribute with opposite
+     reactions: each is stable alone, together they pass the attribute
+     back and forth while neither metric moves. *)
+  let ping =
+    {
+      (base "fixture-ping" ~metric:"queue-depth" ~monotone:Spec.Up_at_high
+         ~configs:[ ("off", 0); ("on", 1) ]
+         ~initial:0
+         ~transitions:[ trans 0 (Spec.cond 5) 1 "on" ])
+      with
+      Spec.s_attribute = "fixture.shared-mode";
+    }
+  in
+  let pong =
+    {
+      (base "fixture-pong" ~metric:"idle-ns" ~monotone:Spec.Up_at_low
+         ~configs:[ ("off", 0); ("on", 1) ]
+         ~initial:1
+         ~transitions:[ trans 1 (Spec.cond 3) 0 "off" ])
+      with
+      Spec.s_attribute = "fixture.shared-mode";
+    }
+  in
+  [
+    ("thrashing-barrier", [ thrasher ], [ "thrash-cycle" ]);
+    ("dead-config", [ dead ], [ "dead-config" ]);
+    ("inverted-thresholds", [ inverted ], [ "threshold-inverted" ]);
+    ("shadowed-hysteresis", [ shadowed ], [ "hysteresis-dead"; "dead-config" ]);
+    ("clamped-out-guard", [ clamped_out ], [ "guardrail-gap" ]);
+    ("conflicting-pair", [ ping; pong ], [ "cross-object-conflict" ]);
+  ]
+
 let check s = Analysis.check s.config s.program
 
 let verdict s report =

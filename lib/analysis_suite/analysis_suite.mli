@@ -35,6 +35,14 @@ val predict_only : unit -> scenario list
 
 val all : unit -> scenario list
 
+val policy_fixtures :
+  unit -> (string * Adaptive_core.Policy.Spec.t list * string list) list
+(** Seeded-bad adaptation-policy specs for the static policy checker
+    ([repro check-policies]): (fixture name, specs — one, or a pair
+    for conflict fixtures — and the finding kinds
+    {!Analysis.Policy_check} must report). Every shipped spec checks
+    clean; these are the checker's positive controls. *)
+
 val check : scenario -> Analysis.report
 (** Run the scenario under {!Analysis.check}. *)
 

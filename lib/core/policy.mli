@@ -19,6 +19,9 @@ type decision =
 type 'obs t = 'obs -> decision
 (** A policy maps monitor observations to decisions. *)
 
+type 'obs policy = 'obs t
+(** Alias so submodules (e.g. {!Spec}) can name the closure form. *)
+
 val no_op : 'obs t
 (** Never reconfigures (turns an adaptive object into a merely
     monitored one — the baseline in overhead ablations). *)
@@ -76,4 +79,135 @@ val guarded :
 val with_hysteresis : min_gap:int -> 'obs t -> 'obs t
 (** Suppress reconfigurations closer than [min_gap] virtual ns to the
     previous applied one (a guard against thrashing; must run inside
-    the simulation because it reads the virtual clock). *)
+    the simulation because it reads the virtual clock). Only an apply
+    that reports success advances the window: a no-op reconfiguration
+    (e.g. an external agent losing the attribute-ownership race) does
+    not suppress the retry. *)
+
+(** Declarative adaptation-policy IR.
+
+    A {!Spec.t} reifies what an adaptation policy {e is} — a finite
+    automaton over named configurations, driven by threshold regions of
+    one observed metric, with per-transition hysteresis counters and an
+    optional guardrail — so that tools can inspect it. The static
+    checker ([Analysis.Policy_check]) model-checks specs for thrash
+    cycles, dead configurations, threshold faults, guardrail gaps and
+    cross-object conflicts without running the simulator; {!Spec.compile}
+    turns the same spec into the executable closure form, so the
+    runtime policy and the checked artifact cannot drift apart.
+
+    Limits of the abstraction (soundness caveats): the metric is one
+    scalar per observation; conditions are inclusive intervals on it;
+    configurations are a finite set identified by an integer value
+    (the attribute setting). A configuration reached only by mutating
+    the attribute externally to a value outside [s_configs] puts the
+    compiled policy into an inert state (it decides [No_change] until
+    the value returns to a known configuration). *)
+module Spec : sig
+  type cond = { lo : int; hi : int option }
+      (** metric in [\[lo, hi\]], inclusive; [hi = None] means
+          unbounded above. *)
+
+  type config = { c_name : string; c_value : int }
+      (** A configuration: [c_value] is the attribute setting (unique
+          within a spec, used as the configuration's identity),
+          [c_name] the display name (also used as the transition label
+          when [t_label] is empty — see below). *)
+
+  type transition = {
+    t_from : int;  (** source configuration, by [c_value] *)
+    t_cond : cond;  (** metric region that enables the transition *)
+    t_target : int;  (** target configuration, by [c_value] *)
+    t_label : string;  (** reconfiguration label for logs/annotations *)
+    t_repeats : int;
+        (** consecutive enabled samples required before firing
+            (the AdaptiveMHA-style [neededRepeats]; 1 = immediate) *)
+    t_cost : Cost.t;  (** charged per applied reconfiguration *)
+  }
+
+  type wedge = { w_configs : int list; w_cond : cond }
+      (** Observations matching [w_cond] while the object sits in one
+          of [w_configs] are pathological even when inside the clamp
+          (wedge detection, e.g. waiters piling up at the
+          pure-blocking extreme). *)
+
+  type guard_spec = {
+    g_clamp_lo : int;
+    g_clamp_hi : int;  (** raw metrics clamped into [\[lo, hi\]] *)
+    g_wedge : wedge option;
+    g_limit : int;  (** consecutive pathological samples before fallback *)
+    g_cooldown : int;  (** samples with counting suspended afterwards *)
+    g_fallback : int;  (** fallback target configuration, by value *)
+    g_fallback_label : string;
+    g_fallback_cost : Cost.t;
+  }
+
+  (** Declared metric-to-configuration polarity, used by the checker's
+      inverted-threshold detection: [Up_at_low] policies move to
+      higher-valued configurations when the metric is low (spin
+      budgets under short waits), [Up_at_high] when it is high
+      (writer preference under writer pressure). *)
+  type monotone = Up_at_low | Up_at_high | Unordered
+
+  type t = {
+    s_name : string;  (** the policy/object this spec describes *)
+    s_kind : string;  (** object family (["lock"], ["barrier"], ...) *)
+    s_attribute : string;
+        (** identity of the attribute the policy drives; two specs
+            sharing an [s_attribute] are checked as co-writers of one
+            attribute (cross-object conflicts) *)
+    s_metric : string;  (** name of the observed metric *)
+    s_monotone : monotone;
+    s_configs : config list;  (** ascending [c_value] order *)
+    s_initial : int;  (** starting configuration, by value *)
+    s_transitions : transition list;
+        (** priority order: the first transition whose source matches
+            the current configuration and whose condition matches the
+            metric is the one consulted *)
+    s_guard : guard_spec option;
+  }
+
+  val cond : ?hi:int -> int -> cond
+  (** [cond lo ?hi] builds a condition; omitted [hi] = unbounded. *)
+
+  val matches : cond -> int -> bool
+
+  val config_name : t -> int -> string
+  (** Display name of the configuration with this value (the value
+      itself, as a string, when unknown). *)
+
+  val find_config : t -> int -> config option
+
+  val validate : t -> string list
+  (** Structural well-formedness errors: duplicate or unsorted
+      configuration values, unknown initial/source/target/fallback
+      configurations, empty conditions, non-positive repeat counts,
+      self-targeting transitions, inverted clamps. Empty = well
+      formed. The behavioral checks (thrash, dead configs, threshold
+      faults...) live in [Analysis.Policy_check]. *)
+
+  val compile :
+    ?guard_state:Guard.t ->
+    read:(unit -> int) ->
+    apply:(int -> bool) ->
+    metric:('obs -> int) ->
+    t ->
+    'obs policy
+  (** The executable form of a spec. [read] reports the current
+      configuration (by value), [apply] performs a reconfiguration to
+      the given value and reports whether it took effect, [metric]
+      extracts the observed scalar. Semantics, in observation order:
+      hysteresis counters reset whenever the configuration changed
+      since the previous observation; with a guard, the raw metric is
+      clamped and a pathological streak of [g_limit] fires the
+      fallback (then suspends counting for [g_cooldown] samples)
+      instead of consulting the transitions; otherwise the
+      first enabled transition advances its counter (all others
+      reset) and fires once the counter reaches [t_repeats] — the
+      counter itself resets only when the fired apply reports
+      success, so a no-op apply retries at the next enabled sample.
+
+      [guard_state] shares an externally owned {!Guard.t} (so
+      [Locks.Guardrail] accessors keep reporting streaks/fallbacks);
+      by default the guard state is created from the spec. *)
+end

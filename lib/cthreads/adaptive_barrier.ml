@@ -26,14 +26,18 @@ let probe_gap_ns = Spin.probe_gap_ns
 let step_up ~max_spin b = if b = 0 then probe_gap_ns * 2 else min max_spin (b * 2)
 let step_down b = if b <= probe_gap_ns * 2 then 0 else b / 2
 
-let default_policy t ~spin_if_under ~block_if_over ~max_spin obs =
-  if obs.spread_ns <= spin_if_under && obs.budget_ns < max_spin then
-    Policy.reconfigure ~label:"spin-more" (fun () ->
-        Attribute.set t.spin_ns (step_up ~max_spin obs.budget_ns))
-  else if obs.spread_ns >= block_if_over && obs.budget_ns > 0 then
-    Policy.reconfigure ~label:"spin-less" (fun () ->
-        Attribute.set t.spin_ns (step_down obs.budget_ns))
-  else Policy.No_change
+(* The spread-driven spin-budget policy as a declarative spec:
+   configurations are the doubling ladder reachable from budget 0,
+   [spin-more] on a tight arrival spread, [spin-less] on a straggling
+   one. [create] compiles exactly this spec; the static checker
+   ([Analysis.Policy_check]) model-checks it. *)
+let policy_spec ?(name = "adaptive-barrier") ?attribute ?(spin_if_under = 800_000)
+    ?(block_if_over = 1_600_000) ?(max_spin_ns = 614_400) () =
+  Spin_ladder.spec ~name ~kind:"barrier"
+    ~attribute:
+      (match attribute with Some a -> a | None -> name ^ ".arrival-spin-ns")
+    ~metric:"arrival-spread-ns" ~spin_if_under ~block_if_over
+    ~step_up:(step_up ~max_spin:max_spin_ns) ~step_down ~max_spin:max_spin_ns 0
 
 (* The scale anchor is the machine's deschedule/resume round trip
    (block + wakeup latency + unblock, ~450 us on the default config):
@@ -43,6 +47,14 @@ let default_policy t ~spin_if_under ~block_if_over ~max_spin obs =
 let create ?node ?(name = "adaptive-barrier") ?(period = 1) ?(spin_if_under = 800_000)
     ?(block_if_over = 1_600_000) ?(max_spin_ns = 614_400) n =
   if n < 1 then invalid_arg "Adaptive_barrier.create: need at least one party";
+  (* A spread in [block_if_over, spin_if_under] would satisfy both the
+     spin-more and spin-less conditions, so every sample adapts and the
+     budget ping-pongs forever — the thrash cycle the static checker
+     flags. Reject the parameterization outright. *)
+  if spin_if_under >= block_if_over then
+    invalid_arg
+      "Adaptive_barrier.create: spin_if_under must be below block_if_over \
+       (overlapping thresholds thrash)";
   let words = Ops.alloc ?node 2 in
   Ops.mark_sync_words words;
   let home = match node with Some p -> p | None -> Ops.my_processor () in
@@ -63,9 +75,14 @@ let create ?node ?(name = "adaptive-barrier") ?(period = 1) ?(spin_if_under = 80
               (Sensor.make ~name:"arrival-spread" ~period (fun () ->
                    let b = Lazy.force t in
                    { spread_ns = b.last_spread; budget_ns = Attribute.get b.spin_ns }))
-            ~policy:(fun obs ->
-              default_policy (Lazy.force t) ~spin_if_under ~block_if_over
-                ~max_spin:max_spin_ns obs)
+            ~policy:
+              (Policy.Spec.compile
+                 (policy_spec ~name ~spin_if_under ~block_if_over ~max_spin_ns ())
+                 ~read:(fun () -> Attribute.get (Lazy.force t).spin_ns)
+                 ~apply:(fun v ->
+                   Attribute.set (Lazy.force t).spin_ns v;
+                   true)
+                 ~metric:(fun obs -> obs.spread_ns))
             ();
       }
   in

@@ -19,6 +19,20 @@ type observation = {
   budget_ns : int;  (** current arrival spin budget *)
 }
 
+val policy_spec :
+  ?name:string ->
+  ?attribute:string ->
+  ?spin_if_under:int ->
+  ?block_if_over:int ->
+  ?max_spin_ns:int ->
+  unit ->
+  Adaptive_core.Policy.Spec.t
+(** The spread-driven spin-budget policy as a declarative spec
+    (defaults match {!create}): configurations are the doubling budget
+    ladder, [spin-more] while the arrival spread is at most
+    [spin_if_under], [spin-less] at or beyond [block_if_over]. What
+    {!create} compiles and what the static checker inspects. *)
+
 val create :
   ?node:int ->
   ?name:string ->
@@ -36,7 +50,11 @@ val create :
     at most [spin_if_under] ns and down when at least [block_if_over]
     ns. The thresholds default to 800 us / 1.6 ms — bracketing the
     default machine's ~450 us deschedule/resume round trip, the cost a
-    successful spin saves. *)
+    successful spin saves.
+
+    Raises [Invalid_argument] when [spin_if_under >= block_if_over]: a
+    spread in the overlap would satisfy both steps, so every sample
+    would adapt — the thrash cycle the static checker flags. *)
 
 val await : t -> unit
 (** Block until all [n] parties have arrived; the last arrival wakes

@@ -21,18 +21,53 @@ let probe_gap_ns = Spin.probe_gap_ns
    broadcast replaces a train of signal calls (ActiveMonitor's
    monitor-reconfiguration observation); when waiters are scarce,
    broadcast would only cause thundering-herd wakeups, so fall back to
-   single-thread signalling. *)
-let default_policy t ~broadcast_over obs =
-  if obs.waiting >= broadcast_over && not obs.broadcast then
-    Policy.reconfigure ~label:"escalate-broadcast" (fun () ->
-        Attribute.set t.broadcast_hint true)
-  else if obs.waiting <= 1 && obs.broadcast then
-    Policy.reconfigure ~label:"signal-only" (fun () ->
-        Attribute.set t.broadcast_hint false)
-  else Policy.No_change
+   single-thread signalling. As a spec: two configurations (signal-only
+   and broadcast) switched on the waiter count seen at signal time. *)
+let policy_spec ?(name = "adaptive-condition") ?attribute ?(broadcast_over = 4) () =
+  let module Spec = Adaptive_core.Policy.Spec in
+  let cost = Adaptive_core.Cost.reads_writes 1 1 in
+  {
+    Spec.s_name = name;
+    s_kind = "condition";
+    s_attribute =
+      (match attribute with Some a -> a | None -> name ^ ".broadcast-hint");
+    s_metric = "waiting-at-signal";
+    s_monotone = Spec.Up_at_high;
+    s_configs =
+      [
+        { Spec.c_name = "signal-only"; c_value = 0 };
+        { Spec.c_name = "broadcast"; c_value = 1 };
+      ];
+    s_initial = 0;
+    s_transitions =
+      [
+        {
+          Spec.t_from = 0;
+          t_cond = Spec.cond broadcast_over;
+          t_target = 1;
+          t_label = "escalate-broadcast";
+          t_repeats = 1;
+          t_cost = cost;
+        };
+        {
+          Spec.t_from = 1;
+          t_cond = Spec.cond 0 ~hi:1;
+          t_target = 0;
+          t_label = "signal-only";
+          t_repeats = 1;
+          t_cost = cost;
+        };
+      ];
+    s_guard = None;
+  }
 
 let create ?node ?(name = "adaptive-condition") ?(period = 2) ?(broadcast_over = 4) ()
     =
+  (* [broadcast_over <= 1] overlaps the de-escalation band (waiters <=
+     1): one waiter would escalate on this signal and de-escalate on
+     the next, adapting forever — the checker's thrash cycle. *)
+  if broadcast_over < 2 then
+    invalid_arg "Adaptive_condition.create: broadcast_over must be at least 2";
   let signal_seq = Ops.alloc1 ?node () in
   Ops.mark_sync_words [| signal_seq |];
   let home = match node with Some p -> p | None -> Ops.my_processor () in
@@ -53,7 +88,15 @@ let create ?node ?(name = "adaptive-condition") ?(period = 2) ?(broadcast_over =
                      waiting = List.length c.sleepers;
                      broadcast = Attribute.get c.broadcast_hint;
                    }))
-            ~policy:(fun obs -> default_policy (Lazy.force t) ~broadcast_over obs)
+            ~policy:
+              (Policy.Spec.compile
+                 (policy_spec ~name ~broadcast_over ())
+                 ~read:(fun () ->
+                   if Attribute.get (Lazy.force t).broadcast_hint then 1 else 0)
+                 ~apply:(fun v ->
+                   Attribute.set (Lazy.force t).broadcast_hint (v = 1);
+                   true)
+                 ~metric:(fun obs -> obs.waiting))
             ();
       }
   in

@@ -20,12 +20,28 @@ type observation = {
   broadcast : bool;  (** current wake strategy *)
 }
 
+val policy_spec :
+  ?name:string ->
+  ?attribute:string ->
+  ?broadcast_over:int ->
+  unit ->
+  Adaptive_core.Policy.Spec.t
+(** The wake-strategy policy as a declarative spec (defaults match
+    {!create}): two configurations, [signal-only] and [broadcast],
+    switched on the waiter count observed at signal time. What
+    {!create} compiles and what the static checker inspects. *)
+
 val create :
   ?node:int -> ?name:string -> ?period:int -> ?broadcast_over:int -> unit -> t
 (** [period] is the sensor sampling period in signal operations
     (default 2, the paper's every-other-operation rate). The default
     policy escalates to broadcast at [broadcast_over] waiters (default
-    4) and de-escalates at <= 1. *)
+    4) and de-escalates at <= 1.
+
+    Raises [Invalid_argument] when [broadcast_over < 2]: the
+    escalation band would then overlap the de-escalation band (waiters
+    <= 1), bouncing the strategy on every signal with one waiter
+    present. *)
 
 val wait : t -> Spin.t -> unit
 (** [wait t mu] atomically releases [mu], waits to be woken (spinning

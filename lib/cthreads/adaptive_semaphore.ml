@@ -22,18 +22,23 @@ let step_down b = if b <= probe_gap_ns * 2 then 0 else b / 2
 (* Permits turning over with nobody queued means waits are short —
    spin for them; a standing queue means a permit takes long enough to
    come back that blocking is the right strategy (the inverse of a
-   lock's simple-adapt, because here depth measures permit latency). *)
-let default_policy t ~block_over obs =
-  if obs.waiting = 0 && obs.budget_ns < max_budget_ns then
-    Policy.reconfigure ~label:"spin-more" (fun () ->
-        Attribute.set t.spin_ns (step_up obs.budget_ns))
-  else if obs.waiting >= block_over && obs.budget_ns > 0 then
-    Policy.reconfigure ~label:"spin-less" (fun () ->
-        Attribute.set t.spin_ns (step_down obs.budget_ns))
-  else Policy.No_change
+   lock's simple-adapt, because here depth measures permit latency).
+   As a spec: spin-more only on an empty queue, spin-less at
+   [block_over] or deeper. *)
+let policy_spec ?(name = "adaptive-semaphore") ?attribute ?(block_over = 2) () =
+  Spin_ladder.spec ~name ~kind:"semaphore"
+    ~attribute:
+      (match attribute with Some a -> a | None -> name ^ ".acquire-spin-ns")
+    ~metric:"waiting-at-release" ~spin_if_under:0 ~block_if_over:block_over
+    ~step_up ~step_down ~max_spin:max_budget_ns 0
 
 let create ?node ?(name = "adaptive-semaphore") ?(period = 2) ?(block_over = 2) n =
   if n < 0 then invalid_arg "Adaptive_semaphore.create: negative permits";
+  (* [block_over = 0] would overlap the spin-more condition (queue
+     empty) and ping-pong the budget every sample — a statically
+     detectable thrash cycle. *)
+  if block_over < 1 then
+    invalid_arg "Adaptive_semaphore.create: block_over must be at least 1";
   let permits = Ops.alloc1 ?node () in
   Ops.mark_sync_words [| permits |];
   Ops.write permits n;
@@ -54,7 +59,14 @@ let create ?node ?(name = "adaptive-semaphore") ?(period = 2) ?(block_over = 2) 
                      waiting = Queue.length s.waiters;
                      budget_ns = Attribute.get s.spin_ns;
                    }))
-            ~policy:(fun obs -> default_policy (Lazy.force t) ~block_over obs)
+            ~policy:
+              (Policy.Spec.compile
+                 (policy_spec ~name ~block_over ())
+                 ~read:(fun () -> Attribute.get (Lazy.force t).spin_ns)
+                 ~apply:(fun v ->
+                   Attribute.set (Lazy.force t).spin_ns v;
+                   true)
+                 ~metric:(fun obs -> obs.waiting))
             ();
       }
   in

@@ -1,0 +1,70 @@
+module Policy = Adaptive_core.Policy
+module Cost = Adaptive_core.Cost
+
+let ladder ~step_up ~step_down init =
+  let rec close seen frontier =
+    match frontier with
+    | [] -> List.sort compare seen
+    | v :: rest ->
+      let nexts =
+        List.sort_uniq compare
+          (List.filter (fun v' -> not (List.mem v' seen)) [ step_up v; step_down v ])
+      in
+      close (seen @ nexts) (rest @ nexts)
+  in
+  close [ init ] [ init ]
+
+(* Transitions mirror the pre-IR closures exactly: per config the
+   spin-more step is tried first (the old if/else-if order), each step
+   costs one read + one write (the [Policy.reconfigure] default), and a
+   step that would not move the budget is omitted rather than emitted
+   as a self-loop. *)
+let spec ~name ~kind ~attribute ~metric ~spin_if_under ~block_if_over ~step_up
+    ~step_down ~max_spin init =
+  let values = ladder ~step_up ~step_down init in
+  let configs =
+    List.map
+      (fun v -> { Policy.Spec.c_name = string_of_int v ^ "ns"; c_value = v })
+      values
+  in
+  let transitions =
+    List.concat_map
+      (fun v ->
+        (if v < max_spin && step_up v <> v then
+           [
+             {
+               Policy.Spec.t_from = v;
+               t_cond = Policy.Spec.cond 0 ~hi:spin_if_under;
+               t_target = step_up v;
+               t_label = "spin-more";
+               t_repeats = 1;
+               t_cost = Cost.reads_writes 1 1;
+             };
+           ]
+         else [])
+        @
+        if v > 0 && step_down v <> v then
+          [
+            {
+              Policy.Spec.t_from = v;
+              t_cond = Policy.Spec.cond block_if_over;
+              t_target = step_down v;
+              t_label = "spin-less";
+              t_repeats = 1;
+              t_cost = Cost.reads_writes 1 1;
+            };
+          ]
+        else [])
+      values
+  in
+  {
+    Policy.Spec.s_name = name;
+    s_kind = kind;
+    s_attribute = attribute;
+    s_metric = metric;
+    s_monotone = Policy.Spec.Up_at_low;
+    s_configs = configs;
+    s_initial = init;
+    s_transitions = transitions;
+    s_guard = None;
+  }

@@ -17,22 +17,63 @@ let apply_budget t =
   Spin_budget.apply t.budget (Lock_core.policy (Reconfigurable_lock.core t.reconf));
   Lock_stats.on_reconfigure (Reconfigurable_lock.stats t.reconf)
 
+(* The guardrail half of the policy spec: clamp observations into
+   [0, clamp_max], treat "budget wedged at pure blocking while waiters
+   pile past the threshold" as pathological, and fall back to the
+   default combined configuration after a streak. *)
+let guard_spec ~(params : params) ~(gparams : Guardrail.params) ~init =
+  {
+    Policy.Spec.g_clamp_lo = 0;
+    g_clamp_hi = gparams.Guardrail.clamp_max;
+    g_wedge =
+      Some
+        {
+          Policy.Spec.w_configs = [ 0 ];
+          w_cond = Policy.Spec.cond (params.waiting_threshold + 1);
+        };
+    g_limit = gparams.Guardrail.pathological_limit;
+    g_cooldown = gparams.Guardrail.cooldown;
+    g_fallback = init;
+    g_fallback_label = "guardrail-fallback";
+    g_fallback_cost = Lock_costs.configure_waiting_policy;
+  }
+
+(* The paper's [simple-adapt] (optionally guardrailed) as a
+   declarative spec — what the static policy checker inspects and what
+   [create] compiles into the running policy, so the two cannot
+   drift. *)
+let policy_spec ?(params = default_params) ?guardrail ?name ?attribute () =
+  let spec =
+    Spin_budget.spec ?name ?attribute ~threshold:params.waiting_threshold
+      ~n:params.n ~cap:params.spin_cap ~init:params.n ()
+  in
+  match guardrail with
+  | None -> spec
+  | Some gparams ->
+    {
+      spec with
+      Policy.Spec.s_guard =
+        Some (guard_spec ~params ~gparams ~init:spec.Policy.Spec.s_initial);
+    }
+
 (* The [simple-adapt] step as a policy over any spin budget — the
    plumbing shared by this closely-coupled lock and Monitoring's
    loosely-coupled one, which differ only in how observations arrive
    and how [apply] reaches the attributes. [apply] reports whether the
    reconfiguration took effect: the closely-coupled path always
-   succeeds, the external-agent path can lose the ownership race. *)
-let budget_policy ~budget ~apply obs =
-  match Spin_budget.step budget ~waiting:obs with
-  | None -> Policy.No_change
-  | Some _ ->
-    Policy.Reconfigure
-      {
-        label = Spin_budget.mode budget;
-        cost = Lock_costs.configure_waiting_policy;
-        apply;
-      }
+   succeeds, the external-agent path can lose the ownership race (the
+   budget still advances, tracking the policy's intent — exactly the
+   pre-IR behavior, where [step] mutated at decision time). *)
+let compile_budget spec ~budget ~apply =
+  Policy.Spec.compile spec
+    ~read:(fun () -> Spin_budget.spins budget)
+    ~apply:(fun v ->
+      Spin_budget.set budget v;
+      apply ())
+    ~metric:(fun (waiting : int) -> waiting)
+
+let budget_policy ~budget ~apply =
+  compile_budget (Spin_budget.spec_of budget) ~budget ~apply
 
 let simple_adapt _params t =
   budget_policy ~budget:t.budget
@@ -40,23 +81,24 @@ let simple_adapt _params t =
       apply_budget t;
       true)
 
-(* Guardrail-filtered simple-adapt via the generic [Policy.guarded]
-   combinator: each observation is clamped first; a pathological
-   streak resets the budget to its default combined value (one charged
-   waiting-policy reconfiguration) instead of feeding the policy. *)
+(* Guardrail-filtered simple-adapt: the same spec with its guard
+   attached, sharing the [Guardrail.t]'s streak/cooldown state so its
+   accessors keep reporting. A pathological streak resets the budget
+   to its default combined value (one charged waiting-policy
+   reconfiguration) instead of feeding the policy. *)
 let guarded_adapt params guard t =
-  let clamp obs =
-    let wedged_low = Spin_budget.spins t.budget = 0 && obs > params.waiting_threshold in
-    Guardrail.classify guard ~waiting:obs ~wedged_low
+  let spec =
+    policy_spec ~params ~guardrail:(Guardrail.config guard)
+      ~name:(Adaptive.name t.loop) ()
   in
-  let fallback _ =
-    Policy.reconfigure ~label:"guardrail-fallback"
-      ~cost:Lock_costs.configure_waiting_policy (fun () ->
-        Spin_budget.reset t.budget;
-        apply_budget t)
-  in
-  Policy.guarded ~guard:(Guardrail.guard guard) ~clamp ~fallback
-    (simple_adapt params t)
+  Policy.Spec.compile spec
+    ~guard_state:(Guardrail.guard guard)
+    ~read:(fun () -> Spin_budget.spins t.budget)
+    ~apply:(fun v ->
+      Spin_budget.set t.budget v;
+      apply_budget t;
+      true)
+    ~metric:(fun (waiting : int) -> waiting)
 
 let create ?name ?trace ?sched ?(params = default_params) ?policy ?guardrail ~home () =
   let name = match name with Some n -> n | None -> "adaptive-lock" in

@@ -86,6 +86,19 @@ val samples : t -> int
 val guardrail : t -> Guardrail.t option
 (** The installed guardrail, if any (for tests and reporting). *)
 
+val policy_spec :
+  ?params:params ->
+  ?guardrail:Guardrail.params ->
+  ?name:string ->
+  ?attribute:string ->
+  unit ->
+  Adaptive_core.Policy.Spec.t
+(** [simple-adapt] (plus the guardrail, when given) as a declarative
+    policy spec — the artifact the static checker
+    ([Analysis.Policy_check]) model-checks, and exactly what {!create}
+    compiles into the running policy. Pure data; buildable outside a
+    simulation. *)
+
 val simple_adapt : params -> t -> int Adaptive_core.Policy.t
 (** The paper's policy, exposed so ablations can wrap it (e.g. with
     hysteresis) or sweep its constants. *)

@@ -40,6 +40,52 @@ let default_policy ~home () =
   Waiting.make ~node:home ~spin_count:6 ~delay_ns:retry_gap_ns ~backoff:false
     ~sleep:true ~timeout_ns:0 ()
 
+let pref_value = function Reader_pref -> 0 | Writer_pref -> 1
+
+(* The preference-adaptation policy as a declarative spec: flip to
+   writer preference the moment a writer is seen waiting; give the
+   readers their preference back only after [calm_repeats] consecutive
+   writer-free samples (hysteresis, so one straggling writer does not
+   bounce the bias). *)
+let calm_repeats = 3
+
+let policy_spec ?(name = "rw-lock") ?attribute ?(preference = Reader_pref) () =
+  let module Spec = Adaptive_core.Policy.Spec in
+  let cost = Lock_costs.configure_waiting_policy in
+  {
+    Spec.s_name = name;
+    s_kind = "rw-lock";
+    s_attribute = (match attribute with Some a -> a | None -> name ^ ".rw-preference");
+    s_metric = "waiting-writers";
+    s_monotone = Spec.Up_at_high;
+    s_configs =
+      [
+        { Spec.c_name = "reader-pref"; c_value = 0 };
+        { Spec.c_name = "writer-pref"; c_value = 1 };
+      ];
+    s_initial = pref_value preference;
+    s_transitions =
+      [
+        {
+          Spec.t_from = 0;
+          t_cond = Spec.cond 1;
+          t_target = 1;
+          t_label = "writer-pref";
+          t_repeats = 1;
+          t_cost = cost;
+        };
+        {
+          Spec.t_from = 1;
+          t_cond = Spec.cond 0 ~hi:0;
+          t_target = 0;
+          t_label = "reader-pref";
+          t_repeats = calm_repeats;
+          t_cost = cost;
+        };
+      ];
+    s_guard = None;
+  }
+
 let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
     ?(sample_period = 2) ?policy ~home () =
   let words = Ops.alloc ~node:home 3 in
@@ -72,26 +118,18 @@ let create ?(name = "rw-lock") ?(preference = Reader_pref) ?(adaptive = false)
         ~overhead_instrs:40
         (fun () -> Ops.read words.(2))
     in
-    (* Hysteresis: require a few writer-free samples before giving the
-       readers their preference back. *)
-    let calm = ref 0 in
-    let policy waiting_writers =
-      if waiting_writers > 0 then begin
-        calm := 0;
-        if Attribute.get t.pref = Reader_pref then
-          Policy.reconfigure ~label:"writer-pref"
-            ~cost:Lock_costs.configure_waiting_policy (fun () ->
-              Attribute.set t.pref Writer_pref)
-        else Policy.No_change
-      end
-      else begin
-        incr calm;
-        if Attribute.get t.pref = Writer_pref && !calm >= 3 then
-          Policy.reconfigure ~label:"reader-pref"
-            ~cost:Lock_costs.configure_waiting_policy (fun () ->
-              Attribute.set t.pref Reader_pref)
-        else Policy.No_change
-      end
+    (* The compiled spec: flip to writer preference on any waiting
+       writer, back to reader preference after [calm_repeats]
+       consecutive writer-free samples (the spec's hysteresis
+       counter). *)
+    let policy =
+      Policy.Spec.compile
+        (policy_spec ~name ~preference ())
+        ~read:(fun () -> pref_value (Attribute.get t.pref))
+        ~apply:(fun v ->
+          Attribute.set t.pref (if v = 1 then Writer_pref else Reader_pref);
+          true)
+        ~metric:(fun (waiting_writers : int) -> waiting_writers)
     in
     let loop = Adaptive.create ~name ~kind:"rw-lock" ~home ~sensor ~policy () in
     { t with loop = Some loop }

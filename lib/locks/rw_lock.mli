@@ -44,6 +44,17 @@ val create :
     (default: 6 gap-spaced probes, then sleep). Must run inside a
     simulation. *)
 
+val policy_spec :
+  ?name:string ->
+  ?attribute:string ->
+  ?preference:preference ->
+  unit ->
+  Adaptive_core.Policy.Spec.t
+(** The preference-adaptation policy as a declarative spec (metric:
+    waiting writers; writer preference on any waiting writer, reader
+    preference back after 3 consecutive writer-free samples). What the
+    adaptive variant compiles and what the static checker inspects. *)
+
 val home : t -> int
 
 val name : t -> string

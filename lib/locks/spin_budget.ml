@@ -11,10 +11,12 @@ let reset t = t.spins <- t.init
 
 let spins t = t.spins
 
-let mode t =
-  if t.spins <= 0 then "pure blocking"
-  else if t.spins >= t.cap then "pure spin"
-  else Printf.sprintf "combined(%d)" t.spins
+let mode_of ~cap v =
+  if v <= 0 then "pure blocking"
+  else if v >= cap then "pure spin"
+  else Printf.sprintf "combined(%d)" v
+
+let mode t = mode_of ~cap:t.cap t.spins
 
 let step t ~waiting =
   let next =
@@ -27,6 +29,79 @@ let step t ~waiting =
     t.spins <- next;
     Some next
   end
+
+let set t v = t.spins <- max 0 (min t.cap v)
+let init t = t.init
+
+(* The same step rule as {!step}, as a pure function of the budget
+   value — used to enumerate the reachable configuration set. *)
+let step_value ~threshold ~n ~cap spins ~waiting =
+  if waiting = 0 then cap
+  else if waiting <= threshold then min cap (spins + n)
+  else max 0 (spins - (2 * n))
+
+let spec ?name:(spec_name = "adaptive-lock") ?attribute ~threshold ~n ~cap ~init ()
+    =
+  let module Spec = Adaptive_core.Policy.Spec in
+  let init = max 0 (min cap init) in
+  (* Reachable-budget closure from [init] under the three regions. *)
+  let reps = [ 0; 1; threshold + 1 ] in
+  let rec close seen frontier =
+    match frontier with
+    | [] -> seen
+    | v :: rest ->
+      let nexts =
+        List.filter_map
+          (fun waiting ->
+            let v' = step_value ~threshold ~n ~cap v ~waiting in
+            if List.mem v' seen then None else Some v')
+          reps
+      in
+      let nexts = List.sort_uniq compare nexts in
+      close (seen @ nexts) (rest @ nexts)
+  in
+  let values = List.sort compare (close [ init ] [ init ]) in
+  let configs =
+    List.map (fun v -> { Spec.c_name = mode_of ~cap v; c_value = v }) values
+  in
+  let cost = Lock_costs.configure_waiting_policy in
+  let transitions =
+    List.concat_map
+      (fun v ->
+        List.filter_map
+          (fun (c, waiting) ->
+            let target = step_value ~threshold ~n ~cap v ~waiting in
+            if target = v then None
+            else
+              Some
+                {
+                  Spec.t_from = v;
+                  t_cond = c;
+                  t_target = target;
+                  t_label = mode_of ~cap target;
+                  t_repeats = 1;
+                  t_cost = cost;
+                })
+          ((Spec.cond 0 ~hi:0, 0)
+           :: (if threshold >= 1 then [ (Spec.cond 1 ~hi:threshold, 1) ] else [])
+          @ [ (Spec.cond (threshold + 1), threshold + 1) ]))
+      values
+  in
+  {
+    Spec.s_name = spec_name;
+    s_kind = "lock";
+    s_attribute =
+      (match attribute with Some a -> a | None -> spec_name ^ ".waiting-policy");
+    s_metric = "no-of-waiting-threads";
+    s_monotone = Spec.Up_at_low;
+    s_configs = configs;
+    s_initial = init;
+    s_transitions = transitions;
+    s_guard = None;
+  }
+
+let spec_of ?name ?attribute t =
+  spec ?name ?attribute ~threshold:t.threshold ~n:t.n ~cap:t.cap ~init:t.init ()
 
 let apply t (policy : Waiting.t) =
   if t.spins >= t.cap then begin

@@ -35,3 +35,32 @@ val apply : t -> Waiting.t -> unit
 (** Write the waiting attributes corresponding to the current budget:
     pure spin disables sleeping and spins forever; otherwise the spin
     count is the budget and sleeping is enabled. *)
+
+val set : t -> int -> unit
+(** Set the budget to an explicit value (clamped into [\[0, cap\]]) —
+    how the compiled {!spec} form drives the state machine. *)
+
+val init : t -> int
+(** The initial (default combined) budget, the {!reset} target. *)
+
+val mode_of : cap:int -> int -> string
+(** {!mode} for an arbitrary budget value under the given cap. *)
+
+val spec :
+  ?name:string ->
+  ?attribute:string ->
+  threshold:int ->
+  n:int ->
+  cap:int ->
+  init:int ->
+  unit ->
+  Adaptive_core.Policy.Spec.t
+(** The [simple-adapt] state machine as a declarative policy spec:
+    configurations are the budget values reachable from [init] under
+    {!step} (named by {!mode}), transitions carry the three threshold
+    regions (waiting = 0 / 1..threshold / threshold+1..) and one
+    waiting-policy reconfiguration cost each. Pure data — buildable
+    outside any simulation, e.g. by the static policy checker. *)
+
+val spec_of : ?name:string -> ?attribute:string -> t -> Adaptive_core.Policy.Spec.t
+(** {!spec} for this budget's constants. *)

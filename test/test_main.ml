@@ -27,4 +27,5 @@ let () =
       ("predict", Test_predict.suite);
       ("faults", Test_faults.suite);
       ("objects", Test_objects.suite);
+      ("policy_check", Test_policy_check.suite);
     ]
