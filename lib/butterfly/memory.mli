@@ -67,6 +67,43 @@ val reserve : t -> Config.t -> from_node:int -> addr -> access -> start:int -> i
     for the module to be free and occupies it for the configured
     service time. *)
 
+val quote : t -> Config.t -> from_node:int -> addr -> access -> start:int -> int
+(** Pure preview of {!reserve}: the completion time the access would
+    get, without booking it (no counter update, no occupancy change).
+    The scheduler's fast path quotes first — to check the access
+    against the preemption quantum — and only then commits with
+    {!reserve}. The address must be allocated (see {!is_allocated}). *)
+
+val is_allocated : t -> addr -> bool
+(** Whether the address denotes an allocated word. The accessors raise
+    [Invalid_argument] on unallocated addresses; the fast path checks
+    beforehand so it can fall back to the effect and surface the same
+    error. *)
+
+val try_reserve :
+  t -> Config.t -> from_node:int -> addr -> access -> start:int -> budget:int -> int
+(** Single-pass fast-path charge: {!is_allocated}, {!quote} and
+    {!reserve} fused. Returns the access duration (completion minus
+    [start]) after booking it, or [-1] — with {e no} state change —
+    when the address is unallocated or the duration would reach
+    [budget] (the caller's remaining preemption slice), so the caller
+    can fall back to the effect path. Arithmetic is identical to
+    {!reserve}'s by construction. *)
+
+(** {2 Fast-path value accessors}
+
+    Unchecked variants of the accessors above, valid {e only}
+    immediately after a successful {!try_reserve} on the same address
+    (which proves it allocated). Semantically identical to their
+    checked counterparts on valid addresses. *)
+
+val fast_read : t -> addr -> int
+val fast_write : t -> addr -> int -> unit
+val fast_fetch_and_or : t -> addr -> int -> int
+val fast_fetch_and_add : t -> addr -> int -> int
+val fast_swap : t -> addr -> int -> int
+val fast_compare_and_swap : t -> addr -> expected:int -> desired:int -> bool
+
 val busy_until : t -> node:int -> int
 (** Current occupancy horizon of a module (for tests/metrics). *)
 

@@ -10,6 +10,9 @@ type annotation =
   | A_lock_release of { lock : Memory.addr; lock_name : string }
   | A_adaptation of { obj_name : string; kind : string; label : string }
 
+(* Result of one fused lock probe (see [lock_probe_timed]). *)
+type probe_result = Probe_acquired | Probe_expired | Probe_retrying
+
 type _ Effect.t +=
   | E_alloc : int option * int -> Memory.addr array Effect.t
   | E_read : Memory.addr -> int Effect.t
@@ -36,34 +39,219 @@ type _ Effect.t +=
   | E_trace : string -> unit Effect.t
   | E_annotate : annotation -> unit Effect.t
   | E_thread_name : tid -> string Effect.t
+  (* Fused operations: one effect standing for a short fixed sequence
+     of charges plus one memory operation. The scheduler stages the
+     sequence through the same charge/dispatch machinery as the
+     decomposed ops, so dispatch counts, charge times and the memory
+     op's linearization point are identical — fusion only removes the
+     intermediate continuation captures. Payload fields:
+     [E_lock_probe (word, pre_instrs, retry_instrs, gap_ns, until)],
+     [E_read_hint (addr, pre_ns, gap_ns, expect)]. *)
+  | E_lock_probe : Memory.addr * int * int * int * int -> probe_result Effect.t
+  | E_read_hint : Memory.addr * int * int * int -> int Effect.t
+
+(* {2 Fast paths}
+
+   When the scheduler marks the current dispatch slice as fast
+   ([Mstate.fast] — single runnable processor, no hooks, no timers, no
+   control, no pending abort), memory and work charges are applied
+   directly to the flat machine state instead of performing an effect:
+   no continuation capture, no handler round trip, no dispatch. Each
+   fast charge replicates exactly what its effect would have done —
+   same clock advance, same event count, same counter totals (batched
+   in accumulators folded at slice end), same bank occupancy — and
+   bails out to the effect whenever the operation could be observed
+   differently: a preemption-quantum boundary, the event-limit
+   boundary, an unallocated address, a pending abort. *)
+
+(* [st.tid]/[st.pid] are set by the dispatcher from in-range values,
+   so the per-op accumulator bumps skip the bounds checks. *)
+let[@inline] bump arr i ns = Array.unsafe_set arr i (Array.unsafe_get arr i + ns)
+
+let[@inline] fast_charge (st : Mstate.t) ns =
+  let pid = st.pid in
+  bump st.cpu st.tid ns;
+  bump st.busy pid ns;
+  bump st.pnow pid ns;
+  bump st.slice pid ns;
+  st.events <- st.events + 1;
+  st.acc_events <- st.acc_events + 1
+
+(* Charge [ns] of pure computation if the slice stays clear of the
+   quantum and event-limit boundaries; false = caller performs the
+   effect. *)
+let fast_work (st : Mstate.t) ns =
+  st.fast
+  && Array.unsafe_get st.slice st.pid + ns < st.quantum
+  && st.events < st.max_events
+  && (not st.abort_set)
+  && begin
+       fast_charge st ns;
+       true
+     end
+
+(* Charge one memory access (timing only); the caller then applies the
+   word operation itself. The quote/commit split exists because the
+   quantum check needs the duration before the bank is booked. *)
+let fast_mem (st : Mstate.t) a kind =
+  st.fast
+  && st.events < st.max_events
+  && (not st.abort_set)
+  && begin
+       let pid = st.pid in
+       let ns =
+         Memory.try_reserve st.mem st.cfg ~from_node:pid a kind
+           ~start:(Array.unsafe_get st.pnow pid)
+           ~budget:(st.quantum - Array.unsafe_get st.slice pid)
+       in
+       ns >= 0
+       && begin
+            fast_charge st ns;
+            true
+          end
+     end
 
 let alloc ?node n = Effect.perform (E_alloc (node, n))
 let alloc1 ?node () = (Effect.perform (E_alloc (node, 1))).(0)
-let read a = Effect.perform (E_read a)
-let write a v = Effect.perform (E_write (a, v))
-let fetch_and_or a v = Effect.perform (E_fetch_and_or (a, v))
-let fetch_and_add a v = Effect.perform (E_fetch_and_add (a, v))
-let swap a v = Effect.perform (E_swap (a, v))
-let compare_and_swap a ~expected ~desired = Effect.perform (E_cas (a, expected, desired))
+
+let read a =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Read_access then begin
+    st.acc_read <- st.acc_read + 1;
+    Memory.fast_read st.mem a
+  end
+  else Effect.perform (E_read a)
+
+let write a v =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Write_access then begin
+    st.acc_write <- st.acc_write + 1;
+    Memory.fast_write st.mem a v
+  end
+  else Effect.perform (E_write (a, v))
+
+let fetch_and_or a v =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Atomic_access then begin
+    st.acc_atomic <- st.acc_atomic + 1;
+    Memory.fast_fetch_and_or st.mem a v
+  end
+  else Effect.perform (E_fetch_and_or (a, v))
+
+let fetch_and_add a v =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Atomic_access then begin
+    st.acc_atomic <- st.acc_atomic + 1;
+    Memory.fast_fetch_and_add st.mem a v
+  end
+  else Effect.perform (E_fetch_and_add (a, v))
+
+let swap a v =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Atomic_access then begin
+    st.acc_atomic <- st.acc_atomic + 1;
+    Memory.fast_swap st.mem a v
+  end
+  else Effect.perform (E_swap (a, v))
+
+let compare_and_swap a ~expected ~desired =
+  let st = Mstate.get () in
+  if fast_mem st a Memory.Atomic_access then begin
+    st.acc_atomic <- st.acc_atomic + 1;
+    Memory.fast_compare_and_swap st.mem a ~expected ~desired
+  end
+  else Effect.perform (E_cas (a, expected, desired))
+
 let test_and_set a = fetch_and_or a 1 = 0
 
-let work ns = if ns > 0 then Effect.perform (E_work ns)
-let work_instrs n = if n > 0 then Effect.perform (E_work_instrs n)
+let work ns =
+  if ns > 0 then begin
+    let st = Mstate.get () in
+    if not (fast_work st ns) then Effect.perform (E_work ns)
+  end
+
+let work_instrs n =
+  if n > 0 then begin
+    let st = Mstate.get () in
+    if not (st.fast && fast_work st (Config.instrs st.cfg n)) then
+      Effect.perform (E_work_instrs n)
+  end
+
 let delay ns = if ns > 0 then Effect.perform (E_delay ns)
-let now () = Effect.perform E_now
+
+let now () =
+  let st = Mstate.get () in
+  if st.fast then st.pnow.(st.pid) else Effect.perform E_now
 
 let fork spec = Effect.perform (E_fork spec)
 let join tid = Effect.perform (E_join tid)
 let yield () = Effect.perform E_yield
 let block () = Effect.perform E_block
 let wakeup tid = Effect.perform (E_wakeup tid)
-let self () = Effect.perform E_self
-let my_processor () = Effect.perform E_my_processor
+
+let self () =
+  let st = Mstate.get () in
+  if st.fast then st.tid else Effect.perform E_self
+
+let my_processor () =
+  let st = Mstate.get () in
+  if st.fast then st.pid else Effect.perform E_my_processor
+
 let set_priority tid prio = Effect.perform (E_set_priority (tid, prio))
 let priority_of tid = Effect.perform (E_priority_of tid)
 let processors () = Effect.perform E_processors
 let random bound = Effect.perform (E_random bound)
 let trace msg = Effect.perform (E_trace msg)
+
+(* {2 Fused operations}
+
+   [lock_probe_timed] is one iteration of the canonical spin protocol:
+   charge [pre_instrs] of entry-path overhead, test-and-set the lock
+   word, and on failure — unless the probe has timed out against
+   [until] — charge [retry_instrs] of retry overhead followed by a
+   [gap_ns] backoff wait. Exactly the sequence
+   [work_instrs pre; test_and_set; (work_instrs retry; work gap)]
+   with the timeout read between the probe and the retry, but encoded
+   as one effect (one continuation capture) instead of up to four.
+   [read_hint] likewise fuses a hint-spin iteration: charge [pre_ns],
+   read [a], and charge a [gap_ns] wait when the value still equals
+   [expect].
+
+   In fast mode (or with fusion disabled) both decompose into the
+   component wrappers above, which is the defining sequence — so the
+   fused encoding is unobservable by construction, and toggling
+   [Mstate.set_op_fusion] must never change a simulated outcome. *)
+
+let lock_probe_timed ?(pre_instrs = 0) ?(retry_instrs = 0) ?(gap_ns = 0) ~until a =
+  let st = Mstate.get () in
+  if (not st.Mstate.fast) && Mstate.op_fusion_enabled () then
+    Effect.perform (E_lock_probe (a, pre_instrs, retry_instrs, gap_ns, until))
+  else begin
+    work_instrs pre_instrs;
+    if test_and_set a then Probe_acquired
+    else if until >= 0 && now () >= until then Probe_expired
+    else begin
+      work_instrs retry_instrs;
+      work gap_ns;
+      Probe_retrying
+    end
+  end
+
+let lock_probe ?(pre_instrs = 0) ?(retry_instrs = 0) ?(gap_ns = 0) a =
+  lock_probe_timed ~pre_instrs ~retry_instrs ~gap_ns ~until:(-1) a = Probe_acquired
+
+let read_hint ?(pre_ns = 0) ?(gap_ns = 0) ~expect a =
+  let st = Mstate.get () in
+  if (not st.Mstate.fast)
+     && (pre_ns > 0 || gap_ns > 0)
+     && Mstate.op_fusion_enabled ()
+  then Effect.perform (E_read_hint (a, pre_ns, gap_ns, expect))
+  else begin
+    work pre_ns;
+    let v = read a in
+    if gap_ns > 0 && v = expect then work gap_ns;
+    v
+  end
 
 (* Zero-subscriber fast path. The scheduler records here, per domain,
    whether the machine currently running has any annotation

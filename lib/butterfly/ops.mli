@@ -50,6 +50,9 @@ type annotation =
   | A_lock_release of { lock : Memory.addr; lock_name : string }
   | A_adaptation of { obj_name : string; kind : string; label : string }
 
+(** Outcome of one fused lock probe (see {!lock_probe_timed}). *)
+type probe_result = Probe_acquired | Probe_expired | Probe_retrying
+
 (** The raw effect constructors, exposed so {!Sched} can handle them.
     Client code should use the wrapper functions below instead. *)
 type _ Effect.t +=
@@ -78,6 +81,12 @@ type _ Effect.t +=
   | E_trace : string -> unit Effect.t
   | E_annotate : annotation -> unit Effect.t
   | E_thread_name : tid -> string Effect.t
+  | E_lock_probe : Memory.addr * int * int * int * int -> probe_result Effect.t
+      (** [(word, pre_instrs, retry_instrs, gap_ns, until)]; one fused
+          spin-lock probe iteration (see {!lock_probe_timed}). *)
+  | E_read_hint : Memory.addr * int * int * int -> int Effect.t
+      (** [(addr, pre_ns, gap_ns, expect)]; one fused hint-spin
+          iteration (see {!read_hint}). *)
 
 (** {1 Memory} *)
 
@@ -118,6 +127,35 @@ val delay : int -> unit
 
 val now : unit -> int
 (** Current virtual time (free of charge). *)
+
+(** {1 Fused operations}
+
+    One spin-loop iteration as a single effect. Semantically these are
+    {e exactly} their decomposed sequences (which is what they execute
+    in fast mode or with fusion disabled — see [Sched.set_op_fusion]);
+    the fused encoding only cuts the number of continuation captures
+    per iteration from up to four to one. *)
+
+val lock_probe_timed :
+  ?pre_instrs:int -> ?retry_instrs:int -> ?gap_ns:int -> until:int ->
+  Memory.addr -> probe_result
+(** [lock_probe_timed ~pre_instrs ~retry_instrs ~gap_ns ~until word] is
+    the sequence
+    [work_instrs pre_instrs; test_and_set word] — returning
+    [Probe_acquired] on success — followed, on failure, by either
+    [Probe_expired] (when [until >= 0] and virtual time has reached
+    [until], checked at the test-and-set's completion, before any
+    retry cost) or [work_instrs retry_instrs; work gap_ns] and
+    [Probe_retrying]. [until = -1] means no deadline. *)
+
+val lock_probe :
+  ?pre_instrs:int -> ?retry_instrs:int -> ?gap_ns:int -> Memory.addr -> bool
+(** Deadline-free {!lock_probe_timed}: true iff the word was won. *)
+
+val read_hint : ?pre_ns:int -> ?gap_ns:int -> expect:int -> Memory.addr -> int
+(** [read_hint ~pre_ns ~gap_ns ~expect a] is
+    [work pre_ns; let v = read a in (if v = expect then work gap_ns); v]
+    — one polling iteration of a hint-word spin, fused. *)
 
 (** {1 Threads} *)
 

@@ -18,8 +18,6 @@ let abort_reason_message = function
     Printf.sprintf "thread %s crashed: %s" name (Printexc.to_string e)
   | Stop_requested msg -> "abort requested: " ^ msg
 
-type tstate = Ready | Running | Blocked | Joining | Finished
-
 type event_kind =
   | Ev_fork
   | Ev_switch
@@ -66,7 +64,14 @@ type rmw = Rmw_or | Rmw_add | Rmw_swap
    virtual-time order, without allocating a closure per operation —
    the payload lives in the constructor's flat fields. [P_none] marks
    "not suspended" (no option boxing); [P_start] carries a
-   not-yet-started thread's body. *)
+   not-yet-started thread's body.
+
+   The [P_probe_*]/[P_hint_*] constructors stage the fused operations
+   (Ops.E_lock_probe / Ops.E_read_hint): each dispatch advances the
+   sequence by exactly one charge, re-suspending the same continuation,
+   so the fused encoding produces the same dispatches, the same
+   intermediate machine states and the same memory linearization points
+   as the decomposed effects it replaces. *)
 type pending =
   | P_none : pending
   | P_start : (unit -> unit) -> pending
@@ -76,71 +81,73 @@ type pending =
   | P_write : (unit, unit) Effect.Deep.continuation * Memory.addr * int -> pending
   | P_rmw : (int, unit) Effect.Deep.continuation * rmw * Memory.addr * int -> pending
   | P_cas : (bool, unit) Effect.Deep.continuation * Memory.addr * int * int -> pending
+  | P_probe_tas :
+      (Ops.probe_result, unit) Effect.Deep.continuation * Memory.addr * int * int * int
+      -> pending  (* test-and-set charged next; retry_instrs, gap_ns, until *)
+  | P_probe_mut :
+      (Ops.probe_result, unit) Effect.Deep.continuation * Memory.addr * int * int * int
+      -> pending  (* test-and-set mutates at this dispatch *)
+  | P_probe_gap :
+      (Ops.probe_result, unit) Effect.Deep.continuation * int -> pending
+      (* retry overhead charged; gap_ns remains *)
+  | P_hint_read :
+      (int, unit) Effect.Deep.continuation * Memory.addr * int * int -> pending
+      (* read charged next; gap_ns, expect *)
+  | P_hint_val :
+      (int, unit) Effect.Deep.continuation * Memory.addr * int * int -> pending
+      (* read mutates (observes) at this dispatch *)
 
+(* Cold per-thread state. The hot scalars (status, processor, priority,
+   wake time, cpu, penalty, work debt, wake tokens) live in the
+   machine's [Mstate.t] int arrays, indexed by tid. *)
 type thread = {
   tid : int;
   name : string;
-  mutable prio : int;
-  mutable state : tstate;
-  mutable proc : int;
   mutable pending : pending;
-  mutable wake_at : int;
-  mutable wake_tokens : int;
   mutable token_wakers : int list;  (* waker tids, oldest first, one per token *)
   mutable joiners : int list;
-  mutable work_left : int;
-  mutable cpu_ns : int;
-  mutable penalty_ns : int;  (* fault-injected stall charged at next dispatch *)
   mutable last_block_site : string;  (* last lock requested (annot bus), "" if none *)
   mutable held_locks : string list;  (* lock names acquired and not yet released *)
 }
 
-(* Sentinel standing for "no thread" in processor slots and run
-   queues, so those hot fields are unboxed. Never scheduled, never
-   mutated; shared across machines and domains. *)
+(* Sentinel standing for "no thread" in processor slots, run queues and
+   the dense thread table, so those hot fields are unboxed. Never
+   scheduled, never mutated; shared across machines and domains. *)
 let no_thread =
   {
     tid = -1;
     name = "<none>";
-    prio = 0;
-    state = Finished;
-    proc = 0;
     pending = P_none;
-    wake_at = 0;
-    wake_tokens = 0;
     token_wakers = [];
     joiners = [];
-    work_left = 0;
-    cpu_ns = 0;
-    penalty_ns = 0;
     last_block_site = "";
     held_locks = [];
   }
 
 type proc = {
   pid : int;
-  mutable pnow : int;
   runq : thread Engine.Pqueue.t;
   mutable cont : thread;
       (* non-preemptive continuation: the thread currently occupying
          the processor, resumed ahead of queued threads until it
          blocks, delays, yields or exhausts its quantum.
          [no_thread] when vacant. *)
-  mutable slice_ns : int;  (* cpu consumed since the last scheduling point *)
-  mutable last_tid : int;
-  mutable busy_ns : int;
 }
 
 type t = {
   cfg : Config.t;
   mem : Memory.t;
+  st : Mstate.t;  (* flat hot state: clocks, slices, thread scalars *)
   procs : proc array;
-  threads : (int, thread) Hashtbl.t;
+  mutable tarr : thread array;  (* dense, indexed by tid; grown by doubling *)
   mutable next_tid : int;
   mutable live : int;
-  mutable events : int;
   mutable current : thread;  (* [no_thread] outside dispatch *)
   counters : Engine.Counters.t;
+  c_events : int ref;  (* cached cells of the four hottest counters *)
+  c_read : int ref;
+  c_write : int ref;
+  c_atomic : int ref;
   rng : Engine.Rng.t;
   mutable trace_hooks : (time:int -> tid:int -> string -> unit) list;
   mutable event_hooks : (event -> unit) list;  (* subscription order *)
@@ -149,9 +156,11 @@ type t = {
   mutable started : bool;
   mutable final : int;
   mutable place_cursor : int;
-  mutable timers : (int * int * (unit -> unit)) list;
-      (* host-side virtual-time callbacks (fault injection), sorted by
-         (time, insertion sequence); empty on fault-free machines *)
+  timers : (int * int * (unit -> unit)) Engine.Pqueue.t;
+      (* host-side virtual-time callbacks (fault injection), keyed by
+         due time, carrying (time, insertion sequence, callback) so
+         simultaneous timers fire in arming order; empty on fault-free
+         machines *)
   mutable timer_seq : int;
   mutable abort : string option;  (* a pending host-side abort request *)
   mutable control : int list;
@@ -170,26 +179,24 @@ and choice = { choice_tid : int; choice_proc : int; choice_key : int }
 
 let create (cfg : Config.t) =
   if cfg.processors <= 0 then invalid_arg "Sched.create: need at least one processor";
+  let mem = Memory.create cfg in
+  let counters = Engine.Counters.create () in
   {
     cfg;
-    mem = Memory.create cfg;
+    mem;
+    st = Mstate.create ~cfg ~mem;
     procs =
       Array.init cfg.processors (fun pid ->
-          {
-            pid;
-            pnow = 0;
-            runq = Engine.Pqueue.create ~dummy:no_thread ();
-            cont = no_thread;
-            slice_ns = 0;
-            last_tid = -1;
-            busy_ns = 0;
-          });
-    threads = Hashtbl.create 64;
+          { pid; runq = Engine.Pqueue.create ~dummy:no_thread (); cont = no_thread });
+    tarr = Array.make 64 no_thread;
     next_tid = 0;
     live = 0;
-    events = 0;
     current = no_thread;
-    counters = Engine.Counters.create ();
+    counters;
+    c_events = Engine.Counters.cell counters "sched.events";
+    c_read = Engine.Counters.cell counters "mem.read";
+    c_write = Engine.Counters.cell counters "mem.write";
+    c_atomic = Engine.Counters.cell counters "mem.atomic";
     rng = Engine.Rng.create cfg.seed;
     trace_hooks = [];
     event_hooks = [];
@@ -198,7 +205,7 @@ let create (cfg : Config.t) =
     started = false;
     final = 0;
     place_cursor = 0;
-    timers = [];
+    timers = Engine.Pqueue.create ~dummy:(0, 0, fun () -> ()) ();
     timer_seq = 0;
     abort = None;
     control = [];
@@ -212,11 +219,26 @@ let config t = t.cfg
 let memory t = t.mem
 let counters t = t.counters
 let final_time t = t.final
-let processor_busy_ns t = Array.map (fun p -> p.busy_ns) t.procs
+let events_executed t = t.st.events
+let processor_busy_ns t = Array.copy t.st.busy
 let runq_length t pid =
   let p = t.procs.(pid) in
   Engine.Pqueue.size p.runq + if p.cont != no_thread then 1 else 0
 let live_threads t = t.live
+
+(* Fast-path switches, re-exported from the state module so experiment
+   drivers only ever talk to [Sched]. *)
+let set_fast_paths = Mstate.set_fast_paths
+let fast_paths_enabled = Mstate.fast_paths_enabled
+let set_op_fusion = Mstate.set_op_fusion
+let op_fusion_enabled = Mstate.op_fusion_enabled
+
+(* Cumulative simulated-event odometer per domain: every [run] that
+   completes (or aborts) on this domain adds its machine's final event
+   count. Benchmarks read the delta around a measured body to convert
+   ns-per-run into simulated events per second. *)
+let domain_events : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let domain_events_total () = !(Domain.DLS.get domain_events)
 
 (* Every instrumentation stream is a bus: any number of subscribers,
    delivery in subscription order, and with zero subscribers the
@@ -258,50 +280,88 @@ let emit_access t ~time ~proc ~tid addr kind =
     List.iter (fun hook -> hook ev) hooks
 
 let thread_report t =
-  Hashtbl.fold (fun _ th acc -> (th.tid, th.name, th.cpu_ns) :: acc) t.threads []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  let acc = ref [] in
+  for tid = t.next_tid - 1 downto 0 do
+    let th = t.tarr.(tid) in
+    acc := (th.tid, th.name, t.st.cpu.(tid)) :: !acc
+  done;
+  !acc
 
 let current_thread t =
   if t.current == no_thread then
     invalid_arg "Butterfly: operation performed outside a running thread"
   else t.current
 
+let proc_of t th = t.procs.(t.st.tproc.(th.tid))
+
+(* Fold the fast-path accumulators into the real counter cells. Called
+   at the end of every dispatch slice (and on run teardown), before
+   anything outside the slice can observe the counters, so totals are
+   indistinguishable from the effect-per-op path. *)
+let fold_accs t =
+  let st = t.st in
+  t.c_events := !(t.c_events) + st.acc_events;
+  t.c_read := !(t.c_read) + st.acc_read;
+  t.c_write := !(t.c_write) + st.acc_write;
+  t.c_atomic := !(t.c_atomic) + st.acc_atomic;
+  st.acc_events <- 0;
+  st.acc_read <- 0;
+  st.acc_write <- 0;
+  st.acc_atomic <- 0
+
 let make_ready t th ~at =
-  th.state <- Ready;
-  th.wake_at <- at;
-  Engine.Pqueue.add t.procs.(th.proc).runq ~key:at th
+  let st = t.st in
+  st.status.(th.tid) <- Mstate.st_ready;
+  st.wake_at.(th.tid) <- at;
+  Engine.Pqueue.add t.procs.(st.tproc.(th.tid)).runq ~key:at th
 
 (* The currently-running thread keeps its processor (non-preemptive
    execution), unless a preemption quantum is configured and its slice
-   is exhausted — then it is demoted behind the queued threads. *)
+   is exhausted — then it is demoted behind the queued threads.
+   ([st.quantum] is [max_int] when no quantum is configured, so the
+   comparison alone encodes the option.) *)
 let continue_on t p th ~at =
-  th.state <- Ready;
-  th.wake_at <- at;
-  match t.cfg.quantum_ns with
-  | Some quantum when p.slice_ns >= quantum ->
-    p.slice_ns <- 0;
+  let st = t.st in
+  st.status.(th.tid) <- Mstate.st_ready;
+  st.wake_at.(th.tid) <- at;
+  if st.slice.(p.pid) >= st.quantum then begin
+    st.slice.(p.pid) <- 0;
     Engine.Counters.incr t.counters "sched.preemptions";
     emit t ~time:at ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_preempt;
     Engine.Pqueue.add p.runq ~key:at th
-  | _ ->
+  end
+  else
     (* Under schedule control a forced dispatch may run a queued thread
        while another still occupies the continuation slot; queue behind
        it rather than overwrite (and lose) it. On the default path the
        slot is always vacant here. *)
-    if p.cont == no_thread then p.cont <- th else Engine.Pqueue.add p.runq ~key:at th
+    if p.cont == no_thread then p.cont <- th
+    else Engine.Pqueue.add p.runq ~key:at th
 
 (* Charge [ns] of processor occupancy ending at the thread's next wake
    time: the processor is busy until then (its clock advances), and the
    fiber is suspended and rescheduled at the completion time. *)
 let charge_and_resume t th p ~ns pend =
+  let st = t.st in
   th.pending <- pend;
-  th.cpu_ns <- th.cpu_ns + ns;
-  p.busy_ns <- p.busy_ns + ns;
-  p.pnow <- p.pnow + ns;
-  p.slice_ns <- p.slice_ns + ns;
-  continue_on t p th ~at:p.pnow
+  st.cpu.(th.tid) <- st.cpu.(th.tid) + ns;
+  st.busy.(p.pid) <- st.busy.(p.pid) + ns;
+  st.pnow.(p.pid) <- st.pnow.(p.pid) + ns;
+  st.slice.(p.pid) <- st.slice.(p.pid) + ns;
+  continue_on t p th ~at:st.pnow.(p.pid)
 
 let suspend_unit t th p ~ns k = charge_and_resume t th p ~ns (P_unit k)
+
+(* Charge a span of pure computation, slicing it by the preemption
+   quantum exactly as the [E_work] handler does: the first chunk is
+   charged now, the rest becomes work debt consumed chunk-by-chunk at
+   subsequent dispatches. Used by the staged fused operations so their
+   work components preempt identically to standalone [work] calls. *)
+let charge_work t th p ~ns pend =
+  let st = t.st in
+  let chunk = min ns st.quantum in
+  st.work_left.(th.tid) <- ns - chunk;
+  charge_and_resume t th p ~ns:chunk pend
 
 (* Thread placement for unpinned forks: round-robin, skipping processor
    load imbalance concerns (deterministic and uniform). *)
@@ -321,87 +381,100 @@ let new_thread t ~name ~proc ~prio fn =
     {
       tid;
       name;
-      prio;
-      state = Ready;
-      proc;
       pending = P_start fn;
-      wake_at = 0;
-      wake_tokens = 0;
       token_wakers = [];
       joiners = [];
-      work_left = 0;
-      cpu_ns = 0;
-      penalty_ns = 0;
       last_block_site = "";
       held_locks = [];
     }
   in
-  Hashtbl.add t.threads tid th;
+  let st = t.st in
+  Mstate.ensure_thread st tid;
+  if tid >= Array.length t.tarr then begin
+    let n = Array.length t.tarr in
+    let grown = Array.make (max (n * 2) (tid + 1)) no_thread in
+    Array.blit t.tarr 0 grown 0 n;
+    t.tarr <- grown
+  end;
+  t.tarr.(tid) <- th;
+  st.status.(tid) <- Mstate.st_ready;
+  st.tproc.(tid) <- proc;
+  st.prio.(tid) <- prio;
+  st.wake_at.(tid) <- 0;
+  st.cpu.(tid) <- 0;
+  st.penalty.(tid) <- 0;
+  st.work_left.(tid) <- 0;
+  st.tokens.(tid) <- 0;
   t.live <- t.live + 1;
   th
 
 let finish ?at t th =
-  let now = match at with Some a -> a | None -> t.procs.(th.proc).pnow in
-  th.state <- Finished;
-  emit t ~time:now ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_finish;
+  let st = t.st in
+  let proc = st.tproc.(th.tid) in
+  let now = match at with Some a -> a | None -> st.pnow.(proc) in
+  st.status.(th.tid) <- Mstate.st_finished;
+  emit t ~time:now ~proc ~tid:th.tid ~other:(-1) Ev_finish;
   t.live <- t.live - 1;
   let wake_time = now + t.cfg.join_ns in
   List.iter
     (fun jtid ->
-      let joiner = Hashtbl.find t.threads jtid in
-      if joiner.state = Joining then begin
-        emit t ~time:wake_time ~proc:joiner.proc ~tid:jtid ~other:th.tid Ev_join;
-        make_ready t joiner ~at:wake_time
+      if st.status.(jtid) = Mstate.st_joining then begin
+        emit t ~time:wake_time ~proc:st.tproc.(jtid) ~tid:jtid ~other:th.tid Ev_join;
+        make_ready t t.tarr.(jtid) ~at:wake_time
       end)
     th.joiners;
   th.joiners <- []
 
 let find_thread t tid =
-  match Hashtbl.find_opt t.threads tid with
-  | Some th -> th
-  | None -> invalid_arg (Printf.sprintf "Butterfly: unknown thread %d" tid)
+  if tid >= 0 && tid < t.next_tid then t.tarr.(tid)
+  else invalid_arg (Printf.sprintf "Butterfly: unknown thread %d" tid)
 
-let machine_time t = Array.fold_left (fun acc p -> max acc p.pnow) 0 t.procs
+let machine_time t =
+  let best = ref 0 in
+  Array.iter (fun pn -> if pn > !best then best := pn) t.st.pnow;
+  !best
 
 (* {2 Fault-injection entry points}
 
    All of these are host-side: the injector calls them from virtual-time
    timers (or annotation hooks), never from simulated code. On a
    machine with no timers and no penalties the scheduler's behaviour is
-   bit-for-bit the fault-free one. *)
+   bit-for-bit the fault-free one. Each mutation also drops out of fast
+   mode for the slice in progress (if any): the conservative route is
+   the effect path, which observes host mutations at full fidelity. *)
 
 let add_timer t ~at fn =
   if at < 0 then invalid_arg "Sched.add_timer: negative time";
   let seq = t.timer_seq in
   t.timer_seq <- seq + 1;
-  let rec insert = function
-    | [] -> [ (at, seq, fn) ]
-    | ((at', seq', _) as hd) :: tl ->
-      if at < at' || (at = at' && seq < seq') then (at, seq, fn) :: hd :: tl
-      else hd :: insert tl
-  in
-  t.timers <- insert t.timers
+  Engine.Pqueue.add t.timers ~key:at (at, seq, fn);
+  t.st.fast <- false
 
-let pending_timers t = List.length t.timers
+let pending_timers t = Engine.Pqueue.size t.timers
 
-let request_abort t reason = if t.abort = None then t.abort <- Some reason
+let request_abort t reason =
+  if t.abort = None then begin
+    t.abort <- Some reason;
+    t.st.abort_set <- true;
+    t.st.fast <- false
+  end
+
 let abort_requested t = t.abort
 
 let stall_processor t ~proc ~ns =
   if proc < 0 || proc >= Array.length t.procs then
     invalid_arg (Printf.sprintf "Sched.stall_processor: bad processor %d" proc);
   if ns < 0 then invalid_arg "Sched.stall_processor: negative stall";
-  let p = t.procs.(proc) in
-  p.pnow <- p.pnow + ns;
-  p.slice_ns <- 0
+  t.st.pnow.(proc) <- t.st.pnow.(proc) + ns;
+  t.st.slice.(proc) <- 0
 
 let penalize_thread t ~tid ~ns =
   if ns < 0 then invalid_arg "Sched.penalize_thread: negative penalty";
-  match Hashtbl.find_opt t.threads tid with
-  | Some th when th.state <> Finished ->
-    th.penalty_ns <- th.penalty_ns + ns;
+  if tid >= 0 && tid < t.next_tid && t.st.status.(tid) <> Mstate.st_finished then begin
+    t.st.penalty.(tid) <- t.st.penalty.(tid) + ns;
     true
-  | Some _ | None -> false
+  end
+  else false
 
 (* A kill models a crash: the suspended continuation is dropped (no
    cleanup runs; the fiber is reclaimed by the GC), joiners are woken
@@ -410,39 +483,40 @@ let penalize_thread t ~tid ~ns =
    the chaos harness are there to surface. Threads already queued stay
    in their run queues; the dispatcher skips Finished entries. *)
 let kill_thread t ~tid ~at =
-  match Hashtbl.find_opt t.threads tid with
-  | None -> false
-  | Some th ->
-    if th.state = Finished then false
+  if tid < 0 || tid >= t.next_tid then false
+  else begin
+    let th = t.tarr.(tid) in
+    if t.st.status.(tid) = Mstate.st_finished then false
     else begin
       th.pending <- P_none;
-      th.work_left <- 0;
+      t.st.work_left.(tid) <- 0;
+      t.st.fast <- false;
       Array.iter (fun p -> if p.cont == th then p.cont <- no_thread) t.procs;
       Engine.Counters.incr t.counters "sched.kills";
       finish ~at t th;
       true
     end
+  end
 
 let mem_access_kind = function
   | `Read -> Memory.Read_access
   | `Write -> Memory.Write_access
   | `Atomic -> Memory.Atomic_access
 
-let counter_of_kind = function
-  | `Read -> "mem.read"
-  | `Write -> "mem.write"
-  | `Atomic -> "mem.atomic"
-
 (* Reserve a memory access starting now and return its duration; the
    caller suspends the fiber with a [pending] that performs the actual
    word operation at dispatch, i.e. in global virtual-time order. *)
 let mem_charge t th p ~kind addr =
-  Engine.Counters.incr t.counters (counter_of_kind kind);
-  emit_access t ~time:p.pnow ~proc:p.pid ~tid:th.tid addr (mem_access_kind kind);
+  (match kind with
+  | `Read -> t.c_read := !(t.c_read) + 1
+  | `Write -> t.c_write := !(t.c_write) + 1
+  | `Atomic -> t.c_atomic := !(t.c_atomic) + 1);
+  let pnow = t.st.pnow.(p.pid) in
+  emit_access t ~time:pnow ~proc:p.pid ~tid:th.tid addr (mem_access_kind kind);
   let complete =
-    Memory.reserve t.mem t.cfg ~from_node:p.pid addr (mem_access_kind kind) ~start:p.pnow
+    Memory.reserve t.mem t.cfg ~from_node:p.pid addr (mem_access_kind kind) ~start:pnow
   in
-  complete - p.pnow
+  complete - pnow
 
 let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option =
  fun t eff ->
@@ -452,88 +526,114 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Read addr in
         charge_and_resume t th p ~ns (P_read (k, addr)))
   | Ops.E_write (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Write addr in
         charge_and_resume t th p ~ns (P_write (k, addr, v)))
   | Ops.E_fetch_and_or (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Atomic addr in
         charge_and_resume t th p ~ns (P_rmw (k, Rmw_or, addr, v)))
   | Ops.E_fetch_and_add (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Atomic addr in
         charge_and_resume t th p ~ns (P_rmw (k, Rmw_add, addr, v)))
   | Ops.E_swap (addr, v) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Atomic addr in
         charge_and_resume t th p ~ns (P_rmw (k, Rmw_swap, addr, v)))
   | Ops.E_cas (addr, expected, desired) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = mem_charge t th p ~kind:`Atomic addr in
         charge_and_resume t th p ~ns (P_cas (k, addr, expected, desired)))
+  | Ops.E_lock_probe (addr, pre, retry, gap, until) ->
+    Some
+      (fun k ->
+        (* Stage one fused spin-lock probe: the entry overhead is
+           charged now; the test-and-set, the timeout decision and any
+           retry/backoff charges each take their own dispatch (see the
+           [P_probe_*] cases of [resume]), exactly as the decomposed
+           sequence would. *)
+        let th = current_thread t in
+        let p = proc_of t th in
+        let pre_ns = Config.instrs cfg pre in
+        if pre_ns > 0 then
+          charge_work t th p ~ns:pre_ns (P_probe_tas (k, addr, retry, gap, until))
+        else
+          let ns = mem_charge t th p ~kind:`Atomic addr in
+          charge_and_resume t th p ~ns (P_probe_mut (k, addr, retry, gap, until)))
+  | Ops.E_read_hint (addr, pre_ns, gap, expect) ->
+    Some
+      (fun k ->
+        let th = current_thread t in
+        let p = proc_of t th in
+        if pre_ns > 0 then
+          charge_work t th p ~ns:pre_ns (P_hint_read (k, addr, gap, expect))
+        else
+          let ns = mem_charge t th p ~kind:`Read addr in
+          charge_and_resume t th p ~ns (P_hint_val (k, addr, gap, expect)))
   | Ops.E_alloc (node, n) ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
-        let node = match node with Some node -> node | None -> th.proc in
+        let p = proc_of t th in
+        let node = match node with Some node -> node | None -> t.st.tproc.(th.tid) in
         let addrs = Memory.alloc t.mem ~node n in
         charge_and_resume t th p ~ns:cfg.local_write_ns (P_value (k, addrs)))
   | Ops.E_work ns ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
-        let chunk = match cfg.quantum_ns with Some q -> min ns q | None -> ns in
-        th.work_left <- ns - chunk;
+        let p = proc_of t th in
+        let chunk = min ns t.st.quantum in
+        t.st.work_left.(th.tid) <- ns - chunk;
         suspend_unit t th p ~ns:chunk k)
   | Ops.E_work_instrs n ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let ns = Config.instrs cfg n in
-        let chunk = match cfg.quantum_ns with Some q -> min ns q | None -> ns in
-        th.work_left <- ns - chunk;
+        let chunk = min ns t.st.quantum in
+        t.st.work_left.(th.tid) <- ns - chunk;
         suspend_unit t th p ~ns:chunk k)
   | Ops.E_delay ns ->
     Some
       (fun k ->
         (* A delay releases the processor: no cpu charge, later wake. *)
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
-        p.slice_ns <- 0;
+        let p = proc_of t th in
+        t.st.slice.(p.pid) <- 0;
         th.pending <- P_unit k;
-        make_ready t th ~at:(p.pnow + ns))
+        make_ready t th ~at:(t.st.pnow.(p.pid) + ns))
   | Ops.E_now ->
     Some
       (fun k ->
         let th = current_thread t in
-        Effect.Deep.continue k t.procs.(th.proc).pnow)
+        Effect.Deep.continue k t.st.pnow.(t.st.tproc.(th.tid)))
   | Ops.E_fork spec ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         Engine.Counters.incr t.counters "sched.forks";
         let proc =
           match spec.proc with
@@ -544,21 +644,22 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
           | None -> place t
         in
         let child = new_thread t ~name:spec.name ~proc ~prio:spec.prio spec.f in
-        emit t ~time:p.pnow ~proc ~tid:child.tid ~other:th.tid Ev_fork;
-        make_ready t child ~at:(p.pnow + cfg.fork_ns + cfg.wakeup_latency_ns);
+        let pnow = t.st.pnow.(p.pid) in
+        emit t ~time:pnow ~proc ~tid:child.tid ~other:th.tid Ev_fork;
+        make_ready t child ~at:(pnow + cfg.fork_ns + cfg.wakeup_latency_ns);
         charge_and_resume t th p ~ns:cfg.fork_ns (P_value (k, child.tid)))
   | Ops.E_join tid ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
         let target = find_thread t tid in
-        if target.state = Finished then begin
-          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:tid Ev_join;
+        if t.st.status.(tid) = Mstate.st_finished then begin
+          emit t ~time:t.st.pnow.(p.pid) ~proc:p.pid ~tid:th.tid ~other:tid Ev_join;
           suspend_unit t th p ~ns:cfg.join_ns k
         end
         else begin
-          th.state <- Joining;
+          t.st.status.(th.tid) <- Mstate.st_joining;
           th.pending <- P_unit k;
           target.joiners <- th.tid :: target.joiners
         end)
@@ -566,23 +667,25 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
+        let st = t.st in
         Engine.Counters.incr t.counters "sched.yields";
         th.pending <- P_unit k;
-        th.cpu_ns <- th.cpu_ns + cfg.yield_ns;
-        p.busy_ns <- p.busy_ns + cfg.yield_ns;
-        p.pnow <- p.pnow + cfg.yield_ns;
-        p.slice_ns <- 0;
-        make_ready t th ~at:p.pnow)
+        st.cpu.(th.tid) <- st.cpu.(th.tid) + cfg.yield_ns;
+        st.busy.(p.pid) <- st.busy.(p.pid) + cfg.yield_ns;
+        st.pnow.(p.pid) <- st.pnow.(p.pid) + cfg.yield_ns;
+        st.slice.(p.pid) <- 0;
+        make_ready t th ~at:st.pnow.(p.pid))
   | Ops.E_block ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
+        let st = t.st in
         Engine.Counters.incr t.counters "sched.blocks";
-        if th.wake_tokens > 0 then begin
+        if st.tokens.(th.tid) > 0 then begin
           (* A wakeup already arrived: absorb it and keep running. *)
-          th.wake_tokens <- th.wake_tokens - 1;
+          st.tokens.(th.tid) <- st.tokens.(th.tid) - 1;
           let waker =
             match th.token_wakers with
             | w :: rest ->
@@ -590,45 +693,56 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
               w
             | [] -> -1
           in
-          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:waker Ev_token_use;
+          emit t ~time:st.pnow.(p.pid) ~proc:p.pid ~tid:th.tid ~other:waker Ev_token_use;
           suspend_unit t th p ~ns:0 k
         end
         else begin
-          th.state <- Blocked;
-          emit t ~time:p.pnow ~proc:th.proc ~tid:th.tid ~other:(-1) Ev_block;
+          st.status.(th.tid) <- Mstate.st_blocked;
+          emit t ~time:st.pnow.(p.pid) ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_block;
           th.pending <- P_unit k;
           (* The processor spends [block_ns] saving the context. *)
-          p.pnow <- p.pnow + cfg.block_ns;
-          p.busy_ns <- p.busy_ns + cfg.block_ns;
-          th.cpu_ns <- th.cpu_ns + cfg.block_ns;
-          p.slice_ns <- 0
+          st.pnow.(p.pid) <- st.pnow.(p.pid) + cfg.block_ns;
+          st.busy.(p.pid) <- st.busy.(p.pid) + cfg.block_ns;
+          st.cpu.(th.tid) <- st.cpu.(th.tid) + cfg.block_ns;
+          st.slice.(p.pid) <- 0
         end)
   | Ops.E_wakeup tid ->
     Some
       (fun k ->
         let th = current_thread t in
-        let p = t.procs.(th.proc) in
+        let p = proc_of t th in
+        let st = t.st in
         Engine.Counters.incr t.counters "sched.wakeups";
         let target = find_thread t tid in
-        (match target.state with
-        | Blocked ->
-          target.state <- Ready;
-          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid ~other:th.tid Ev_wakeup;
-          make_ready t target ~at:(p.pnow + cfg.unblock_ns + cfg.wakeup_latency_ns)
-        | Finished -> Engine.Counters.incr t.counters "sched.wakeups_late"
-        | Ready | Running | Joining ->
-          target.wake_tokens <- target.wake_tokens + 1;
+        let code = st.status.(tid) in
+        let pnow = st.pnow.(p.pid) in
+        if code = Mstate.st_blocked then begin
+          st.status.(tid) <- Mstate.st_ready;
+          emit t ~time:pnow ~proc:st.tproc.(tid) ~tid ~other:th.tid Ev_wakeup;
+          make_ready t target ~at:(pnow + cfg.unblock_ns + cfg.wakeup_latency_ns)
+        end
+        else if code = Mstate.st_finished then
+          Engine.Counters.incr t.counters "sched.wakeups_late"
+        else begin
+          st.tokens.(tid) <- st.tokens.(tid) + 1;
           target.token_wakers <- target.token_wakers @ [ th.tid ];
-          emit t ~time:p.pnow ~proc:target.proc ~tid:target.tid ~other:th.tid Ev_token);
+          emit t ~time:pnow ~proc:st.tproc.(tid) ~tid ~other:th.tid Ev_token
+        end;
         suspend_unit t th p ~ns:cfg.unblock_ns k)
   | Ops.E_self -> Some (fun k -> Effect.Deep.continue k (current_thread t).tid)
-  | Ops.E_my_processor -> Some (fun k -> Effect.Deep.continue k (current_thread t).proc)
+  | Ops.E_my_processor ->
+    Some (fun k -> Effect.Deep.continue k t.st.tproc.((current_thread t).tid))
   | Ops.E_set_priority (tid, prio) ->
     Some
       (fun k ->
-        (find_thread t tid).prio <- prio;
+        ignore (find_thread t tid : thread);
+        t.st.prio.(tid) <- prio;
         Effect.Deep.continue k ())
-  | Ops.E_priority_of tid -> Some (fun k -> Effect.Deep.continue k (find_thread t tid).prio)
+  | Ops.E_priority_of tid ->
+    Some
+      (fun k ->
+        ignore (find_thread t tid : thread);
+        Effect.Deep.continue k t.st.prio.(tid))
   | Ops.E_processors -> Some (fun k -> Effect.Deep.continue k (Array.length t.procs))
   | Ops.E_random bound -> Some (fun k -> Effect.Deep.continue k (Engine.Rng.int t.rng bound))
   | Ops.E_trace msg ->
@@ -638,7 +752,7 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         | [] -> ()
         | hooks ->
           let th = current_thread t in
-          let time = t.procs.(th.proc).pnow in
+          let time = t.st.pnow.(t.st.tproc.(th.tid)) in
           List.iter (fun hook -> hook ~time ~tid:th.tid msg) hooks);
         Effect.Deep.continue k ())
   | Ops.E_annotate annotation ->
@@ -665,9 +779,10 @@ let handle_effect : type a. t -> a Effect.t -> ((a, unit) Effect.Deep.continuati
         (match t.annot_hooks with
         | [] -> ()
         | hooks ->
-          let p = t.procs.(th.proc) in
+          let proc = t.st.tproc.(th.tid) in
           let ev =
-            { annot_time = p.pnow; annot_proc = p.pid; annot_tid = th.tid; annotation }
+            { annot_time = t.st.pnow.(proc); annot_proc = proc; annot_tid = th.tid;
+              annotation }
           in
           List.iter (fun hook -> hook ev) hooks);
         Effect.Deep.continue k ())
@@ -684,8 +799,9 @@ let run_fiber t th fn =
 
 (* Finish a reified suspended operation and resume the fiber. Memory
    mutations happen here, at dispatch, so they linearize in global
-   virtual-time order. *)
-let resume t pend =
+   virtual-time order. The staged [P_probe_*]/[P_hint_*] cases advance
+   a fused operation by one charge instead of resuming the fiber. *)
+let resume t th p pend =
   match pend with
   | P_none | P_start _ -> assert false
   | P_unit k -> Effect.Deep.continue k ()
@@ -700,83 +816,150 @@ let resume t pend =
       | Rmw_swap -> Memory.swap t.mem addr v)
   | P_cas (k, addr, expected, desired) ->
     Effect.Deep.continue k (Memory.compare_and_swap t.mem addr ~expected ~desired)
+  | P_probe_tas (k, addr, retry, gap, until) ->
+    let ns = mem_charge t th p ~kind:`Atomic addr in
+    charge_and_resume t th p ~ns (P_probe_mut (k, addr, retry, gap, until))
+  | P_probe_mut (k, addr, retry, gap, until) ->
+    let prev = Memory.fetch_and_or t.mem addr 1 in
+    if prev = 0 then Effect.Deep.continue k Ops.Probe_acquired
+    else if until >= 0 && t.st.pnow.(p.pid) >= until then
+      Effect.Deep.continue k Ops.Probe_expired
+    else begin
+      let retry_ns = Config.instrs t.cfg retry in
+      if retry_ns > 0 then charge_work t th p ~ns:retry_ns (P_probe_gap (k, gap))
+      else if gap > 0 then charge_work t th p ~ns:gap (P_value (k, Ops.Probe_retrying))
+      else Effect.Deep.continue k Ops.Probe_retrying
+    end
+  | P_probe_gap (k, gap) ->
+    if gap > 0 then charge_work t th p ~ns:gap (P_value (k, Ops.Probe_retrying))
+    else Effect.Deep.continue k Ops.Probe_retrying
+  | P_hint_read (k, addr, gap, expect) ->
+    let ns = mem_charge t th p ~kind:`Read addr in
+    charge_and_resume t th p ~ns (P_hint_val (k, addr, gap, expect))
+  | P_hint_val (k, addr, gap, expect) ->
+    let v = Memory.read t.mem addr in
+    if gap > 0 && v = expect then charge_work t th p ~ns:gap (P_value (k, v))
+    else Effect.Deep.continue k v
 
 (* Pick the processor whose next runnable thread executes earliest.
    Ties break toward the lowest processor id, keeping runs
    deterministic. Returns the dispatch key (the global next virtual
    time) so the run loop can fire due fault timers first. *)
 let pick t =
-  let best = ref None in
+  let st = t.st in
+  let best_key = ref max_int and best_pid = ref (-1) in
   Array.iter
     (fun p ->
-      let next_wake =
-        if p.cont != no_thread then Some p.cont.wake_at
-        else Engine.Pqueue.min_key p.runq
+      let wake =
+        if p.cont != no_thread then st.wake_at.(p.cont.tid)
+        else Engine.Pqueue.peek_min_key p.runq
       in
-      match next_wake with
-      | None -> ()
-      | Some wake ->
-        let key = max p.pnow wake in
-        (match !best with
-        | Some (bkey, _) when bkey <= key -> ()
-        | _ -> best := Some (key, p)))
+      if wake < max_int then begin
+        let pn = st.pnow.(p.pid) in
+        let key = if pn > wake then pn else wake in
+        if key < !best_key then begin
+          best_key := key;
+          best_pid := p.pid
+        end
+      end)
     t.procs;
-  !best
+  if !best_pid < 0 then None else Some (!best_key, t.procs.(!best_pid))
+
+(* May the dispatch slice about to start charge directly (no effects)?
+   Only when nothing can observe or perturb the machine mid-slice:
+   no subscriber on any instrumentation bus, no pending fault timer or
+   abort, no schedule control, and every *other* processor idle — a
+   fast op advances only this processor's clock, so any runnable thread
+   elsewhere could interleave in virtual time and must see the effect
+   path. (Threads queued on this same processor don't disqualify it:
+   execution is non-preemptive and the quantum guard in [Ops] bails out
+   before any preemption point.) Idleness of the other processors is
+   stable for the duration of the slice because every op that could
+   wake another processor — fork, wakeup, finish — suspends the fiber
+   and ends the slice. *)
+let other_procs_idle t p =
+  let n = Array.length t.procs in
+  let rec go i =
+    i >= n
+    ||
+    let p' = t.procs.(i) in
+    (p' == p || (p'.cont == no_thread && Engine.Pqueue.size p'.runq = 0)) && go (i + 1)
+  in
+  go 0
+
+let slice_fast_ok t p =
+  Mstate.fast_paths_enabled ()
+  && (match t.event_hooks with [] -> true | _ -> false)
+  && (match t.access_hooks with [] -> true | _ -> false)
+  && (match t.annot_hooks with [] -> true | _ -> false)
+  && (match t.trace_hooks with [] -> true | _ -> false)
+  && Engine.Pqueue.size t.timers = 0
+  && (match t.abort with None -> true | Some _ -> false)
+  && (match t.control with [] -> true | _ -> false)
+  && (match t.chooser with None -> true | Some _ -> false)
+  && (not t.record_schedule)
+  && other_procs_idle t p
 
 let dispatch_thread t p th =
   if t.record_schedule then t.schedule_log <- th.tid :: t.schedule_log;
-  if th.state = Finished then ()
+  let st = t.st in
+  if st.status.(th.tid) = Mstate.st_finished then ()
     (* a killed thread still queued: consume the slot, run nothing *)
   else begin
-  let start = max p.pnow th.wake_at in
-  let start =
-    if p.last_tid >= 0 && p.last_tid <> th.tid then begin
-      Engine.Counters.incr t.counters "sched.switches";
-      emit t ~time:start ~proc:p.pid ~tid:th.tid ~other:(-1) Ev_switch;
-      p.busy_ns <- p.busy_ns + t.cfg.switch_ns;
-      p.slice_ns <- 0;
-      start + t.cfg.switch_ns
-    end
-    else start
-  in
-  let start =
-    if th.penalty_ns > 0 then begin
-      (* A fault-injected stall (e.g. lock-holder delay): the thread is
-         charged the penalty before it resumes. *)
-      let pen = th.penalty_ns in
-      th.penalty_ns <- 0;
-      Engine.Counters.incr t.counters "sched.fault_stalls";
-      start + pen
-    end
-    else start
-  in
-  p.last_tid <- th.tid;
-  p.pnow <- start;
-  if th.work_left > 0 then begin
-    (* Preemption quantum: slice the remaining computation. *)
-    let chunk =
-      match t.cfg.quantum_ns with Some q -> min th.work_left q | None -> th.work_left
+    let pid = p.pid in
+    let start = max st.pnow.(pid) st.wake_at.(th.tid) in
+    let start =
+      if st.last_tid.(pid) >= 0 && st.last_tid.(pid) <> th.tid then begin
+        Engine.Counters.incr t.counters "sched.switches";
+        emit t ~time:start ~proc:pid ~tid:th.tid ~other:(-1) Ev_switch;
+        st.busy.(pid) <- st.busy.(pid) + t.cfg.switch_ns;
+        st.slice.(pid) <- 0;
+        start + t.cfg.switch_ns
+      end
+      else start
     in
-    th.work_left <- th.work_left - chunk;
-    th.cpu_ns <- th.cpu_ns + chunk;
-    p.busy_ns <- p.busy_ns + chunk;
-    p.pnow <- start + chunk;
-    p.slice_ns <- p.slice_ns + chunk;
-    continue_on t p th ~at:p.pnow
-  end
-  else begin
-    th.state <- Running;
-    t.current <- th;
-    (match th.pending with
-    | P_none -> assert false
-    | P_start fn ->
-      th.pending <- P_none;
-      run_fiber t th fn
-    | pend ->
-      th.pending <- P_none;
-      resume t pend);
-    t.current <- no_thread
-  end
+    let start =
+      if st.penalty.(th.tid) > 0 then begin
+        (* A fault-injected stall (e.g. lock-holder delay): the thread is
+           charged the penalty before it resumes. *)
+        let pen = st.penalty.(th.tid) in
+        st.penalty.(th.tid) <- 0;
+        Engine.Counters.incr t.counters "sched.fault_stalls";
+        start + pen
+      end
+      else start
+    in
+    st.last_tid.(pid) <- th.tid;
+    st.pnow.(pid) <- start;
+    if st.work_left.(th.tid) > 0 then begin
+      (* Preemption quantum: slice the remaining computation. *)
+      let wl = st.work_left.(th.tid) in
+      let chunk = min wl st.quantum in
+      st.work_left.(th.tid) <- wl - chunk;
+      st.cpu.(th.tid) <- st.cpu.(th.tid) + chunk;
+      st.busy.(pid) <- st.busy.(pid) + chunk;
+      st.pnow.(pid) <- start + chunk;
+      st.slice.(pid) <- st.slice.(pid) + chunk;
+      continue_on t p th ~at:st.pnow.(pid)
+    end
+    else begin
+      st.status.(th.tid) <- Mstate.st_running;
+      t.current <- th;
+      st.tid <- th.tid;
+      st.pid <- pid;
+      st.fast <- slice_fast_ok t p;
+      (match th.pending with
+      | P_none -> assert false
+      | P_start fn ->
+        th.pending <- P_none;
+        run_fiber t th fn
+      | pend ->
+        th.pending <- P_none;
+        resume t th p pend);
+      st.fast <- false;
+      if st.acc_events <> 0 then fold_accs t;
+      t.current <- no_thread
+    end
   end
 
 let dispatch t p =
@@ -817,20 +1000,21 @@ let control_diverged t = t.control_diverged
    means queued threads on that processor are not eligible), otherwise
    its queued non-finished threads. Sorted by tid for determinism. *)
 let dispatch_candidates t =
+  let st = t.st in
   let acc = ref [] in
   Array.iter
     (fun p ->
       if p.cont != no_thread then
         acc :=
           { choice_tid = p.cont.tid; choice_proc = p.pid;
-            choice_key = max p.pnow p.cont.wake_at }
+            choice_key = max st.pnow.(p.pid) st.wake_at.(p.cont.tid) }
           :: !acc
       else
         Engine.Pqueue.iter p.runq (fun _ th ->
-            if th.state <> Finished then
+            if st.status.(th.tid) <> Mstate.st_finished then
               acc :=
                 { choice_tid = th.tid; choice_proc = p.pid;
-                  choice_key = max p.pnow th.wake_at }
+                  choice_key = max st.pnow.(p.pid) st.wake_at.(th.tid) }
                 :: !acc))
     t.procs;
   let arr = Array.of_list !acc in
@@ -841,16 +1025,17 @@ let dispatch_candidates t =
    extracting it: the run loop must know the dispatch key first, since a
    due fault timer fires instead and the decision is then re-evaluated. *)
 let locate_dispatchable t tid =
-  match Hashtbl.find_opt t.threads tid with
-  | None -> None
-  | Some th ->
-    let p = t.procs.(th.proc) in
+  if tid < 0 || tid >= t.next_tid then None
+  else begin
+    let th = t.tarr.(tid) in
+    let p = t.procs.(t.st.tproc.(tid)) in
     if p.cont == th then Some (p, th)
     else begin
       let found = ref false in
       Engine.Pqueue.iter p.runq (fun _ th' -> if th' == th then found := true);
       if !found then Some (p, th) else None
     end
+  end
 
 let extract_thread t p th =
   ignore t;
@@ -872,7 +1057,7 @@ let controlled_pick t =
   match t.control with
   | tid :: _ -> (
     match locate_dispatchable t tid with
-    | Some (p, th) -> Some (max p.pnow th.wake_at, `Forced (p, th, true))
+    | Some (p, th) -> Some (max t.st.pnow.(p.pid) t.st.wake_at.(th.tid), `Forced (p, th, true))
     | None ->
       t.control <- [];
       t.control_diverged <- true;
@@ -892,7 +1077,7 @@ let controlled_pick t =
         end
         else
           match locate_dispatchable t tid with
-          | Some (p, th) -> Some (max p.pnow th.wake_at, `Forced (p, th, false))
+          | Some (p, th) -> Some (max t.st.pnow.(p.pid) t.st.wake_at.(th.tid), `Forced (p, th, false))
           | None ->
             t.control_diverged <- true;
             default ()))
@@ -901,9 +1086,9 @@ let controlled_pick t =
    lock annotations were flowing (any annot subscriber), each entry
    also names the thread's last blocking site (the lock it last
    requested) and the locks it still holds. *)
-let stuck_description th =
+let stuck_description t th =
   let verb =
-    match th.state with Joining -> "joining" | _ (* Blocked *) -> "blocked"
+    if t.st.status.(th.tid) = Mstate.st_joining then "joining" else "blocked"
   in
   let site = if th.last_block_site = "" then "" else " at " ^ th.last_block_site in
   let holding =
@@ -914,65 +1099,70 @@ let stuck_description th =
   Printf.sprintf "%s(#%d %s%s%s)" th.name th.tid verb site holding
 
 let deadlock_report t =
-  let stuck =
-    Hashtbl.fold
-      (fun _ th acc ->
-        match th.state with
-        | Blocked | Joining -> stuck_description th :: acc
-        | Ready | Running | Finished -> acc)
-      t.threads []
-  in
-  String.concat ", " (List.sort String.compare stuck)
+  let stuck = ref [] in
+  for tid = 0 to t.next_tid - 1 do
+    let code = t.st.status.(tid) in
+    if code = Mstate.st_blocked || code = Mstate.st_joining then
+      stuck := stuck_description t t.tarr.(tid) :: !stuck
+  done;
+  String.concat ", " (List.sort String.compare !stuck)
 
-let state_name = function
-  | Ready -> "ready"
-  | Running -> "running"
-  | Blocked -> "blocked"
-  | Joining -> "joining"
-  | Finished -> "finished"
+let state_name code =
+  if code = Mstate.st_ready then "ready"
+  else if code = Mstate.st_running then "running"
+  else if code = Mstate.st_blocked then "blocked"
+  else if code = Mstate.st_joining then "joining"
+  else "finished"
 
 (* A deterministic full dump of the machine for structured aborts: no
    wall-clock, no addresses — byte-identical across runs and domain
    counts. *)
 let diagnostics t =
+  let st = t.st in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf "machine at t=%dns: %d live thread(s), %d event(s), %d timer(s) pending\n"
-       (machine_time t) t.live t.events (List.length t.timers));
+       (machine_time t) t.live st.events (Engine.Pqueue.size t.timers));
   Array.iter
     (fun p ->
       Buffer.add_string buf
-        (Printf.sprintf "  proc %d: now=%dns busy=%dns runq=%d\n" p.pid p.pnow p.busy_ns
+        (Printf.sprintf "  proc %d: now=%dns busy=%dns runq=%d\n" p.pid
+           st.pnow.(p.pid) st.busy.(p.pid)
            (Engine.Pqueue.size p.runq + if p.cont != no_thread then 1 else 0)))
     t.procs;
-  Hashtbl.fold (fun _ th acc -> th :: acc) t.threads []
-  |> List.sort (fun a b -> compare a.tid b.tid)
-  |> List.iter (fun th ->
-         let site = if th.last_block_site = "" then "" else " site=" ^ th.last_block_site in
-         let holding =
-           match th.held_locks with
-           | [] -> ""
-           | held ->
-             Printf.sprintf " holding=[%s]" (String.concat ", " (List.rev held))
-         in
-         Buffer.add_string buf
-           (Printf.sprintf "  thread %s(#%d): %s cpu=%dns%s%s\n" th.name th.tid
-              (state_name th.state) th.cpu_ns site holding));
+  for tid = 0 to t.next_tid - 1 do
+    let th = t.tarr.(tid) in
+    let site = if th.last_block_site = "" then "" else " site=" ^ th.last_block_site in
+    let holding =
+      match th.held_locks with
+      | [] -> ""
+      | held -> Printf.sprintf " holding=[%s]" (String.concat ", " (List.rev held))
+    in
+    Buffer.add_string buf
+      (Printf.sprintf "  thread %s(#%d): %s cpu=%dns%s%s\n" th.name th.tid
+         (state_name st.status.(tid)) st.cpu.(tid) site holding)
+  done;
   Buffer.contents buf
 
 (* Pop and run every timer due at or before [upto]. Callbacks run
    host-side (no current thread) and may mutate the machine: stall
    processors, kill threads, degrade memory modules, re-arm timers.
-   Timers armed during the batch for a time <= [upto] fire on the next
-   loop iteration, so a re-arming callback cannot livelock the batch. *)
+   The due batch is collected before any callback runs (in (time,
+   arming-sequence) order), so timers armed during the batch for a
+   time <= [upto] fire on the next loop iteration and a re-arming
+   callback cannot livelock the batch. *)
 let fire_timers t ~upto =
-  let rec split due = function
-    | (at, _, fn) :: tl when at <= upto -> split (fn :: due) tl
-    | rest -> (List.rev due, rest)
+  let due = ref [] in
+  while Engine.Pqueue.peek_min_key t.timers <= upto do
+    due := Engine.Pqueue.pop_min_value_exn t.timers :: !due
+  done;
+  let due =
+    List.sort
+      (fun (a1, s1, _) (a2, s2, _) ->
+        if a1 <> a2 then compare a1 a2 else compare s1 s2)
+      !due
   in
-  let due, rest = split [] t.timers in
-  t.timers <- rest;
-  List.iter (fun fn -> fn ()) due
+  List.iter (fun (_, _, fn) -> fn ()) due
 
 (* Host-side hooks fired at the start of every [run], on the domain
    about to run the machine. Registered once, at module-initialisation
@@ -998,13 +1188,21 @@ let run ?(main_name = "main") t main =
   (* Publish the annotation-subscriber state for this machine to the
      domain running it: with no subscriber, Ops.annotate skips the
      effect (and the payload) entirely. Saved/restored so nested or
-     back-to-back runs on the same domain stay correct. *)
+     back-to-back runs on the same domain stay correct. The same
+     discipline publishes the flat state to Ops' fast paths. *)
   let saved_annots = Ops.annotations_enabled () in
   Ops.set_annotations_enabled (t.annot_hooks <> []);
+  let st = t.st in
+  let prev_st = Mstate.swap_in st in
   Fun.protect
     ~finally:(fun () ->
+      st.fast <- false;
+      fold_accs t;
+      Mstate.restore prev_st;
       Ops.set_annotations_enabled saved_annots;
-      t.final <- machine_time t)
+      t.final <- machine_time t;
+      let total = Domain.DLS.get domain_events in
+      total := !total + st.events)
     (fun () ->
       let main_thread = new_thread t ~name:main_name ~proc:0 ~prio:0 main in
       make_ready t main_thread ~at:0;
@@ -1015,14 +1213,15 @@ let run ?(main_name = "main") t main =
              pending describe faults the execution never reached —
              discard them rather than perturb the final clocks. *)
           continue := false
-        else (
+        else begin
           (* Nothing runnable but threads remain. Pending timers may
              still revive the machine (a kill releases joiners, a
              penalty expires), so fire the earliest batch before
              concluding deadlock. *)
-          match t.timers with
-          | (at, _, _) :: _ -> fire_timers t ~upto:at
-          | [] -> raise (Deadlock (deadlock_report t)))
+          let at = Engine.Pqueue.peek_min_key t.timers in
+          if at < max_int then fire_timers t ~upto:at
+          else raise (Deadlock (deadlock_report t))
+        end
       in
       let uncontrolled t =
         (match t.control with [] -> true | _ -> false)
@@ -1032,23 +1231,21 @@ let run ?(main_name = "main") t main =
         (match t.abort with
         | Some reason -> raise (Abort_requested reason)
         | None -> ());
-        t.events <- t.events + 1;
-        Engine.Counters.incr t.counters "sched.events";
-        if t.events > t.cfg.max_events then raise Event_limit_exceeded;
+        st.events <- st.events + 1;
+        t.c_events := !(t.c_events) + 1;
+        if st.events > st.max_events then raise Event_limit_exceeded;
         if uncontrolled t then (
           (* the hot path: identical to the pre-control scheduler *)
           match pick t with
-          | Some (key, p) -> (
-            match t.timers with
-            | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
-            | _ -> dispatch t p)
+          | Some (key, p) ->
+            if Engine.Pqueue.peek_min_key t.timers <= key then fire_timers t ~upto:key
+            else dispatch t p
           | None -> no_runnable ())
         else
           match controlled_pick t with
-          | Some (key, picked) -> (
-            match t.timers with
-            | (at, _, _) :: _ when at <= key -> fire_timers t ~upto:key
-            | _ -> (
+          | Some (key, picked) ->
+            if Engine.Pqueue.peek_min_key t.timers <= key then fire_timers t ~upto:key
+            else (
               match picked with
               | `Default p -> dispatch t p
               | `Forced (p, th, consume) ->
@@ -1057,7 +1254,7 @@ let run ?(main_name = "main") t main =
                   | _ :: rest -> t.control <- rest
                   | [] -> ());
                 if extract_thread t p th then dispatch_thread t p th
-                else t.control_diverged <- true))
+                else t.control_diverged <- true)
           | None -> no_runnable ()
       done)
 

@@ -93,11 +93,17 @@ let spin_then_block t my_gen =
      The budget attribute is re-read on entry only; one stale arrival
      costs at most one mis-budgeted wait. *)
   let budget = Attribute.get t.spin_ns in
-  let spent = ref 0 in
-  while Ops.read t.gen = my_gen && !spent < budget do
-    Ops.work probe_gap_ns;
-    spent := !spent + probe_gap_ns
-  done;
+  (* Each in-budget iteration (generation read plus the gap while it is
+     still ours) is one fused effect; the budget-exhausted exit still
+     pays the bare read the pre-fusion loop condition charged. *)
+  let rec poll spent =
+    if spent < budget then begin
+      if Ops.read_hint ~gap_ns:probe_gap_ns ~expect:my_gen t.gen = my_gen then
+        poll (spent + probe_gap_ns)
+    end
+    else ignore (Ops.read t.gen : int)
+  in
+  poll 0;
   if Ops.read t.gen = my_gen then begin
     (* Budget exhausted: fall back to blocking. Re-check the generation
        under the mutex (mirrors Lock_core's sleep registration): the

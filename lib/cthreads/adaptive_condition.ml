@@ -120,11 +120,16 @@ let wait t mu =
   let budget = Attribute.get t.spin_ns in
   if budget > 0 then begin
     let seq0 = Ops.read t.signal_seq in
-    let spent = ref 0 in
-    while Ops.read t.signal_seq = seq0 && !spent < budget do
-      Ops.work probe_gap_ns;
-      spent := !spent + probe_gap_ns
-    done
+    (* Fused hint poll: sequence read plus the gap while unchanged; the
+       budget-exhausted exit pays the loop-condition read as before. *)
+    let rec poll spent =
+      if spent < budget then begin
+        if Ops.read_hint ~gap_ns:probe_gap_ns ~expect:seq0 t.signal_seq = seq0 then
+          poll (spent + probe_gap_ns)
+      end
+      else ignore (Ops.read t.signal_seq : int)
+    in
+    poll 0
   end;
   Ops.block ();
   Spin.lock mu

@@ -91,9 +91,12 @@ let acquire t =
     let spent = ref 0 in
     let got = ref false in
     while (not !got) && !spent < budget do
-      Ops.work probe_gap_ns;
       spent := !spent + probe_gap_ns;
-      if Ops.read t.permits > 0 then got := try_take t
+      (* Gap plus hint read, fused ([expect:-1] never matches: the
+         conditional wait belongs to the gap, which here precedes the
+         read). *)
+      if Ops.read_hint ~pre_ns:probe_gap_ns ~expect:(-1) t.permits > 0 then
+        got := try_take t
     done;
     if not !got then begin
       (* Register under the mutex, re-checking first: a release between

@@ -30,9 +30,10 @@ let lock t =
   if Ops.annotations_enabled () then
     Ops.annotate (Ops.A_lock_request { lock = t; lock_name = spin_name t });
   (* Busy-wait: the gap between probes occupies the processor, as real
-     spinning does. *)
-  while not (Ops.test_and_set t) do
-    Ops.work probe_gap_ns
+     spinning does. Each iteration (test-and-set plus the gap on
+     failure) is one fused effect. *)
+  while not (Ops.lock_probe ~gap_ns:probe_gap_ns t) do
+    ()
   done;
   note_acquired t
 

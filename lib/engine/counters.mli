@@ -12,6 +12,11 @@ val create : unit -> t
 val incr : t -> string -> unit
 (** Increment a counter by one. *)
 
+val cell : t -> string -> int ref
+(** The counter's underlying cell, created at 0 on first use. Callers
+    on hot paths cache the ref and bump it directly, skipping the
+    hashtable lookup that {!incr}/{!add} pay per call. *)
+
 val add : t -> string -> int -> unit
 (** Add an arbitrary (possibly negative) amount. *)
 

@@ -83,6 +83,12 @@ let add q ~key v =
 let peek_min q = if q.size = 0 then None else Some (q.keys.(0), q.vals.(0))
 let min_key q = if q.size = 0 then None else Some q.keys.(0)
 
+(* Allocation-free peek for per-iteration polling (the scheduler's
+   "is the next timer due?" check): [max_int] stands for "empty", so
+   the caller's comparison against a real virtual time needs no
+   branch on an option. *)
+let peek_min_key q = if q.size = 0 then max_int else q.keys.(0)
+
 (* Remove the root. The freed slot is overwritten with [dummy] so the
    queue never retains a reference to a popped value. *)
 let remove_min q =

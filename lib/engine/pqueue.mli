@@ -42,6 +42,12 @@ val peek_min : 'a t -> (int * 'a) option
 val min_key : 'a t -> int option
 (** [min_key q] is the smallest key present, if any. O(1). *)
 
+val peek_min_key : 'a t -> int
+(** Allocation-free {!min_key}: the smallest key present, or [max_int]
+    when the queue is empty. O(1). The scheduler polls this once per
+    dispatch ("is the next fault timer due?"), so it must not box an
+    option per iteration. *)
+
 val size : 'a t -> int
 (** Number of entries currently in the queue. *)
 

@@ -1,4 +1,10 @@
-type micro = { bench_name : string; ns_per_run : float; r_square : float }
+type micro = {
+  bench_name : string;
+  ns_per_run : float;
+  r_square : float;
+  events_per_run : float;
+  events_per_sec : float;
+}
 
 type comparison = {
   domains_base : int;
@@ -113,8 +119,10 @@ let to_json ~micros ~comparison () =
       if i > 0 then Buffer.add_char buf ',';
       Buffer.add_string buf
         (Printf.sprintf
-           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s }"
-           (json_escape m.bench_name) (json_float m.ns_per_run) (json_float m.r_square)))
+           "\n    { \"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s, \
+            \"events_per_run\": %s, \"events_per_sec\": %s }"
+           (json_escape m.bench_name) (json_float m.ns_per_run) (json_float m.r_square)
+           (json_float m.events_per_run) (json_float m.events_per_sec)))
     micros;
   Buffer.add_string buf (if micros = [] then "]\n" else "\n  ]\n");
   Buffer.add_string buf "}\n";
@@ -125,3 +133,74 @@ let write_json ~path ~micros ~comparison () =
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json ~micros ~comparison ()))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline comparison: the bench-compare CI gate.                    *)
+
+(* [to_json] is the only writer of BENCH_results.json, so the reader
+   can be a string scanner for that exact shape instead of a JSON
+   parser: each benchmark entry sits on its own line as
+   { "name": "...", ..., "events_per_sec": N }. *)
+let baseline_events_per_sec json =
+  let substr_from line pat =
+    let rec find from =
+      if String.length line - from < String.length pat then None
+      else if String.sub line from (String.length pat) = pat then
+        Some (from + String.length pat)
+      else find (from + 1)
+    in
+    find 0
+  in
+  let find_float line key =
+    match substr_from line (Printf.sprintf "\"%s\": " key) with
+    | None -> None
+    | Some start ->
+      let stop = ref start in
+      while
+        !stop < String.length line
+        && (match line.[!stop] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr stop
+      done;
+      if !stop = start then None else float_of_string_opt (String.sub line start (!stop - start))
+  in
+  let find_name line =
+    match substr_from line "\"name\": \"" with
+    | None -> None
+    | Some start -> (
+      match String.index_from_opt line start '"' with
+      | None -> None
+      | Some stop -> Some (String.sub line start (stop - start)))
+  in
+  String.split_on_char '\n' json
+  |> List.filter_map (fun line ->
+         match (find_name line, find_float line "events_per_sec") with
+         | Some name, Some eps when eps > 0.0 -> Some (name, eps)
+         | _ -> None)
+
+let load_baseline path =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let json =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    Some (baseline_events_per_sec json)
+  end
+
+type regression = { name : string; baseline_eps : float; current_eps : float }
+
+let compare_against_baseline ~tolerance ~baseline micros =
+  List.filter_map
+    (fun m ->
+      if m.events_per_sec <= 0.0 then None
+      else
+        match List.assoc_opt m.bench_name baseline with
+        | Some base when m.events_per_sec < base *. (1.0 -. tolerance) ->
+          Some { name = m.bench_name; baseline_eps = base; current_eps = m.events_per_sec }
+        | _ -> None)
+    micros

@@ -11,6 +11,13 @@ type micro = {
   bench_name : string;
   ns_per_run : float;  (** OLS estimate of host ns per benchmark run *)
   r_square : float;  (** fit quality of the estimate *)
+  events_per_run : float;
+      (** simulation events one benchmark run executes — deterministic,
+          measured by running the benchmark body once under the domain
+          event odometer ([Sched.domain_events_total]) *)
+  events_per_sec : float;
+      (** [events_per_run /. ns_per_run *. 1e9] — the throughput metric
+          the bench-compare CI gate tracks; [0.] when unknown *)
 }
 
 type comparison = {
@@ -47,3 +54,21 @@ val to_json : micros:micro list -> comparison:comparison option -> unit -> strin
 
 val write_json :
   path:string -> micros:micro list -> comparison:comparison option -> unit -> unit
+
+(** {1 The bench-compare gate} *)
+
+type regression = { name : string; baseline_eps : float; current_eps : float }
+
+val load_baseline : string -> (string * float) list option
+(** Parse a committed [BENCH_results.json] into
+    [(benchmark name, events_per_sec)] pairs (entries without a
+    positive [events_per_sec] are skipped). [None] when the file does
+    not exist. The reader understands exactly the shape {!to_json}
+    writes — one benchmark entry per line. *)
+
+val compare_against_baseline :
+  tolerance:float -> baseline:(string * float) list -> micro list -> regression list
+(** Benchmarks whose current [events_per_sec] fell more than
+    [tolerance] (e.g. [0.15]) below the baseline's. Benchmarks absent
+    from the baseline — or without an events metric — are skipped, so
+    adding a benchmark never fails the gate retroactively. *)

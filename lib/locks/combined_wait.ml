@@ -4,12 +4,19 @@ module Attribute = Adaptive_core.Attribute
 (* Exponential back-off cap: keeps Anderson-style gaps bounded. *)
 let max_backoff_ns = 2_000_000
 
-let wait ~(policy : Waiting.t) ?(advice = fun () -> 0) ~since ~probe ~on_retry ~sleep
-    () =
+let wait ~(policy : Waiting.t) ?(advice = fun () -> 0) ~since ~probe ~sleep () =
   (* The waiting loop re-consults the mutable attributes (and any
      advice) on every probe, so a reconfiguration takes effect for
      threads already waiting — the closely-coupled behaviour
-     adaptation depends on. *)
+     adaptation depends on.
+
+     [probe ~gap_ns] makes one acquisition attempt and, on failure,
+     charges the retry overhead followed by a [gap_ns] back-off wait
+     before returning — which lets callers fuse the whole iteration
+     into one [Ops.lock_probe]. The attribute reads stay where the
+     pre-fusion loop had them: the back-off doubling is consulted
+     after the failed probe's waits complete, the spin/sleep/timeout
+     attributes at the top of the next iteration. *)
   let rec wait_loop attempts gap =
     let advice = advice () in
     let spin_limit =
@@ -21,10 +28,8 @@ let wait ~(policy : Waiting.t) ?(advice = fun () -> 0) ~since ~probe ~on_retry ~
     let timeout = Attribute.get policy.Waiting.timeout_ns in
     let expired = timeout > 0 && Ops.now () >= since + timeout in
     if (attempts >= spin_limit || expired) && sleep_enabled then sleep ()
-    else if probe () then ()
+    else if probe ~gap_ns:gap then ()
     else begin
-      on_retry ();
-      if gap > 0 then Ops.work gap;
       let gap =
         if Attribute.get policy.Waiting.backoff then min (max (gap * 2) 1) max_backoff_ns
         else gap

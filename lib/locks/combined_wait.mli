@@ -13,16 +13,18 @@ val wait :
   policy:Waiting.t ->
   ?advice:(unit -> int) ->
   since:int ->
-  probe:(unit -> bool) ->
-  on_retry:(unit -> unit) ->
+  probe:(gap_ns:int -> bool) ->
   sleep:(unit -> unit) ->
   unit ->
   unit
-(** Run the waiting loop until the object is acquired. [probe] makes
-    one acquisition attempt and, on success, performs the caller's
-    acquisition bookkeeping. [sleep] is the blocking path: register,
-    re-check, block until handed the object (it returns having
-    acquired). [on_retry] is charged per failed probe (the paper's
-    per-probe library-call overhead). [advice] (default none) returns
-    the owner's current advice: 0 none, 1 force spinning, 2 force
-    sleeping. [since] anchors the policy's timeout. *)
+(** Run the waiting loop until the object is acquired. [probe ~gap_ns]
+    makes one acquisition attempt and, on success, performs the
+    caller's acquisition bookkeeping; on failure it charges the
+    caller's per-probe retry overhead (the paper's library-call cost)
+    followed by a [gap_ns] back-off wait before returning false — a
+    contract shaped so callers can fuse the attempt, the retry and the
+    gap into a single [Ops.lock_probe]. [sleep] is the blocking path:
+    register, re-check, block until handed the object (it returns
+    having acquired). [advice] (default none) returns the owner's
+    current advice: 0 none, 1 force spinning, 2 force sleeping.
+    [since] anchors the policy's timeout. *)

@@ -52,10 +52,16 @@ let lock t =
     Ops.write t.flags.(my_proc) 0;
     t.waiters <- t.waiters @ [ (me, my_proc) ];
     guard_unlock t;
-    while Ops.read t.flags.(my_proc) = 0 do
-      Lock_stats.on_spin_probe t.lock_stats;
-      Ops.work 1_000
-    done;
+    let flag = t.flags.(my_proc) in
+    let rec poll () =
+      (* One fused iteration: local read plus the inter-probe gap when
+         the flag is still unset. *)
+      if Ops.read_hint ~gap_ns:1_000 ~expect:0 flag = 0 then begin
+        Lock_stats.on_spin_probe t.lock_stats;
+        poll ()
+      end
+    in
+    poll ();
     Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - t0)
   end
 

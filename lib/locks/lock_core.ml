@@ -94,15 +94,6 @@ let acquired t ~since =
   Lock_stats.on_acquired t.lock_stats ~wait_ns:(Ops.now () - since);
   note_acquired t
 
-let probe t =
-  Lock_stats.on_spin_probe t.lock_stats;
-  Ops.test_and_set t.word
-
-(* A spin retry re-executes the lock operation's entry path (the
-   paper's spin loops go through the full library call per probe:
-   Table 6's spin cycle is one unlock plus one lock operation). *)
-let retry_overhead t = Ops.work_instrs t.costs.Lock_costs.lock_overhead_instrs
-
 (* The sleeping path: register under the guard, re-check the lock word
    (an unlock that raced past us would otherwise never wake us), then
    block until an unlock hands the lock over. *)
@@ -140,13 +131,18 @@ let contended_path t =
     (* Only advisory locks pay for consulting the advice word. *)
     ~advice:(fun () -> if t.uses_advice then Ops.read t.advice_word else 0)
     ~since
-    ~probe:(fun () ->
-      if probe t then begin
+    ~probe:(fun ~gap_ns ->
+      (* One spin iteration — the test-and-set plus, on failure, the
+         retry overhead and the back-off gap — as one fused effect. *)
+      Lock_stats.on_spin_probe t.lock_stats;
+      if
+        Ops.lock_probe ~retry_instrs:t.costs.Lock_costs.lock_overhead_instrs ~gap_ns
+          t.word
+      then begin
         acquired t ~since;
         true
       end
       else false)
-    ~on_retry:(fun () -> retry_overhead t)
     ~sleep:(fun () -> sleep_until_handoff t ~since)
     ()
 
@@ -154,8 +150,8 @@ let lock t =
   if Ops.annotations_enabled () then
     Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_lock t.lock_stats;
-  Ops.work_instrs t.costs.lock_overhead_instrs;
-  if Ops.test_and_set t.word then begin
+  (* Entry overhead + test-and-set, fused into one staged effect. *)
+  if Ops.lock_probe ~pre_instrs:t.costs.Lock_costs.lock_overhead_instrs t.word then begin
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t
   end
@@ -163,8 +159,7 @@ let lock t =
 
 let try_lock t =
   Lock_stats.on_lock t.lock_stats;
-  Ops.work_instrs t.costs.lock_overhead_instrs;
-  let got = Ops.test_and_set t.word in
+  let got = Ops.lock_probe ~pre_instrs:t.costs.Lock_costs.lock_overhead_instrs t.word in
   if got then begin
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t
@@ -183,8 +178,7 @@ let lock_timeout t ~deadline_ns =
   if Ops.annotations_enabled () then
     Ops.annotate (Ops.A_lock_request { lock = t.word; lock_name = t.lock_name });
   Lock_stats.on_lock t.lock_stats;
-  Ops.work_instrs t.costs.lock_overhead_instrs;
-  if Ops.test_and_set t.word then begin
+  if Ops.lock_probe ~pre_instrs:t.costs.Lock_costs.lock_overhead_instrs t.word then begin
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t;
     true
@@ -193,26 +187,29 @@ let lock_timeout t ~deadline_ns =
     let since = Ops.now () in
     Lock_stats.on_contended t.lock_stats;
     enter_waiting t;
+    (* Each iteration is one fused probe: test-and-set, then — decided
+       at the probe's completion time, before any retry cost — either
+       deadline expiry or the retry overhead and back-off gap. *)
     let rec wait_loop gap =
-      if probe t then begin
+      Lock_stats.on_spin_probe t.lock_stats;
+      match
+        Ops.lock_probe_timed ~retry_instrs:t.costs.Lock_costs.lock_overhead_instrs
+          ~gap_ns:gap ~until:deadline_ns t.word
+      with
+      | Ops.Probe_acquired ->
         acquired t ~since;
         true
-      end
-      else if Ops.now () >= deadline_ns then begin
+      | Ops.Probe_expired ->
         leave_waiting t;
         Lock_stats.on_timeout t.lock_stats;
         false
-      end
-      else begin
-        retry_overhead t;
-        if gap > 0 then Ops.work gap;
+      | Ops.Probe_retrying ->
         let gap =
           if Attribute.get t.wait_policy.Waiting.backoff then
             min (max (gap * 2) 1) max_backoff_ns
           else gap
         in
         wait_loop gap
-      end
     in
     wait_loop (Attribute.get t.wait_policy.Waiting.delay_ns)
   end

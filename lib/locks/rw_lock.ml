@@ -236,8 +236,14 @@ let read_lock t =
   Ops.work_instrs 180;
   note_request t;
   if not (read_probe t) then
-    Combined_wait.wait ~policy:t.wait_policy ~since:t0 ~probe:(fun () -> read_probe t)
-      ~on_retry:(fun () -> Ops.work_instrs 180)
+    Combined_wait.wait ~policy:t.wait_policy ~since:t0
+      ~probe:(fun ~gap_ns ->
+        if read_probe t then true
+        else begin
+          Ops.work_instrs 180;
+          Ops.work gap_ns;
+          false
+        end)
       ~sleep:(fun () -> reader_sleep t)
       ();
   note_acquired t;
@@ -275,8 +281,13 @@ let write_lock t =
   ignore (Ops.fetch_and_add t.wwait 1);
   if not (write_probe t) then
     Combined_wait.wait ~policy:t.wait_policy ~since:t0
-      ~probe:(fun () -> write_probe t)
-      ~on_retry:(fun () -> Ops.work_instrs 220)
+      ~probe:(fun ~gap_ns ->
+        if write_probe t then true
+        else begin
+          Ops.work_instrs 220;
+          Ops.work gap_ns;
+          false
+        end)
       ~sleep:(fun () -> writer_sleep t)
       ();
   note_acquired t;

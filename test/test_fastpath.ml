@@ -1,0 +1,156 @@
+(* The fast-path determinism suite: batched memory charging and op
+   fusion are pure host-side accelerations, so every shipped artifact
+   must be byte-identical with them enabled (the default), with fusion
+   alone, and with both disabled. Each test renders one artifact under
+   the three mode combinations and compares the bytes. *)
+
+open Butterfly
+
+let with_modes ~fast ~fusion f =
+  let fast0 = Sched.fast_paths_enabled () in
+  let fusion0 = Sched.op_fusion_enabled () in
+  Sched.set_fast_paths fast;
+  Sched.set_op_fusion fusion;
+  Fun.protect
+    ~finally:(fun () ->
+      Sched.set_fast_paths fast0;
+      Sched.set_op_fusion fusion0)
+    f
+
+(* Render [render] with both accelerations on (the default), with
+   fusion alone (fused effects through the general dispatcher), and
+   with neither (the fully decomposed legacy path); all three must
+   produce the same bytes. *)
+let ab name render =
+  let accelerated = with_modes ~fast:true ~fusion:true render in
+  let fused_only = with_modes ~fast:false ~fusion:true render in
+  let legacy = with_modes ~fast:false ~fusion:false render in
+  Alcotest.(check string) (name ^ ": accelerated = legacy") legacy accelerated;
+  Alcotest.(check string) (name ^ ": fusion-only = legacy") legacy fused_only
+
+let take n l = List.filteri (fun i _ -> i < n) l
+
+(* {2 Soak workload} *)
+
+let render_soak spec () =
+  let r = Workloads.Soak.run spec in
+  Printf.sprintf "events=%d final_ns=%d checksum=%d" r.Workloads.Soak.events
+    r.Workloads.Soak.final_ns r.Workloads.Soak.checksum
+
+let test_soak () = ab "soak" (render_soak Workloads.Soak.default)
+
+let test_soak_uniprocessor () =
+  (* No phase B: every dispatch is single-runnable, so the accelerated
+     run spends its whole life on the fast path. *)
+  ab "soak (uniprocessor)"
+    (render_soak { Workloads.Soak.default with processors = 1; rounds = 8 })
+
+(* {2 Shipped artifacts} *)
+
+let test_analysis () =
+  let scenarios =
+    take 2 (Analysis_suite.shipped ()) @ take 1 (Analysis_suite.buggy ())
+  in
+  ab "ANALYSIS_results.json" (fun () ->
+      Analysis_suite.to_json
+        (Analysis_suite.run_all ~domains:1 ~predict:false ~confirm:false
+           scenarios))
+
+let test_chaos () =
+  let scenarios = take 2 (Analysis_suite.shipped ()) in
+  ab "CHAOS_results.json" (fun () ->
+      Chaos.to_json (Chaos.sweep ~domains:1 ~seeds:[ 7; 11 ] ~scenarios ()))
+
+let test_policy () =
+  let module PC = Analysis.Policy_check in
+  ab "POLICY_results.json" (fun () ->
+      let shipped = PC.run (PC.shipped ()) in
+      let fixtures =
+        List.map
+          (fun (name, specs, expect) -> PC.check_fixture ~name ~expect specs)
+          (Analysis_suite.policy_fixtures ())
+      in
+      PC.to_json ~shipped ~fixtures)
+
+let render_to_buffer print =
+  let buf = Buffer.create 4096 in
+  let out = Format.formatter_of_buffer buf in
+  print ~out;
+  Format.pp_print_flush out ();
+  Buffer.contents buf
+
+let test_objects () =
+  ab "OBJECTS report" (fun () ->
+      render_to_buffer (fun ~out -> Experiments.Report.print_objects ~out ~domains:1 ()))
+
+let test_table5 () =
+  ab "Table 5" (fun () ->
+      render_to_buffer (fun ~out -> Experiments.Report.print_table5 ~out ~domains:1 ()))
+
+let test_fig1_csv () =
+  (* A shrunken Figure 1 grid, rendered through the shipping CSV
+     writer. *)
+  let base =
+    {
+      Workloads.Csweep.default with
+      Workloads.Csweep.processors = 4;
+      threads_per_proc = 2;
+      iterations = 6;
+    }
+  in
+  ab "fig1.csv" (fun () ->
+      let curves =
+        Experiments.Fig1.run ~domains:1 ~base ~cs_lengths:[ 5_000; 100_000 ] ()
+      in
+      let path = Filename.temp_file "fig1" ".csv" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          let oc = open_out path in
+          Experiments.Fig1.to_csv curves oc;
+          close_out oc;
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s))
+
+(* {2 Host-side allocation bound} *)
+
+let test_fast_path_allocation () =
+  (* 1k uncontended spin lock/unlock pairs on the fast path must not
+     allocate per iteration: the point of batched charging is that an
+     accelerated op is a few array updates, not an effect performance
+     with its continuation capture. The bound leaves room for the
+     [Gc.minor_words] calls themselves and stray constants, but a
+     single boxed value per iteration (>= 2000 words) would trip it. *)
+  with_modes ~fast:true ~fusion:true (fun () ->
+      let sim = Sched.create Config.default in
+      let per_iter = ref infinity in
+      Sched.run sim (fun () ->
+          let lk = Cthreads.Spin.create ~node:0 () in
+          Cthreads.Spin.lock lk;
+          Cthreads.Spin.unlock lk;
+          let iters = 1_000 in
+          let before = Gc.minor_words () in
+          for _ = 1 to iters do
+            Cthreads.Spin.lock lk;
+            Cthreads.Spin.unlock lk
+          done;
+          per_iter := (Gc.minor_words () -. before) /. float_of_int iters);
+      if !per_iter >= 1.0 then
+        Alcotest.failf "fast spin iteration allocates: %.2f minor words/iter"
+          !per_iter)
+
+let suite =
+  [
+    Alcotest.test_case "soak A/B" `Quick test_soak;
+    Alcotest.test_case "soak A/B uniprocessor" `Quick test_soak_uniprocessor;
+    Alcotest.test_case "analysis A/B" `Quick test_analysis;
+    Alcotest.test_case "chaos A/B" `Quick test_chaos;
+    Alcotest.test_case "policy A/B" `Quick test_policy;
+    Alcotest.test_case "objects A/B" `Quick test_objects;
+    Alcotest.test_case "table5 A/B" `Quick test_table5;
+    Alcotest.test_case "fig1 csv A/B" `Quick test_fig1_csv;
+    Alcotest.test_case "fast path allocation" `Quick test_fast_path_allocation;
+  ]

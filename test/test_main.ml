@@ -28,4 +28,5 @@ let () =
       ("faults", Test_faults.suite);
       ("objects", Test_objects.suite);
       ("policy_check", Test_policy_check.suite);
+      ("fastpath", Test_fastpath.suite);
     ]

@@ -83,6 +83,16 @@ let test_peek_does_not_remove () =
   | _ -> Alcotest.fail "peek mismatch");
   check_int "still there" 1 (Engine.Pqueue.size q)
 
+let test_peek_min_key () =
+  let q = Engine.Pqueue.create ~dummy:"" () in
+  check_int "empty -> max_int" max_int (Engine.Pqueue.peek_min_key q);
+  Engine.Pqueue.add q ~key:7 "a";
+  Engine.Pqueue.add q ~key:2 "b";
+  check_int "smallest key" 2 (Engine.Pqueue.peek_min_key q);
+  check_int "no removal" 2 (Engine.Pqueue.size q);
+  ignore (Engine.Pqueue.pop_min_exn q);
+  check_int "tracks the new min" 7 (Engine.Pqueue.peek_min_key q)
+
 let test_clear () =
   let q = Engine.Pqueue.create ~dummy:() () in
   List.iter (fun k -> Engine.Pqueue.add q ~key:k ()) [ 3; 1; 2 ];
@@ -149,6 +159,7 @@ let suite =
     Alcotest.test_case "grow across drain" `Quick test_grow_across_drain;
     Alcotest.test_case "pop_min_exn" `Quick test_pop_min_exn;
     Alcotest.test_case "peek" `Quick test_peek_does_not_remove;
+    Alcotest.test_case "peek_min_key" `Quick test_peek_min_key;
     Alcotest.test_case "clear" `Quick test_clear;
     Alcotest.test_case "interleaved" `Quick test_interleaved_add_pop;
     QCheck_alcotest.to_alcotest prop_drain_sorted;
