@@ -119,6 +119,54 @@ let bench_locking_cycle kind () =
       Cthreads.Cthread.join owner;
       Cthreads.Cthread.join waiter)
 
+let bench_switch_handoff fixed () =
+  (* A contended handoff through the switch lock, pinned to one
+     implementation: the implementation-as-attribute fast path. *)
+  one_sim (fun () ->
+      let lk = Locks.Switch_lock.create ~fixed ~home:1 () in
+      let owner =
+        Cthreads.Cthread.fork ~proc:2 (fun () ->
+            Locks.Switch_lock.lock lk;
+            Cthreads.Cthread.work 200_000;
+            Locks.Switch_lock.unlock lk)
+      in
+      let waiter =
+        Cthreads.Cthread.fork ~proc:3 (fun () ->
+            Cthreads.Cthread.work 50_000;
+            Locks.Switch_lock.lock lk;
+            Locks.Switch_lock.unlock lk)
+      in
+      Cthreads.Cthread.join owner;
+      Cthreads.Cthread.join waiter)
+
+let bench_switch_swap () =
+  (* One full quiescence swap — freeze, kick, drain, commit — with a
+     live waiter to migrate across the window. *)
+  one_sim (fun () ->
+      let module SL = Locks.Switch_lock in
+      let lk = SL.create ~fixed:SL.Tas ~home:1 () in
+      let holder =
+        Cthreads.Cthread.fork ~proc:2 (fun () ->
+            SL.lock lk;
+            let rec settle n =
+              if n > 0 && SL.waiting_now lk < 1 then begin
+                Cthreads.Cthread.delay 10_000;
+                settle (n - 1)
+              end
+            in
+            settle 100;
+            ignore (SL.swap_to lk SL.Mcs);
+            SL.unlock lk)
+      in
+      let waiter =
+        Cthreads.Cthread.fork ~proc:3 (fun () ->
+            Cthreads.Cthread.work 20_000;
+            SL.lock lk;
+            SL.unlock lk)
+      in
+      Cthreads.Cthread.join holder;
+      Cthreads.Cthread.join waiter)
+
 let bench_configuration () =
   (* The unit of Table 8: reconfiguration operations. *)
   one_sim (fun () ->
@@ -171,6 +219,8 @@ let micro_benchmarks =
     ("table6: contended handoff (blocking)", bench_locking_cycle Locks.Lock.Blocking);
     ("table7: contended handoff (adaptive)", bench_locking_cycle Locks.Lock.adaptive_default);
     ("table8: configuration operations", bench_configuration);
+    ("switch: contended handoff (mcs)", bench_switch_handoff Locks.Switch_lock.Mcs);
+    ("switch: quiescence swap (tas->mcs)", bench_switch_swap);
     ("fig1: one sweep cell", bench_fig1_point);
     ("fig4-9: traced TSP run (mini)", bench_tsp_traced);
   ]

@@ -138,6 +138,26 @@ let ablation_cmds =
         Experiments.Report.print_advisory ());
   ]
 
+let ablation_locks_cmd =
+  let doc =
+    "Implementation-as-attribute ablation: the switch lock's contention sweep under \
+     each pinned implementation (TAS, MCS queue, blocking) and under the adaptive \
+     ladder. Exits non-zero unless the adaptive variant beats the worst pinned \
+     variant at every regime and stays within 5% of the best at the sweep extremes. \
+     With --csv-dir, writes ABLATION_LOCKS_results.json (byte-identical at any \
+     --domains)."
+  in
+  let run csv_dir domains =
+    set_domains domains;
+    let ok = Experiments.Report.print_switch_locks ?csv_dir () in
+    (match csv_dir with
+    | Some dir ->
+      Printf.printf "wrote %s\n" (Filename.concat dir "ABLATION_LOCKS_results.json")
+    | None -> ());
+    if not ok then exit 1
+  in
+  Cmd.v (Cmd.info "ablation-locks" ~doc) Term.(const run $ csv_dir $ domains)
+
 let objects_cmd =
   let doc =
     "Run the sync-objects workload (one of each adaptive object: lock, rw-lock, \
@@ -359,7 +379,14 @@ let chaos_cmd =
     Arg.(value & opt (some string) None
          & info [ "scenario" ] ~docv:"NAME" ~doc:"Restrict the sweep to one scenario.")
   in
-  let run seeds quick plan scenario_name csv_dir domains =
+  let swap_faults =
+    Arg.(value & flag
+         & info [ "swap-faults" ]
+             ~doc:
+               "Also draw swap-window faults (drain stalls and kills timed to land \
+                inside a switch-lock implementation swap) into the generated plans.")
+  in
+  let run seeds quick plan scenario_name swap_faults csv_dir domains =
     set_domains domains;
     let scenarios = Analysis_suite.shipped () in
     let scenarios =
@@ -378,7 +405,7 @@ let chaos_cmd =
         List.map (fun s -> Chaos.replay ~scenario:s ~plan) scenarios
       | None ->
         let n = if quick then 2 else max 1 seeds in
-        Chaos.sweep ~seeds:(List.init n (fun i -> i + 1)) ~scenarios ()
+        Chaos.sweep ~swap_faults ~seeds:(List.init n (fun i -> i + 1)) ~scenarios ()
     in
     List.iter
       (fun r ->
@@ -416,7 +443,9 @@ let chaos_cmd =
     if List.exists (fun r -> not (Chaos.passed r)) results then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
-    Term.(const run $ seeds $ quick $ plan $ scenario_filter $ csv_dir $ domains)
+    Term.(
+      const run $ seeds $ quick $ plan $ scenario_filter $ swap_faults $ csv_dir
+      $ domains)
 
 let () =
   let doc = "Reproduce the tables and figures of Mukherjee & Schwan, GIT-CC-93/17" in
@@ -428,4 +457,5 @@ let () =
           ((all_cmd :: bench_cmd :: analyze_cmd :: check_policies_cmd :: chaos_cmd
             :: objects_cmd :: fig1_cmd
             :: tsp_cmd :: table_cmds)
-          @ single_table_cmds @ single_fig_cmds @ ablation_cmds)))
+          @ single_table_cmds @ single_fig_cmds @ ablation_cmds
+          @ [ ablation_locks_cmd ])))

@@ -384,11 +384,103 @@ let guard_gaps (spec : Spec.t) =
     in
     dead_under_clamp @ wedge_gap @ fallback_sink
 
+(* ---- implementation-ladder obligations ----
+
+   A spec with [s_kind = "lock-impl"] drives which {e implementation} a
+   lock runs, and every transition is a full quiescence-protocol swap
+   (freeze, kick, drain, commit). Two obligations on top of the generic
+   checks. First, the guardrail's metric clamp must not cut off an
+   implementation the unclamped ladder could reach: the configuration
+   stays declared but no observable metric can ever earn it (distinct
+   from [dead-config], which judges only the clamped axis and cannot
+   say the clamp itself is what severed the path). Second, every swap
+   transition needs real hysteresis ([t_repeats >= 2]): a swap firing
+   on a single sample opens a freeze-kick-drain window — and migrates
+   every waiter — on any metric blip. *)
+let impl_ladder_faults (spec : Spec.t) =
+  if spec.Spec.s_kind <> "lock-impl" then []
+  else begin
+    (* Reachability along first-match edges plus the fallback edge,
+       over a given region decomposition of the metric axis. *)
+    let reachable rs =
+      let edges v =
+        List.filter_map
+          (fun r ->
+            Option.map (fun (_, t) -> t.Spec.t_target) (first_match spec v r.r_lo))
+          rs
+        @ (match spec.Spec.s_guard with Some g -> [ g.Spec.g_fallback ] | None -> [])
+      in
+      let visited = Hashtbl.create 16 in
+      let rec bfs v =
+        if not (Hashtbl.mem visited v) then begin
+          Hashtbl.add visited v ();
+          List.iter bfs (edges v)
+        end
+      in
+      bfs spec.Spec.s_initial;
+      visited
+    in
+    let clamped_out =
+      match spec.Spec.s_guard with
+      | None -> []
+      | Some g ->
+        let unclamped = reachable (regions { spec with Spec.s_guard = None }) in
+        let clamped = reachable (regions spec) in
+        List.filter_map
+          (fun v ->
+            if Hashtbl.mem unclamped v && not (Hashtbl.mem clamped v) then
+              Some
+                {
+                  f_kind = "impl-clamped-out";
+                  f_spec = spec.Spec.s_name;
+                  f_configs = [ Spec.config_name spec v ];
+                  f_region = None;
+                  f_message =
+                    Printf.sprintf
+                      "implementation %s (id %d) is reachable by the unclamped \
+                       ladder but the guardrail clamp [%d, %d] cuts off every \
+                       path to it: the lock can never earn that implementation"
+                      (Spec.config_name spec v) v g.Spec.g_clamp_lo
+                      g.Spec.g_clamp_hi;
+                }
+            else None)
+          (config_values spec)
+    in
+    let no_hysteresis =
+      List.filter_map
+        (fun t ->
+          if t.Spec.t_repeats < 2 then
+            Some
+              {
+                f_kind = "swap-no-hysteresis";
+                f_spec = spec.Spec.s_name;
+                f_configs =
+                  [
+                    Spec.config_name spec t.Spec.t_from;
+                    Spec.config_name spec t.Spec.t_target;
+                  ];
+                f_region = None;
+                f_message =
+                  Printf.sprintf
+                    "swap transition %s (%s -> %s) fires after a single sample \
+                     (t_repeats = %d): an implementation swap runs a \
+                     freeze-kick-drain window and needs hysteresis (>= 2)"
+                    t.Spec.t_label
+                    (Spec.config_name spec t.Spec.t_from)
+                    (Spec.config_name spec t.Spec.t_target)
+                    t.Spec.t_repeats;
+              }
+          else None)
+        spec.Spec.s_transitions
+    in
+    clamped_out @ no_hysteresis
+  end
+
 let check (spec : Spec.t) =
   match Spec.validate spec with
   | [] ->
     thrash_cycles spec @ dead_configs spec @ dead_transitions spec
-    @ threshold_faults spec @ guard_gaps spec
+    @ threshold_faults spec @ guard_gaps spec @ impl_ladder_faults spec
   | errs ->
     List.map
       (fun e ->
@@ -488,6 +580,7 @@ let shipped () =
     Locks.Adaptive_lock.policy_spec ();
     Locks.Adaptive_lock.policy_spec ~guardrail:Locks.Guardrail.default_params
       ~name:"adaptive-lock-guarded" ();
+    Locks.Switch_lock.policy_spec ();
     Locks.Rw_lock.policy_spec ();
     Cthreads.Adaptive_barrier.policy_spec ();
     Cthreads.Adaptive_condition.policy_spec ();

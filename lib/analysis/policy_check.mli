@@ -28,6 +28,16 @@
     - {b guardrail-gap}: a transition or wedge condition lying
       entirely outside the guard's metric clamp, or a fallback
       configuration that is a sink;
+    - {b impl-clamped-out} (implementation ladders,
+      [s_kind = "lock-impl"] only): an implementation the unclamped
+      ladder can reach that the guardrail's metric clamp cuts off —
+      the configuration stays declared but no observable metric can
+      ever earn it;
+    - {b swap-no-hysteresis} (implementation ladders only): a swap
+      transition firing after a single enabling sample
+      ([t_repeats < 2]) — an implementation swap runs a full
+      freeze-kick-drain quiescence window, so a hysteresis-free ladder
+      thrashes through swap windows on metric blips;
     - {b cross-object-conflict}: two specs naming the same
       [s_attribute] whose combined step relations cycle while both
       metrics stay put (each policy stable alone, unstable together);
@@ -61,7 +71,8 @@ val conflicts :
 
 val shipped : unit -> Adaptive_core.Policy.Spec.t list
 (** The specs of every shipped adaptive object's default policy:
-    adaptive lock (plain and guardrailed), rw-lock preference,
+    adaptive lock (plain and guardrailed), the switch-lock
+    implementation ladder, rw-lock preference,
     barrier/condition/semaphore. Pure data — needs no simulation. *)
 
 type spec_report = {

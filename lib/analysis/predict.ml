@@ -62,15 +62,39 @@ type lost_wakeup_prediction = {
   lw_waker_req_nth : int;  (* nth request of [lw_lock] by the waker *)
 }
 
+(* The swap-window rules watch implementation hot-swaps (the
+   [A_adaptation] windows a switch lock emits around its
+   freeze-kick-drain protocol) for the two protocol-fatal outcomes: a
+   sleeping waiter still parked when the swap commits (the new
+   implementation never learns of it — it sleeps forever), and two
+   threads holding the lock at once after a grant raced the window. *)
+type swap_fault = Sw_lost_waiter | Sw_double_grant
+
+type swap_prediction = {
+  sw_fault : swap_fault;
+  sw_obj : string;  (* the adaptation object's name (= the lock's) *)
+  sw_lock : key;
+  sw_victim : int;  (* the lost sleeper, or the second grantee *)
+  sw_victim_time : int;  (* when it blocked / when it acquired *)
+  sw_victim_block_nth : int;  (* block-point count (lost waiter) *)
+  sw_victim_req_nth : int;  (* nth request of the lock by the victim *)
+  sw_other : int;  (* the committing swapper, or the first holder *)
+  sw_time : int;  (* the commit / the overlapping acquire *)
+  sw_label : string;  (* the swap's from->to label, when known *)
+}
+
 type prediction =
   | Race of race_prediction
   | Deadlock of deadlock_prediction
   | Lost_wakeup of lost_wakeup_prediction
+  | Swap_window of swap_prediction
 
 let rule = function
   | Race _ -> "predicted-race"
   | Deadlock _ -> "predicted-deadlock"
   | Lost_wakeup _ -> "predicted-lost-wakeup"
+  | Swap_window { sw_fault = Sw_lost_waiter; _ } -> "predicted-swap-lost-waiter"
+  | Swap_window { sw_fault = Sw_double_grant; _ } -> "predicted-swap-double-grant"
 
 let locks_str = function
   | [] -> "no locks"
@@ -101,6 +125,20 @@ let describe ~names = function
        ns); reordered, the sleeper takes the lock first and the wakeup is never sent"
       (names lw.lw_victim) lw.lw_victim_time lw.lw_lock_name (names lw.lw_waker)
       lw.lw_lock_name lw.lw_waker_time
+  | Swap_window sw -> (
+    match sw.sw_fault with
+    | Sw_lost_waiter ->
+      Printf.sprintf
+        "switch lock %s: sleeping waiter %s (blocked at %d ns) is still parked when \
+         the swap %s commits at %d ns by %s — no wakeup reached it inside the window, \
+         so the new implementation never learns of it"
+        sw.sw_obj (names sw.sw_victim) sw.sw_victim_time sw.sw_label sw.sw_time
+        (names sw.sw_other)
+    | Sw_double_grant ->
+      Printf.sprintf
+        "switch lock %s: %s acquires at %d ns while %s still holds — a grant escaped \
+         the swap window and the lock is held twice"
+        sw.sw_obj (names sw.sw_victim) sw.sw_time (names sw.sw_other))
 
 (* Same exemption rules as the observed-trace race detector: sync and
    relaxed word marks, plus every word an atomic ever touched. *)
@@ -149,6 +187,13 @@ type state = {
   pending_tokens : (int, (int * int) Queue.t) Hashtbl.t;  (* victim -> (waker, send idx) *)
   lw_tbl : (int * int * key, unit) Hashtbl.t;
   mutable lost_wakeups : lost_wakeup_prediction list;  (* newest first *)
+  (* swap-window ingredients *)
+  waiting_on : (int, key * string) Hashtbl.t;  (* open lock request *)
+  asleep : (int, int * int) Hashtbl.t;  (* tid -> block nth, block time *)
+  impl_objs : (string, unit) Hashtbl.t;  (* names seen in lock-impl swaps *)
+  holders : (key, (int * int) list) Hashtbl.t;  (* owners, newest first *)
+  sw_tbl : (int * string * swap_fault, unit) Hashtbl.t;
+  mutable swaps : swap_prediction list;  (* newest first *)
 }
 
 let held st tid = match Hashtbl.find_opt st.held tid with Some l -> l | None -> []
@@ -313,8 +358,10 @@ let on_event st idx (ev : Sched.event) =
   (match ev.kind with
   | Sched.Ev_block ->
     let nth = bump st.block_counts ev.tid in
-    Hashtbl.replace st.last_block ev.tid (held st ev.tid, nth)
+    Hashtbl.replace st.last_block ev.tid (held st ev.tid, nth);
+    Hashtbl.replace st.asleep ev.tid (nth, ev.time)
   | Sched.Ev_token_use ->
+    Hashtbl.remove st.asleep ev.tid;
     let nth = bump st.block_counts ev.tid in
     let waker_and_idx =
       match Hashtbl.find_opt st.pending_tokens ev.tid with
@@ -339,6 +386,7 @@ let on_event st idx (ev : Sched.event) =
       Queue.add (ev.other, idx) q
     end
   | Sched.Ev_wakeup ->
+    Hashtbl.remove st.asleep ev.tid;
     if ev.other >= 0 then (
       match Hashtbl.find_opt st.last_block ev.tid with
       | Some (victim_held, nth) when victim_held <> [] ->
@@ -351,12 +399,91 @@ let on_event st idx (ev : Sched.event) =
      edge itself must not order the pair it is evidence for). *)
   Causality.on_event st.cau ev
 
+(* {2 The swap-window rules}
+
+   An implementation hot-swap announces itself on the trace as
+   [A_adaptation] annotations with kind ["lock-impl"]: "swap-begin:",
+   then "swap-commit:" or "swap-rollback:". The quiescence protocol's
+   contract is that by commit time every registered waiter has been
+   kicked awake and re-armed — so a thread still asleep inside an open
+   request of the swapped lock at the commit is a waiter the committed
+   implementation has no record of, and nothing will ever wake it.
+   Dually, an acquire of a swap-managed lock while another thread's
+   acquire is still unreleased is a grant that escaped the window. *)
+
+let has_prefix p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let note_swap st sw =
+  let k = (sw.sw_victim, sw.sw_obj, sw.sw_fault) in
+  if not (Hashtbl.mem st.sw_tbl k) then begin
+    Hashtbl.replace st.sw_tbl k ();
+    st.swaps <- sw :: st.swaps
+  end
+
+let on_swap_commit st (an : Sched.annot) ~obj_name ~label =
+  let victims = ref [] in
+  Hashtbl.iter
+    (fun tid (k, lname) ->
+      if lname = obj_name && tid <> an.annot_tid then
+        match Hashtbl.find_opt st.asleep tid with
+        | Some (nth, btime) -> victims := (tid, k, nth, btime) :: !victims
+        | None -> ())
+    st.waiting_on;
+  List.iter
+    (fun (tid, k, nth, btime) ->
+      note_swap st
+        {
+          sw_fault = Sw_lost_waiter;
+          sw_obj = obj_name;
+          sw_lock = k;
+          sw_victim = tid;
+          sw_victim_time = btime;
+          sw_victim_block_nth = nth;
+          sw_victim_req_nth =
+            (match Hashtbl.find_opt st.request_counts (tid, k) with
+            | Some n -> n
+            | None -> 1);
+          sw_other = an.annot_tid;
+          sw_time = an.annot_time;
+          sw_label = label;
+        })
+    (List.sort compare !victims)
+
+let on_impl_acquire st (an : Sched.annot) k lock_name =
+  let prior = match Hashtbl.find_opt st.holders k with Some l -> l | None -> [] in
+  (if Hashtbl.mem st.impl_objs lock_name then
+     match prior with
+     | (other, _) :: _ when other <> an.annot_tid ->
+       note_swap st
+         {
+           sw_fault = Sw_double_grant;
+           sw_obj = lock_name;
+           sw_lock = k;
+           sw_victim = an.annot_tid;
+           sw_victim_time = an.annot_time;
+           sw_victim_block_nth = 0;
+           sw_victim_req_nth =
+             (match Hashtbl.find_opt st.request_counts (an.annot_tid, k) with
+             | Some n -> n
+             | None -> 1);
+           sw_other = other;
+           sw_time = an.annot_time;
+           sw_label = "";
+         }
+     | _ -> ());
+  Hashtbl.replace st.holders k ((an.annot_tid, an.annot_time) :: prior)
+
 let on_annot st idx (an : Sched.annot) =
   match an.annotation with
-  | Ops.A_lock_request { lock; lock_name } -> on_request st idx an lock lock_name
+  | Ops.A_lock_request { lock; lock_name } ->
+    Hashtbl.replace st.waiting_on an.annot_tid (key lock, lock_name);
+    on_request st idx an lock lock_name
   | Ops.A_lock_acquire { lock; lock_name; _ } ->
     let tid = an.annot_tid in
     let k = key lock in
+    Hashtbl.remove st.waiting_on tid;
+    on_impl_acquire st an k lock_name;
     Causality.on_acquire st.cau ~tid ~lock:k;
     Hashtbl.replace st.acquires (tid, k)
       { a_comp = Causality.epoch st.cau tid; a_snap = Causality.snapshot st.cau tid };
@@ -364,13 +491,27 @@ let on_annot st idx (an : Sched.annot) =
   | Ops.A_lock_release { lock; _ } ->
     let tid = an.annot_tid in
     let k = key lock in
+    (* A thread releasing a lock is certainly not parked inside an
+       earlier [lock] call: drop any stale open request (a timed-out
+       wait leaves one behind — there is no withdrawal annotation). *)
+    Hashtbl.remove st.waiting_on tid;
+    (match Hashtbl.find_opt st.holders k with
+    | Some l -> Hashtbl.replace st.holders k (List.filter (fun (t, _) -> t <> tid) l)
+    | None -> ());
     let rec remove = function
       | [] -> []
       | ((k', _) as e) :: rest -> if k' = k then rest else e :: remove rest
     in
     Hashtbl.replace st.held tid (remove (held st tid));
     Causality.on_release st.cau ~tid ~lock:k
-  | Ops.A_sync_word _ | Ops.A_relaxed_word _ | Ops.A_adaptation _ -> ()
+  | Ops.A_adaptation { obj_name; kind; label } ->
+    if kind = "lock-impl" then begin
+      Hashtbl.replace st.impl_objs obj_name ();
+      if has_prefix "swap-commit:" label then
+        on_swap_commit st an ~obj_name
+          ~label:(String.sub label 12 (String.length label - 12))
+    end
+  | Ops.A_sync_word _ | Ops.A_relaxed_word _ -> ()
 
 (* Pair up reverse edges into deadlock predictions: (H, L) by thread A
    and (L, H) by thread B, weakly unordered requests, and no gate lock
@@ -438,6 +579,12 @@ let run trace =
       pending_tokens = Hashtbl.create 64;
       lw_tbl = Hashtbl.create 8;
       lost_wakeups = [];
+      waiting_on = Hashtbl.create 64;
+      asleep = Hashtbl.create 64;
+      impl_objs = Hashtbl.create 8;
+      holders = Hashtbl.create 64;
+      sw_tbl = Hashtbl.create 8;
+      swaps = [];
     }
   in
   Trace.iteri
@@ -449,3 +596,4 @@ let run trace =
   List.rev_map (fun r -> Race r) st.races
   @ deadlocks st
   @ List.rev_map (fun lw -> Lost_wakeup lw) st.lost_wakeups
+  @ List.rev_map (fun sw -> Swap_window sw) st.swaps

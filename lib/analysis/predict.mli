@@ -64,18 +64,50 @@ type lost_wakeup_prediction = {
   lw_waker_req_nth : int;  (** nth request of [lw_lock] by the waker *)
 }
 
+type swap_fault =
+  | Sw_lost_waiter
+      (** a sleeping waiter was still parked when the swap committed:
+          the kick missed it, so the committed implementation has no
+          record of it and nothing will ever wake it *)
+  | Sw_double_grant
+      (** a thread acquired the lock while another thread's acquire
+          was still unreleased: a grant escaped the swap window *)
+
+type swap_prediction = {
+  sw_fault : swap_fault;
+  sw_obj : string;  (** the adaptation object's name (= the lock's) *)
+  sw_lock : key;
+  sw_victim : int;  (** the lost sleeper, or the second grantee *)
+  sw_victim_time : int;  (** when it blocked / when it acquired *)
+  sw_victim_block_nth : int;
+      (** 1-based count of the victim's block points (lost waiter) *)
+  sw_victim_req_nth : int;  (** nth request of the lock by the victim *)
+  sw_other : int;  (** the committing swapper, or the first holder *)
+  sw_time : int;  (** the commit / the overlapping acquire *)
+  sw_label : string;  (** the swap's from->to label, when known *)
+}
+(** A swap-window finding: the implementation hot-swap windows a
+    switch lock announces with [A_adaptation] (kind ["lock-impl"])
+    annotations, checked for the two protocol-fatal outcomes. Unlike
+    the reordering rules these fire on the observed schedule itself;
+    they are still candidates until {!Witness} replays them (a
+    timed-out request followed by an unrelated block point can alias a
+    sleeping waiter — witness replay screens such candidates out). *)
+
 type prediction =
   | Race of race_prediction
   | Deadlock of deadlock_prediction
   | Lost_wakeup of lost_wakeup_prediction
+  | Swap_window of swap_prediction
 
 val rule : prediction -> string
-(** ["predicted-race"], ["predicted-deadlock"] or
-    ["predicted-lost-wakeup"]. *)
+(** ["predicted-race"], ["predicted-deadlock"],
+    ["predicted-lost-wakeup"], ["predicted-swap-lost-waiter"] or
+    ["predicted-swap-double-grant"]. *)
 
 val describe : names:(int -> string) -> prediction -> string
 
 val run : Trace.t -> prediction list
 (** Analyze a recorded trace. Deterministic: same trace, same
     predictions in the same order (races in discovery order, then
-    deadlocks, then lost wakeups). *)
+    deadlocks, then lost wakeups, then swap-window findings). *)

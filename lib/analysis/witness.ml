@@ -124,10 +124,39 @@ let plan_of_lost_wakeup (lw : Predict.lost_wakeup_prediction) =
           [ lw.Predict.lw_lock ] ) ];
     p_chase = None; p_expect_deadlock = true }
 
+(* Swap-window lost waiter: the finding is on the observed schedule
+   itself, so no steering is needed — wait for the victim's block
+   point to confirm it really parks inside the lock call, then let the
+   run finish on its own; manifestation is the machine's deadlock
+   abort (the unkicked sleeper is never woken, so whoever joins or
+   needs it wedges the machine). *)
+let plan_of_swap_lost (sw : Predict.swap_prediction) =
+  { p_holds = [];
+    p_waits =
+      [ ( M_block { m_tid = sw.Predict.sw_victim;
+                    m_nth = sw.Predict.sw_victim_block_nth }, [] ) ];
+    p_chase = None; p_expect_deadlock = true }
+
+(* Swap-window double grant: likewise observed, not reordered — replay
+   the run unsteered past the second grantee's request and let the
+   independent overlapping-ownership scan over the witness trace be
+   the manifestation check. *)
+let plan_of_swap_double (sw : Predict.swap_prediction) =
+  { p_holds = [];
+    p_waits =
+      [ ( M_request { m_tid = sw.Predict.sw_victim;
+                      m_lock = sw.Predict.sw_lock;
+                      m_nth = sw.Predict.sw_victim_req_nth }, [] ) ];
+    p_chase = None; p_expect_deadlock = false }
+
 let synthesize trace = function
   | Predict.Race r -> plan_of_race trace r
   | Predict.Deadlock d -> plan_of_deadlock d
   | Predict.Lost_wakeup lw -> plan_of_lost_wakeup lw
+  | Predict.Swap_window sw -> (
+    match sw.Predict.sw_fault with
+    | Predict.Sw_lost_waiter -> plan_of_swap_lost sw
+    | Predict.Sw_double_grant -> plan_of_swap_double sw)
 
 (* {2 The steering engine} *)
 
@@ -427,6 +456,23 @@ let detector_flags_race info (r : Predict.race_prediction) =
     (fun (d : Diag.t) -> contains d.Diag.message needle)
     (Race.run ~names:info.ri_names info.ri_trace)
 
+(* The independent check behind a double-grant Confirmed: the witness
+   trace itself must show two unreleased acquires of the word at once. *)
+let trace_shows_double_hold info (sw : Predict.swap_prediction) =
+  let holding = ref 0 and overlap = ref false in
+  Trace.iter
+    (function
+      | Trace.Annot { annotation = Ops.A_lock_acquire { lock; _ }; _ }
+        when Causality.key lock = sw.Predict.sw_lock ->
+        incr holding;
+        if !holding > 1 then overlap := true
+      | Trace.Annot { annotation = Ops.A_lock_release { lock; _ }; _ }
+        when Causality.key lock = sw.Predict.sw_lock ->
+        decr holding
+      | _ -> ())
+    info.ri_trace;
+  !overlap
+
 let run_plan cfg program prediction plan =
   let mon = make_monitor plan in
   let info = steered_run cfg program mon in
@@ -443,6 +489,10 @@ let run_plan cfg program prediction plan =
     match prediction with
     | Predict.Race r -> detector_flags_race info r
     | Predict.Deadlock _ | Predict.Lost_wakeup _ -> true
+    | Predict.Swap_window sw -> (
+      match sw.Predict.sw_fault with
+      | Predict.Sw_lost_waiter -> true
+      | Predict.Sw_double_grant -> trace_shows_double_hold info sw)
   in
   let replay_ok = checked && replay_matches cfg program info in
   {

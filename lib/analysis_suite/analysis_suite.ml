@@ -85,6 +85,57 @@ let primitives () =
   in
   Cthread.join_all ts
 
+(* The switch lock, shipped shape: the implementation ladder under a
+   contention ramp (tas -> mcs under queue pressure, back to tas when
+   it drains), then a sleeper kicked awake and migrated across an
+   explicit blocking -> mcs swap — the quiescence protocol's own
+   negative control for the swap-window predictor, which must stay
+   silent on every window this program opens. *)
+let switch_lock_program () =
+  let module SL = Locks.Switch_lock in
+  let lk = SL.create ~name:"switch-adaptive" ~home:0 () in
+  let worker i =
+    Cthread.fork ~name:(Printf.sprintf "sw%d" i) ~proc:(1 + (i mod 3)) (fun () ->
+        for _ = 1 to 8 do
+          SL.lock lk;
+          Cthread.work 18_000;
+          SL.unlock lk;
+          Cthread.delay 3_000
+        done)
+  in
+  Cthread.join_all (List.init 5 worker);
+  for _ = 1 to 6 do
+    SL.lock lk;
+    Cthread.work 2_000;
+    SL.unlock lk;
+    Cthread.delay 5_000
+  done;
+  (* a sleeper kicked awake and migrated across a live swap window *)
+  let mg = SL.create ~name:"switch-migrate" ~fixed:SL.Blocking ~home:1 () in
+  let swapper =
+    Cthread.fork ~name:"swapper" ~proc:1 (fun () ->
+        SL.lock mg;
+        let rec settle n =
+          if n > 0 && SL.waiting_now mg < 1 then begin
+            Cthread.delay 20_000;
+            settle (n - 1)
+          end
+        in
+        settle 200;
+        Cthread.delay 150_000;
+        ignore (SL.swap_to mg SL.Mcs);
+        Cthread.work 30_000;
+        SL.unlock mg)
+  in
+  let sleeper =
+    Cthread.fork ~name:"sleeper" ~proc:2 (fun () ->
+        SL.lock mg;
+        Cthread.work 10_000;
+        SL.unlock mg)
+  in
+  Cthread.join swapper;
+  Cthread.join sleeper
+
 let csweep_spec kind =
   {
     Workloads.Csweep.default with
@@ -194,6 +245,13 @@ let shipped () =
       expect = Clean;
       predicts = [];
     };
+    {
+      scenario_name = "switch-lock";
+      config = config 4 ~seed:53;
+      program = switch_lock_program;
+      expect = Clean;
+      predicts = [];
+    };
     client_server "fcfs" Locks.Lock_sched.Fcfs false;
     client_server "priority" Locks.Lock_sched.Priority false;
     client_server "handoff" Locks.Lock_sched.Handoff true;
@@ -252,6 +310,15 @@ let predict_only () =
     scenario "gated-order"
       ~expect:(Flags [ "lock-order-cycle" ])
       Workloads.Buggy.gated_order [];
+    (* The swap-window pair carries its bug on the observed schedule
+       (a wedged join / a crashed unlock); the swap-window rules must
+       name the protocol violation and witness replay must confirm. *)
+    scenario "swap-lost-waiter"
+      ~expect:(Flags [ "deadlock" ])
+      Workloads.Buggy.swap_lost_waiter [ "predicted-swap-lost-waiter" ];
+    scenario "swap-double-grant"
+      ~expect:(Flags [ "unlock-not-held" ])
+      Workloads.Buggy.swap_double_grant [ "predicted-swap-double-grant" ];
   ]
 
 let all () = shipped () @ buggy () @ predict_only ()
@@ -375,6 +442,24 @@ let policy_fixtures () =
       Spec.s_attribute = "fixture.shared-mode";
     }
   in
+  (* The real switch-lock implementation ladder with a guardrail clamp
+     sized one short of the blocking region: blocking stays declared
+     but the clamped metric can never reach the [>= 100] band that
+     earns it. *)
+  let impl_clamped =
+    Locks.Switch_lock.policy_spec
+      ~guardrail:
+        { Locks.Guardrail.default_params with Locks.Guardrail.clamp_max = 99 }
+      ~name:"fixture-clamped-out-impl" ()
+  in
+  (* The same ladder with its per-transition hysteresis stripped: every
+     swap fires on a single enabling sample, so any metric blip opens a
+     full quiescence window. *)
+  let impl_trigger_happy =
+    Locks.Switch_lock.policy_spec
+      ~params:{ Locks.Switch_lock.default_params with Locks.Switch_lock.repeats = 1 }
+      ~name:"fixture-swap-no-hysteresis" ()
+  in
   [
     ("thrashing-barrier", [ thrasher ], [ "thrash-cycle" ]);
     ("dead-config", [ dead ], [ "dead-config" ]);
@@ -382,6 +467,8 @@ let policy_fixtures () =
     ("shadowed-hysteresis", [ shadowed ], [ "hysteresis-dead"; "dead-config" ]);
     ("clamped-out-guard", [ clamped_out ], [ "guardrail-gap" ]);
     ("conflicting-pair", [ ping; pong ], [ "cross-object-conflict" ]);
+    ("clamped-out-impl", [ impl_clamped ], [ "impl-clamped-out" ]);
+    ("swap-no-hysteresis", [ impl_trigger_happy ], [ "swap-no-hysteresis" ]);
   ]
 
 let check s = Analysis.check s.config s.program

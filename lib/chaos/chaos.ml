@@ -159,27 +159,27 @@ let run_plan ?max_events ~scenario ~seed ~plan () =
     else result
   end
 
-let run_scenario ?(horizon_ns = default_horizon_ns) ~scenario ~seed () =
+let run_scenario ?(horizon_ns = default_horizon_ns) ?swap_faults ~scenario ~seed () =
   (* Mix the scenario name into the plan seed so the sweep doesn't
      replay one fault sequence across the whole catalogue.
      Hashtbl.hash on strings is deterministic, so plans stay
      reproducible from (scenario, seed). *)
   let plan_seed = seed + (1_000_003 * Hashtbl.hash scenario.Analysis_suite.scenario_name) in
   let plan =
-    Faults.Fault_plan.generate ~seed:plan_seed ~cfg:scenario.Analysis_suite.config
-      ~horizon_ns
+    Faults.Fault_plan.generate ?swap_faults ~seed:plan_seed
+      ~cfg:scenario.Analysis_suite.config ~horizon_ns ()
   in
   run_plan ~scenario ~seed ~plan ()
 
 let replay ~scenario ~plan = run_plan ~scenario ~seed:(-1) ~plan ()
 
-let sweep ?domains ?horizon_ns ~seeds ~scenarios () =
+let sweep ?domains ?horizon_ns ?swap_faults ~seeds ~scenarios () =
   let jobs =
     List.concat_map (fun scenario -> List.map (fun seed -> (scenario, seed)) seeds)
       scenarios
   in
   Engine.Runner.map ?domains
-    (fun (scenario, seed) -> run_scenario ?horizon_ns ~scenario ~seed ())
+    (fun (scenario, seed) -> run_scenario ?horizon_ns ?swap_faults ~scenario ~seed ())
     jobs
 
 (* -- JSON rendering (hand-rolled like Experiments.Perf: no host state,

@@ -47,9 +47,16 @@ type result = {
 val passed : result -> bool
 
 val run_scenario :
-  ?horizon_ns:int -> scenario:Analysis_suite.scenario -> seed:int -> unit -> result
+  ?horizon_ns:int ->
+  ?swap_faults:bool ->
+  scenario:Analysis_suite.scenario ->
+  seed:int ->
+  unit ->
+  result
 (** One seeded chaos run. [horizon_ns] (default 3_000_000) bounds the
-    virtual-time window fault times are drawn from. *)
+    virtual-time window fault times are drawn from. [swap_faults]
+    (default false) adds the swap-window fault kinds to the draw —
+    plans from pre-existing seeds are unchanged without it. *)
 
 val replay :
   scenario:Analysis_suite.scenario -> plan:Faults.Fault_plan.t -> result
@@ -59,6 +66,7 @@ val replay :
 val sweep :
   ?domains:int ->
   ?horizon_ns:int ->
+  ?swap_faults:bool ->
   seeds:int list ->
   scenarios:Analysis_suite.scenario list ->
   unit ->

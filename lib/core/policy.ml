@@ -58,6 +58,18 @@ module Guard = struct
 
   let streak t = t.streak
   let fallbacks t = t.fallbacks
+
+  (* A fallback whose apply reported failure (e.g. an implementation
+     swap that rolled back) leaves the object pathological — but
+     [note] has already zeroed the streak and started the cooldown,
+     which would park the guard for [cooldown] further observations
+     plus a whole fresh streak before retrying. Cancel the cooldown
+     and restore the streak to one short of the limit, so the very
+     next pathological observation re-orders the fallback (while a
+     healthy observation still clears it). *)
+  let fallback_failed t =
+    t.cooldown_left <- 0;
+    t.streak <- max 0 (t.limit - 1)
 end
 
 let guarded ~guard ~clamp ~fallback policy obs =
@@ -261,7 +273,11 @@ module Spec = struct
             {
               label = g.g_fallback_label;
               cost = g.g_fallback_cost;
-              apply = (fun () -> apply g.g_fallback);
+              apply =
+                (fun () ->
+                  let ok = apply g.g_fallback in
+                  if not ok then Guard.fallback_failed state;
+                  ok);
             }
         else consult clamped cur
 end

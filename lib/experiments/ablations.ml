@@ -438,3 +438,132 @@ let advisory ?machine ?domains () =
       ("combined(10)", Locks.Lock.Combined 10);
       ("advisory", Locks.Lock.Advisory);
     ]
+
+type switch_row = {
+  sw_point : string;
+  sw_variant : string;
+  sw_total_ns : int;
+  sw_mean_wait_us : float;
+  sw_blocks : int;
+  sw_spin_probes : int;
+  sw_swaps : int;
+  sw_final_impl : string;
+}
+
+(* The implementation-as-attribute ablation (Switch_lock): five
+   contention regimes, each run under the three pinned implementations
+   and under the adaptive ladder. The regimes are chosen so no pinned
+   implementation wins everywhere — plain TAS when the lock is mostly
+   free, the MCS queue when waiters pile up (its probes spin on
+   locally-homed flags instead of hammering the lock's home module),
+   blocking when ownership spans dwarf the deschedule round trip. *)
+let switch_points =
+  [
+    (* label, workers, processors used, iterations, cs_ns, think_ns.
+       The long-hold point oversubscribes its processors (two workers
+       each): a spinning waiter then starves the co-located holder —
+       spin gaps are busy [work], not [delay] — which is exactly when
+       descheduling pays for itself. *)
+    ("uncontended", 2, 7, 40, 4_000, 60_000);
+    ("light", 3, 7, 40, 8_000, 20_000);
+    ("moderate", 5, 7, 30, 15_000, 8_000);
+    ("queued", 7, 7, 30, 25_000, 2_000);
+    ("long-hold", 8, 4, 16, 700_000, 10_000);
+  ]
+
+let switch_locks ?machine ?domains () =
+  let cfg =
+    match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
+  in
+  let cfg = { cfg with Config.processors = max cfg.Config.processors 8 } in
+  let variants =
+    [
+      ("fixed tas", Some Locks.Switch_lock.Tas);
+      ("fixed mcs", Some Locks.Switch_lock.Mcs);
+      ("fixed blocking", Some Locks.Switch_lock.Blocking);
+      ("adaptive", None);
+    ]
+  in
+  let run_one ((point, workers, procs, iters, cs_ns, think_ns), (variant, fixed)) =
+    let module SL = Locks.Switch_lock in
+    let sim = Sched.create cfg in
+    let wait = ref 0.0 and blocks = ref 0 and probes = ref 0 in
+    let swaps = ref 0 and final = ref Locks.Switch_lock.Tas in
+    Sched.run sim (fun () ->
+        let lk = SL.create ?fixed ~name:"ablation-switch" ~home:0 () in
+        let body i () =
+          Cthread.work (i * 3_000);
+          for _ = 1 to iters do
+            SL.lock lk;
+            Cthread.work cs_ns;
+            SL.unlock lk;
+            Cthread.work think_ns
+          done
+        in
+        let ts =
+          List.init workers (fun i -> Cthread.fork ~proc:(1 + (i mod procs)) (body i))
+        in
+        Cthread.join_all ts;
+        let st = SL.stats lk in
+        wait := Locks.Lock_stats.mean_wait_ns st /. 1000.0;
+        blocks := Locks.Lock_stats.blocks st;
+        probes := Locks.Lock_stats.spin_probes st;
+        swaps := SL.epoch lk;
+        final := SL.current_impl lk);
+    {
+      sw_point = point;
+      sw_variant = variant;
+      sw_total_ns = Sched.final_time sim;
+      sw_mean_wait_us = !wait;
+      sw_blocks = !blocks;
+      sw_spin_probes = !probes;
+      sw_swaps = !swaps;
+      sw_final_impl = Locks.Switch_lock.impl_label !final;
+    }
+  in
+  let grid =
+    List.concat_map (fun p -> List.map (fun v -> (p, v)) variants) switch_points
+  in
+  Engine.Runner.map ?domains run_one grid
+
+let switch_gate ?(slack_pct = 5.0) rows =
+  let points = List.map (fun (p, _, _, _, _, _) -> p) switch_points in
+  let extremes = [ List.hd points; List.nth points (List.length points - 1) ] in
+  List.concat_map
+    (fun point ->
+      let at = List.filter (fun r -> r.sw_point = point) rows in
+      match List.partition (fun r -> r.sw_variant = "adaptive") at with
+      | [ adaptive ], (_ :: _ as fixed) ->
+        let worst =
+          List.fold_left (fun acc r -> max acc r.sw_total_ns) min_int fixed
+        in
+        let best =
+          List.fold_left (fun acc r -> min acc r.sw_total_ns) max_int fixed
+        in
+        let beats_worst =
+          if adaptive.sw_total_ns < worst then []
+          else
+            [
+              Printf.sprintf
+                "%s: adaptive (%d ns) does not beat the worst pinned variant (%d ns)"
+                point adaptive.sw_total_ns worst;
+            ]
+        in
+        let near_best =
+          if not (List.mem point extremes) then []
+          else
+            let limit =
+              int_of_float (float_of_int best *. (1.0 +. (slack_pct /. 100.0)))
+            in
+            if adaptive.sw_total_ns <= limit then []
+            else
+              [
+                Printf.sprintf
+                  "%s: adaptive (%d ns) is more than %.1f%% above the best pinned \
+                   variant (%d ns)"
+                  point adaptive.sw_total_ns slack_pct best;
+              ]
+        in
+        beats_worst @ near_best
+      | _ -> [ Printf.sprintf "%s: incomplete variant grid" point ])
+    points

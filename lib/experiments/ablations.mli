@@ -117,3 +117,34 @@ val advisory : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> advisory_r
 (** Section 2's advisory-lock claim: on a workload of randomly short or
     long critical sections, the owner's advice (spin for short, sleep
     for long) should beat any fixed waiting policy. *)
+
+type switch_row = {
+  sw_point : string;  (** contention regime label *)
+  sw_variant : string;  (** "fixed tas" / "fixed mcs" / "fixed blocking" / "adaptive" *)
+  sw_total_ns : int;
+  sw_mean_wait_us : float;
+  sw_blocks : int;
+  sw_spin_probes : int;
+  sw_swaps : int;  (** committed implementation swaps (0 for pinned variants) *)
+  sw_final_impl : string;  (** implementation at the end of the run *)
+}
+
+val switch_points : (string * int * int * int * int * int) list
+(** The sweep grid: (label, workers, processors used, iterations,
+    cs_ns, think_ns). The long-hold point runs two workers per
+    processor, where spinning through a long ownership span starves
+    the co-located holder. *)
+
+val switch_locks : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> switch_row list
+(** The implementation-as-attribute ablation ({!Locks.Switch_lock}):
+    every contention regime of {!switch_points} under each pinned
+    implementation and under the adaptive ladder. No pinned
+    implementation wins everywhere; the adaptive lock must never be
+    the loser. *)
+
+val switch_gate : ?slack_pct:float -> switch_row list -> string list
+(** The acceptance gate over {!switch_locks} rows: the adaptive
+    variant beats the worst pinned variant at every sweep point and
+    lands within [slack_pct] (default 5%) of the best pinned variant
+    at the sweep extremes. Returns human-readable violations (empty =
+    pass). *)

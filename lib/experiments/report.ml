@@ -339,6 +339,78 @@ let print_barriers ?(out = std) ?domains () =
           fixed spin/block)"
        tbl)
 
+let print_switch_locks ?(out = std) ?csv_dir ?domains () =
+  let rows = Ablations.switch_locks ?domains () in
+  let tbl =
+    Repro_stats.Table.create
+      ~headers:
+        [
+          "regime"; "variant"; "total (ms)"; "mean wait (us)"; "blocks";
+          "spin probes"; "swaps"; "final impl";
+        ]
+  in
+  List.iter
+    (fun (r : Ablations.switch_row) ->
+      Repro_stats.Table.add_row tbl
+        [
+          r.Ablations.sw_point;
+          r.Ablations.sw_variant;
+          Repro_stats.Table.ms_of_ns r.Ablations.sw_total_ns;
+          Printf.sprintf "%.1f" r.Ablations.sw_mean_wait_us;
+          string_of_int r.Ablations.sw_blocks;
+          string_of_int r.Ablations.sw_spin_probes;
+          string_of_int r.Ablations.sw_swaps;
+          r.Ablations.sw_final_impl;
+        ])
+    rows;
+  Format.fprintf out "%s@."
+    (Repro_stats.Table.render
+       ~title:
+         "Ablation: lock implementation as the adaptive attribute (TAS / MCS queue / \
+          blocking, pinned vs hot-swapped)"
+       tbl);
+  let violations = Ablations.switch_gate rows in
+  (match violations with
+  | [] ->
+    Format.fprintf out
+      "gate: adaptive beats the worst pinned variant at every regime and stays within \
+       5%% of the best at the extremes@."
+  | vs -> List.iter (fun v -> Format.fprintf out "gate VIOLATION: %s@." v) vs);
+  with_csv csv_dir "ABLATION_LOCKS_results.json" (fun oc ->
+      let b = Buffer.create 2048 in
+      Buffer.add_string b "{\n  \"points\": [\n";
+      List.iteri
+        (fun i (label, workers, procs, iters, cs_ns, think_ns) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"label\": %S, \"workers\": %d, \"processors\": %d, \
+                \"iterations\": %d, \"cs_ns\": %d, \"think_ns\": %d}%s\n"
+               label workers procs iters cs_ns think_ns
+               (if i < List.length Ablations.switch_points - 1 then "," else "")))
+        Ablations.switch_points;
+      Buffer.add_string b "  ],\n  \"rows\": [\n";
+      List.iteri
+        (fun i (r : Ablations.switch_row) ->
+          Buffer.add_string b
+            (Printf.sprintf
+               "    {\"point\": %S, \"variant\": %S, \"total_ns\": %d, \
+                \"mean_wait_us\": %.1f, \"blocks\": %d, \"spin_probes\": %d, \
+                \"swaps\": %d, \"final_impl\": %S}%s\n"
+               r.Ablations.sw_point r.Ablations.sw_variant r.Ablations.sw_total_ns
+               r.Ablations.sw_mean_wait_us r.Ablations.sw_blocks
+               r.Ablations.sw_spin_probes r.Ablations.sw_swaps
+               r.Ablations.sw_final_impl
+               (if i < List.length rows - 1 then "," else "")))
+        rows;
+      Buffer.add_string b "  ],\n";
+      Buffer.add_string b
+        (Printf.sprintf "  \"gate\": {\"slack_pct\": 5.0, \"ok\": %b, \"violations\": [%s]}\n"
+           (violations = [])
+           (String.concat ", " (List.map (Printf.sprintf "%S") violations)));
+      Buffer.add_string b "}\n";
+      output_string oc (Buffer.contents b));
+  violations = []
+
 let print_objects ?(out = std) ?csv_dir ?domains () =
   let r =
     List.hd
@@ -406,5 +478,7 @@ let print_everything ?(out = std) ?csv_dir ?domains () =
   print_barriers ~out ?domains ();
   print_advisory ~out ?domains ();
   print_architecture ~out ?domains ();
+  (let (_ : bool) = print_switch_locks ~out ?csv_dir ?domains () in
+   ());
   Format.fprintf out "=== Adaptive-object registry ===@.@.";
   print_objects ~out ?csv_dir ?domains ()

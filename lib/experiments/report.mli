@@ -34,6 +34,13 @@ val print_advisory : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_architecture : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_barriers : ?out:Format.formatter -> ?domains:int -> unit -> unit
 
+val print_switch_locks :
+  ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> bool
+(** The implementation-as-attribute ablation ({!Ablations.switch_locks})
+    as a table plus its acceptance gate; with [csv_dir], also write
+    [ABLATION_LOCKS_results.json] (byte-identical at any [domains]).
+    Returns whether the gate passed. *)
+
 val print_objects :
   ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
 (** Run the sync-objects workload and dump the adaptive-object registry

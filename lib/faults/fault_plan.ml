@@ -4,6 +4,12 @@ type fault =
   | Proc_stall of { proc : int; ns : int }
   | Thread_kill of { tid : int }
   | Lock_holder_delay of { lock : string; ns : int }
+  | Swap_stall of { obj : string; ns : int }
+      (* stall the swapper inside the next implementation-swap window
+         of [obj] ("*" = any) at/after the event time *)
+  | Swap_kill of { obj : string }
+      (* kill the swapper inside its next swap window — the freeze is
+         left behind for the abandoned-swap recovery to clean up *)
 
 type event = { at_ns : int; fault : fault }
 type t = event list
@@ -14,6 +20,8 @@ let fault_name = function
   | Proc_stall _ -> "proc-stall"
   | Thread_kill _ -> "kill"
   | Lock_holder_delay _ -> "holder-delay"
+  | Swap_stall _ -> "swap-stall"
+  | Swap_kill _ -> "kill-in-swap"
 
 let event_to_string { at_ns; fault } =
   match fault with
@@ -25,6 +33,8 @@ let event_to_string { at_ns; fault } =
   | Thread_kill { tid } -> Printf.sprintf "kill@%d:tid=%d" at_ns tid
   | Lock_holder_delay { lock; ns } ->
     Printf.sprintf "holder-delay@%d:lock=%s,ns=%d" at_ns lock ns
+  | Swap_stall { obj; ns } -> Printf.sprintf "swap-stall@%d:obj=%s,ns=%d" at_ns obj ns
+  | Swap_kill { obj } -> Printf.sprintf "kill-in-swap@%d:obj=%s" at_ns obj
 
 let to_string t = String.concat ";" (List.map event_to_string t)
 
@@ -75,6 +85,8 @@ let parse_event field =
     | "proc-stall" -> Proc_stall { proc = int "proc"; ns = int "ns" }
     | "kill" -> Thread_kill { tid = int "tid" }
     | "holder-delay" -> Lock_holder_delay { lock = str "lock"; ns = int "ns" }
+    | "swap-stall" -> Swap_stall { obj = str "obj"; ns = int "ns" }
+    | "kill-in-swap" -> Swap_kill { obj = str "obj" }
     | k -> fail "Fault_plan.of_string: unknown fault kind %S" k
   in
   { at_ns; fault }
@@ -88,18 +100,21 @@ let of_string s =
   |> List.map parse_event
   |> sort
 
-let generate ~seed ~cfg ~horizon_ns =
+let generate ?(swap_faults = false) ~seed ~cfg ~horizon_ns () =
   if horizon_ns <= 0 then invalid_arg "Fault_plan.generate: horizon_ns must be positive";
   let procs = cfg.Butterfly.Config.processors in
   let rng = Engine.Rng.create seed in
   let count = 1 + Engine.Rng.int rng 3 in
   let at () = Engine.Rng.int_in rng (horizon_ns / 10) horizon_ns in
   let window at = at + Engine.Rng.int_in rng (horizon_ns / 10) (horizon_ns / 2) in
+  (* The swap-window kinds are drawn only when asked for: plans from
+     pre-existing seeds must stay bit-for-bit identical. *)
+  let kinds = if swap_faults then 7 else 5 in
   let events =
     List.init count (fun _ ->
         let at_ns = at () in
         let fault =
-          match Engine.Rng.int rng 5 with
+          match Engine.Rng.int rng kinds with
           | 0 ->
             Mem_degrade
               {
@@ -115,9 +130,13 @@ let generate ~seed ~cfg ~horizon_ns =
                 ns = Engine.Rng.int_in rng (horizon_ns / 20) (horizon_ns / 4);
               }
           | 3 -> Thread_kill { tid = Engine.Rng.int_in rng 1 (max 2 (2 * procs)) }
-          | _ ->
+          | 4 ->
             Lock_holder_delay
               { lock = "*"; ns = Engine.Rng.int_in rng (horizon_ns / 20) (horizon_ns / 4) }
+          | 5 ->
+            Swap_stall
+              { obj = "*"; ns = Engine.Rng.int_in rng (horizon_ns / 20) (horizon_ns / 2) }
+          | _ -> Swap_kill { obj = "*" }
         in
         { at_ns; fault })
   in

@@ -32,6 +32,17 @@ type fault =
       (** The next thread to acquire lock [lock] (["*"] matches any
           lock) after the fault time is stalled [ns] at its next
           dispatch — a delayed critical section. One-shot. *)
+  | Swap_stall of { obj : string; ns : int }
+      (** The next thread to open an implementation-swap window on
+          adaptive object [obj] (["*"] matches any; matched against
+          [A_adaptation] swap-begin annotations) after the fault time
+          is stalled [ns] mid-swap — a drain that blows its deadline,
+          or a freeze that ages into abandoned-swap recovery.
+          One-shot. *)
+  | Swap_kill of { obj : string }
+      (** The next swapper on [obj] after the fault time is killed
+          inside its swap window: the freeze is left behind for the
+          waiters' recovery path. One-shot. *)
 
 type event = { at_ns : int; fault : fault }
 
@@ -49,10 +60,12 @@ val of_string : string -> t
     {!to_string}. *)
 
 val generate :
-  seed:int -> cfg:Butterfly.Config.t -> horizon_ns:int -> t
+  ?swap_faults:bool -> seed:int -> cfg:Butterfly.Config.t -> horizon_ns:int -> unit -> t
 (** A small random plan (1–3 faults) drawn from a {!Engine.Rng} stream
     seeded with [seed]: fault times land in
     [\[horizon_ns/10, horizon_ns\]], nodes and processors are drawn
     from [cfg.processors], kill targets from low tids, and
     holder-delays use the ["*"] wildcard. Equal seeds and configs give
-    equal plans. *)
+    equal plans. [swap_faults] (default false, so plans from
+    pre-existing seeds are unchanged) adds the swap-window kinds
+    ({!Swap_stall}/{!Swap_kill}) to the draw. *)

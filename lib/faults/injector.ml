@@ -8,10 +8,21 @@ type pending_delay = {
   mutable delivered : bool;
 }
 
+(* A fault armed on the next swap-begin annotation of a matching
+   adaptive object: [sw_ns = None] kills the swapper, [Some ns] stalls
+   it mid-swap. *)
+type pending_swap = {
+  sw_from_ns : int;
+  sw_obj : string;
+  sw_ns : int option;
+  mutable sw_delivered : bool;
+}
+
 type t = {
   sched : Sched.t;
   mutable log_rev : string list;
   delays : pending_delay list;
+  swaps : pending_swap list;
 }
 
 let log t fmt = Printf.ksprintf (fun s -> t.log_rev <- s :: t.log_rev) fmt
@@ -51,9 +62,12 @@ let arm_timer t { Fault_plan.at_ns; fault } =
     Sched.add_timer t.sched ~at:at_ns (fun () ->
         if Sched.kill_thread t.sched ~tid ~at:at_ns then log t "t=%d kill tid=%d" at_ns tid
         else log t "t=%d kill tid=%d (no-op: unknown or finished)" at_ns tid)
-  | Fault_plan.Lock_holder_delay _ ->
+  | Fault_plan.Lock_holder_delay _ | Fault_plan.Swap_stall _ | Fault_plan.Swap_kill _ ->
     (* handled by the annotation observer armed in [install] *)
     ()
+
+let swap_begin label =
+  String.length label >= 10 && String.sub label 0 10 = "swap-begin"
 
 let install sched ~plan =
   let delays =
@@ -65,9 +79,20 @@ let install sched ~plan =
         | _ -> None)
       plan
   in
-  let t = { sched; log_rev = []; delays } in
+  let swaps =
+    List.filter_map
+      (fun { Fault_plan.at_ns; fault } ->
+        match fault with
+        | Fault_plan.Swap_stall { obj; ns } ->
+          Some { sw_from_ns = at_ns; sw_obj = obj; sw_ns = Some ns; sw_delivered = false }
+        | Fault_plan.Swap_kill { obj } ->
+          Some { sw_from_ns = at_ns; sw_obj = obj; sw_ns = None; sw_delivered = false }
+        | _ -> None)
+      plan
+  in
+  let t = { sched; log_rev = []; delays; swaps } in
   List.iter (arm_timer t) plan;
-  if delays <> [] then
+  if delays <> [] || swaps <> [] then
     Sched.add_annot_hook sched (fun a ->
         match a.Sched.annotation with
         | Butterfly.Ops.A_lock_acquire { lock_name; _ } ->
@@ -87,6 +112,38 @@ let install sched ~plan =
                     a.Sched.annot_time lock_name a.Sched.annot_tid
               end)
             t.delays
+        | Butterfly.Ops.A_adaptation { obj_name; kind = "lock-impl"; label }
+          when swap_begin label ->
+          List.iter
+            (fun s ->
+              if
+                (not s.sw_delivered)
+                && a.Sched.annot_time >= s.sw_from_ns
+                && (s.sw_obj = "*" || s.sw_obj = obj_name)
+              then begin
+                s.sw_delivered <- true;
+                match s.sw_ns with
+                | Some ns ->
+                  if Sched.penalize_thread sched ~tid:a.Sched.annot_tid ~ns then
+                    log t "t=%d swap-stall obj=%s tid=%d ns=%d" a.Sched.annot_time
+                      obj_name a.Sched.annot_tid ns
+                  else
+                    log t "t=%d swap-stall obj=%s tid=%d (no-op: finished)"
+                      a.Sched.annot_time obj_name a.Sched.annot_tid
+                | None ->
+                  (* Defer by a timer at the annotation's own instant:
+                     it fires before the swapper's next dispatch, so
+                     the thread dies inside its swap window with the
+                     freeze still set. *)
+                  let tid = a.Sched.annot_tid and at = a.Sched.annot_time in
+                  Sched.add_timer sched ~at (fun () ->
+                      if Sched.kill_thread sched ~tid ~at then
+                        log t "t=%d kill-in-swap obj=%s kill tid=%d" at obj_name tid
+                      else
+                        log t "t=%d kill-in-swap obj=%s kill tid=%d (no-op: finished)" at
+                          obj_name tid)
+              end)
+            t.swaps
         | _ -> ());
   t
 

@@ -67,10 +67,27 @@ let reconfigurable =
 
 let adaptive = reconfigurable
 
+(* MCS-style queue lock: spin-lock entry overhead plus a handoff that
+   costs one remote write into the waiter's local module; the unlock
+   path always consults the registration queue. *)
+let mcs =
+  {
+    lock_overhead_instrs = 625;
+    unlock_overhead_instrs = 120;
+    block_path_instrs = 0;
+    unlock_queue_check = true;
+  }
+
 let acquisition_instrs = 463
 
 let configure_waiting_policy =
   Adaptive_core.Cost.make ~reads:1 ~writes:1 ~instrs:140 ()
 
 let configure_scheduler = Adaptive_core.Cost.make ~writes:5 ~instrs:157 ()
+
+(* Implementation hot-swap (Table-8-style reconfiguration): the freeze
+   and commit writes plus the drain bookkeeping — not counting the
+   per-waiter kick writes, which the protocol performs (and pays for)
+   explicitly. *)
+let swap_implementation = Adaptive_core.Cost.make ~reads:2 ~writes:3 ~instrs:420 ()
 let monitor_sample_instrs = 1055

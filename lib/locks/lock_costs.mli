@@ -31,6 +31,11 @@ val combined : profile
 val reconfigurable : profile
 val adaptive : profile
 
+val mcs : profile
+(** MCS-style queue lock: spin-lock entry overhead; the handoff's one
+    remote write into the waiter's local module is charged by the
+    protocol itself. *)
+
 (** {1 Configuration-operation costs (Table 8)} *)
 
 val acquisition_instrs : int
@@ -47,3 +52,8 @@ val configure_scheduler : Adaptive_core.Cost.t
 val monitor_sample_instrs : int
 (** Bookkeeping per monitor sample (on top of reading the sensed
     word). *)
+
+val swap_implementation : Adaptive_core.Cost.t
+(** Implementation hot-swap ({!Switch_lock}): freeze/commit writes
+    plus drain bookkeeping, excluding the per-waiter kick writes the
+    protocol performs explicitly. *)

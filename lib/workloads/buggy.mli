@@ -61,3 +61,15 @@ val gated_order : unit -> unit
 (** Negative control: both lock nestings of an a/b inversion under a
     common gate lock. The observed-trace graph reports its classic
     false-positive cycle; the predictor must report nothing. *)
+
+val swap_lost_waiter : unit -> unit
+(** A switch lock seeded with [Lost_sleeper_on_swap] commits an
+    implementation swap while a waiter is asleep: the sleeper is
+    dropped from the queue unwoken and the run wedges on its join
+    ([predicted-swap-lost-waiter], confirmable). *)
+
+val swap_double_grant : unit -> unit
+(** A switch lock seeded with [Double_grant_on_swap] grants a sleeping
+    waiter mid-window while the swapper still owns the lock: two
+    holders at once, and the swapper's unlock crashes on the ownership
+    check ([predicted-swap-double-grant], confirmable). *)

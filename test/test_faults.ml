@@ -45,7 +45,7 @@ let test_plan_roundtrip () =
     | exception Failure _ -> true)
 
 let test_plan_generate_deterministic () =
-  let g seed = Faults.Fault_plan.generate ~seed ~cfg ~horizon_ns:3_000_000 in
+  let g seed = Faults.Fault_plan.generate ~seed ~cfg ~horizon_ns:3_000_000 () in
   check_string "same seed, same plan"
     (Faults.Fault_plan.to_string (g 42))
     (Faults.Fault_plan.to_string (g 42));
@@ -201,7 +201,7 @@ let test_injected_run_is_deterministic () =
   let fingerprint () =
     let sim = Sched.create cfg in
     let plan =
-      Faults.Fault_plan.generate ~seed:11 ~cfg ~horizon_ns:200_000
+      Faults.Fault_plan.generate ~seed:11 ~cfg ~horizon_ns:200_000 ()
     in
     let inj = Faults.Injector.install sim ~plan in
     run_fig_workload sim;

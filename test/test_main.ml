@@ -29,4 +29,5 @@ let () =
       ("objects", Test_objects.suite);
       ("policy_check", Test_policy_check.suite);
       ("fastpath", Test_fastpath.suite);
+      ("switch_lock", Test_switch_lock.suite);
     ]

@@ -25,7 +25,7 @@ let trans ?(repeats = 1) t_from c t_target t_label =
 
 let test_shipped_clean () =
   let ((reports, cross) as res) = PC.run ~domains:1 (PC.shipped ()) in
-  Alcotest.(check int) "six shipped specs" 6 (List.length reports);
+  Alcotest.(check int) "seven shipped specs" 7 (List.length reports);
   List.iter
     (fun r ->
       Alcotest.(check (list string))

@@ -1,0 +1,514 @@
+(* Switch_lock: the implementation-as-attribute lock. Mutual exclusion
+   under every fixed implementation and under adaptation, the fail-safe
+   swap protocol (FIFO-preserving migration, rollback on a killed
+   participant, abandoned-swap recovery), timed waiters across swap
+   windows, the guardrail fallback-failure regression, and the
+   swap-window fault kinds end to end. *)
+
+open Butterfly
+open Cthreads
+module SL = Locks.Switch_lock
+module Spec = Adaptive_core.Policy.Spec
+
+let cfg = { Config.default with Config.processors = 8 }
+
+let run main =
+  let sim = Sched.create cfg in
+  Sched.run sim main;
+  sim
+
+(* -- mutual exclusion, every variant -- *)
+
+let hammer ?fixed ?(nthreads = 6) ?(iters = 20) ?(cs_ns = 5_000) () =
+  let counter = ref 0 and inside = ref 0 and overlap = ref 0 in
+  let epoch = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ?fixed ~home:0 () in
+        let body () =
+          for _ = 1 to iters do
+            SL.lock lk;
+            incr inside;
+            if !inside > !overlap then overlap := !inside;
+            let v = !counter in
+            Cthread.work cs_ns;
+            counter := v + 1;
+            decr inside;
+            SL.unlock lk
+          done
+        in
+        let ts = List.init nthreads (fun i -> Cthread.fork ~proc:(1 + (i mod 7)) body) in
+        Cthread.join_all ts;
+        epoch := SL.epoch lk)
+  in
+  (!counter, !overlap, !epoch)
+
+let check_mutex name fixed () =
+  let total, overlap, _ = hammer ?fixed () in
+  Alcotest.(check int) (name ^ ": no lost updates") (6 * 20) total;
+  Alcotest.(check int) (name ^ ": never two inside") 1 overlap
+
+(* -- the ladder adapts: queue under pressure, blocking under long holds -- *)
+
+let test_adapts_to_queue_under_contention () =
+  let total, overlap, epoch = hammer ~nthreads:6 ~iters:30 ~cs_ns:20_000 () in
+  Alcotest.(check int) "no lost updates" (6 * 30) total;
+  Alcotest.(check int) "never two inside" 1 overlap;
+  Alcotest.(check bool) "at least one committed swap" true (epoch >= 1)
+
+let test_adapts_to_blocking_under_long_holds () =
+  let blocks = ref 0 and epoch = ref 0 and saw_blocking = ref false in
+  let counter = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ~home:0 () in
+        let body () =
+          for _ = 1 to 12 do
+            SL.lock lk;
+            if SL.current_impl lk = SL.Blocking then saw_blocking := true;
+            let v = !counter in
+            Cthread.work 600_000;
+            counter := v + 1;
+            SL.unlock lk
+          done
+        in
+        let ts = List.init 4 (fun i -> Cthread.fork ~proc:(1 + i) body) in
+        Cthread.join_all ts;
+        blocks := Locks.Lock_stats.blocks (SL.stats lk);
+        epoch := SL.epoch lk)
+  in
+  Alcotest.(check int) "no lost updates" (4 * 12) !counter;
+  Alcotest.(check bool) "swapped at least once" true (!epoch >= 1);
+  Alcotest.(check bool) "reached the blocking implementation" true !saw_blocking;
+  Alcotest.(check bool) "waiters actually slept" true (!blocks > 0)
+
+(* -- migration preserves queued FIFO order across a swap -- *)
+
+let test_fifo_preserved_across_swap () =
+  let order = ref [] and committed = ref false in
+  let epoch = ref 0 and rollbacks = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ~fixed:SL.Mcs ~home:0 () in
+        let holder =
+          Cthread.fork ~proc:7 (fun () ->
+              SL.lock lk;
+              (* Hold until all four waiters are registered, then swap
+                 with the full queue present: they are kicked, re-arm,
+                 and re-enter with their original tickets. *)
+                while SL.waiting_now lk < 4 do
+                  Cthread.delay 10_000
+                done;
+              Cthread.delay 100_000;
+              committed := SL.swap_to lk SL.Blocking;
+              Cthread.work 50_000;
+              SL.unlock lk)
+        in
+        let waiters =
+          List.init 4 (fun i ->
+              Cthread.fork ~proc:(1 + i) (fun () ->
+                  (* Staggered arrival: registration order is the
+                     index order (fork order alone staggers starts;
+                     the growing delay keeps the margin wide). *)
+                  Cthread.delay ((i + 1) * 60_000);
+                  SL.lock lk;
+                  order := i :: !order;
+                  Cthread.work 10_000;
+                  SL.unlock lk))
+        in
+        Cthread.join holder;
+        Cthread.join_all waiters;
+        epoch := SL.epoch lk;
+        rollbacks := SL.swap_rollbacks lk)
+  in
+  Alcotest.(check bool) "swap committed" true !committed;
+  Alcotest.(check (list int)) "grants in ticket order" [ 0; 1; 2; 3 ] (List.rev !order);
+  Alcotest.(check int) "one committed swap" 1 !epoch;
+  Alcotest.(check int) "no rollbacks" 0 !rollbacks
+
+(* -- a waiter killed mid-drain must roll the swap back, not wedge it -- *)
+
+let test_killed_waiter_rolls_swap_back () =
+  let swap_result = ref true and survivor_done = ref false in
+  let epoch = ref 0 and rollbacks = ref 0 and final_impl = ref SL.Mcs in
+  let go_swap = ref false in
+  let sim = Sched.create cfg in
+  Sched.run sim (fun () ->
+      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let holder =
+        Cthread.fork ~proc:7 (fun () ->
+            SL.lock lk;
+            while not !go_swap do
+              Cthread.delay 10_000
+            done;
+            (* The dead waiter can never acknowledge its kick: the
+               drain must hit its deadline and roll back. *)
+            swap_result := SL.swap_to lk SL.Mcs;
+            SL.unlock lk)
+      in
+      let victim =
+        Cthread.fork ~proc:1 (fun () ->
+            SL.lock lk;
+            SL.unlock lk)
+      in
+      let survivor =
+        Cthread.fork ~proc:2 (fun () ->
+            SL.lock lk;
+            survivor_done := true;
+            SL.unlock lk)
+      in
+      (* Wait until both waiters are registered behind the holder,
+         then crash the victim while it waits, then let the holder
+         open its swap window against a queue with a corpse in it. *)
+      while SL.waiting_now lk < 2 do
+        Cthread.delay 10_000
+      done;
+      Cthread.delay 100_000;
+      ignore (Sched.kill_thread sim ~tid:(Cthread.id victim) ~at:(Cthread.now ()));
+      go_swap := true;
+      Cthread.join holder;
+      Cthread.join victim;
+      Cthread.join survivor;
+      epoch := SL.epoch lk;
+      rollbacks := SL.swap_rollbacks lk;
+      final_impl := SL.current_impl lk);
+  Alcotest.(check bool) "swap reported rollback" false !swap_result;
+  Alcotest.(check int) "rollback counted" 1 !rollbacks;
+  Alcotest.(check int) "no committed swap" 0 !epoch;
+  Alcotest.(check bool) "implementation unchanged" true (!final_impl = SL.Tas);
+  Alcotest.(check bool) "surviving waiter still acquired" true !survivor_done
+
+(* -- a swapper killed mid-swap leaves a freeze the waiters age out -- *)
+
+let test_abandoned_swap_recovery () =
+  let timed_result = ref true in
+  let recoveries = ref 0 and rollbacks = ref 0 and epoch = ref 0 and timeouts = ref 0 in
+  let go_swap = ref false and go_late = ref false in
+  let sim = Sched.create cfg in
+  Sched.run sim (fun () ->
+      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let holder =
+        Cthread.fork ~proc:7 (fun () ->
+            SL.lock lk;
+            while not !go_swap do
+              Cthread.delay 10_000
+            done;
+            (* Never returns: killed mid-drain, freeze left set. *)
+            ignore (SL.swap_to lk SL.Mcs);
+            SL.unlock lk)
+      in
+      let victim =
+        Cthread.fork ~proc:1 (fun () ->
+            SL.lock lk;
+            SL.unlock lk)
+      in
+      let late =
+        Cthread.fork ~proc:2 (fun () ->
+            while not !go_late do
+              Cthread.delay 10_000
+            done;
+            (* Arrives frozen; must clear the abandoned freeze, then
+               (the word is stranded by the dead holder) expire. *)
+            timed_result := SL.lock_timeout lk ~deadline_ns:(Cthread.now () + 6_000_000))
+      in
+      (* The registered waiter dies first (so the drain can never
+         finish), then the swapper dies inside its own window. *)
+      while SL.waiting_now lk < 1 do
+        Cthread.delay 10_000
+      done;
+      Cthread.delay 100_000;
+      ignore (Sched.kill_thread sim ~tid:(Cthread.id victim) ~at:(Cthread.now ()));
+      go_swap := true;
+      Cthread.delay 300_000;
+      ignore (Sched.kill_thread sim ~tid:(Cthread.id holder) ~at:(Cthread.now ()));
+      go_late := true;
+      Cthread.join holder;
+      Cthread.join victim;
+      Cthread.join late;
+      recoveries := SL.abandoned_recoveries lk;
+      rollbacks := SL.swap_rollbacks lk;
+      epoch := SL.epoch lk;
+      timeouts := Locks.Lock_stats.timeouts (SL.stats lk));
+  Alcotest.(check bool) "timed waiter expired" false !timed_result;
+  Alcotest.(check int) "freeze recovered once" 1 !recoveries;
+  Alcotest.(check int) "nobody committed" 0 !epoch;
+  Alcotest.(check int) "nobody rolled back (the swapper died)" 0 !rollbacks;
+  Alcotest.(check int) "timeout counted" 1 !timeouts
+
+(* -- timed waiters: expiry while queued, grant within deadline -- *)
+
+let test_lock_timeout_semantics () =
+  let expired = ref true and granted = ref false and waiting_after = ref (-1) in
+  let timeouts = ref 0 in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+        let holder =
+          Cthread.fork ~proc:7 (fun () ->
+              SL.lock lk;
+              Cthread.work 600_000;
+              SL.unlock lk)
+        in
+        let impatient =
+          Cthread.fork ~proc:1 (fun () ->
+              Cthread.delay 50_000;
+              expired := SL.lock_timeout lk ~deadline_ns:200_000)
+        in
+        Cthread.join impatient;
+        waiting_after := SL.waiting_now lk;
+        let patient =
+          Cthread.fork ~proc:2 (fun () ->
+              granted := SL.lock_timeout lk ~deadline_ns:5_000_000;
+              if !granted then SL.unlock lk)
+        in
+        Cthread.join holder;
+        Cthread.join patient;
+        timeouts := Locks.Lock_stats.timeouts (SL.stats lk))
+  in
+  Alcotest.(check bool) "impatient waiter expired" false !expired;
+  Alcotest.(check int) "registration withdrawn on expiry" 0 !waiting_after;
+  Alcotest.(check bool) "patient waiter granted" true !granted;
+  Alcotest.(check int) "exactly one timeout" 1 !timeouts
+
+(* -- determinism and the swap-free A/B guarantee -- *)
+
+let adaptive_run () =
+  let counter = ref 0 in
+  let epoch = ref 0 in
+  let sim =
+    run (fun () ->
+        let lk = SL.create ~home:0 () in
+        let body () =
+          for _ = 1 to 10 do
+            SL.lock lk;
+            incr counter;
+            Cthread.work 20_000;
+            SL.unlock lk
+          done
+        in
+        let ts = List.init 4 (fun i -> Cthread.fork ~proc:(1 + i) body) in
+        Cthread.join_all ts;
+        epoch := SL.epoch lk)
+  in
+  (Sched.final_time sim, !epoch, !counter)
+
+let test_deterministic_replay () =
+  let a = adaptive_run () and b = adaptive_run () in
+  Alcotest.(check bool) "identical runs, identical clocks" true (a = b)
+
+let test_swap_free_run_stays_swap_free () =
+  (* An uncontended workload never crosses a ladder threshold: the
+     adaptive lock performs zero swaps and zero adaptations — the
+     A/B guarantee that compiling the swap machinery in changes
+     nothing until a swap actually fires. *)
+  let epoch = ref (-1) and adaptations = ref (-1) in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ~home:0 () in
+        for _ = 1 to 8 do
+          SL.lock lk;
+          Cthread.work 10_000;
+          SL.unlock lk
+        done;
+        epoch := SL.epoch lk;
+        adaptations := SL.adaptations lk)
+  in
+  Alcotest.(check int) "no committed swap" 0 !epoch;
+  Alcotest.(check int) "no adaptation" 0 !adaptations
+
+(* -- the declarative ladder is well formed and guard-consistent -- *)
+
+let test_policy_spec_validates () =
+  let spec = SL.policy_spec () in
+  Alcotest.(check (list string)) "spec validates" [] (Spec.validate spec);
+  (match spec.Spec.s_guard with
+  | None -> Alcotest.fail "shipped ladder must carry a guardrail"
+  | Some g ->
+    Alcotest.(check bool) "guard fallback is a declared implementation" true
+      (List.exists
+         (fun c -> c.Spec.c_value = g.Spec.g_fallback)
+         spec.Spec.s_configs);
+    Alcotest.(check bool) "clamp covers the whole ladder" true
+      (List.for_all
+         (fun c ->
+           c.Spec.c_value >= g.Spec.g_clamp_lo)
+         spec.Spec.s_configs));
+  Alcotest.(check bool) "every swap transition has hysteresis" true
+    (List.for_all (fun tr -> tr.Spec.t_repeats >= 2) spec.Spec.s_transitions)
+
+(* -- guardrail regression: a failed fallback apply must retry, not
+   park the guard in cooldown behind a fresh full streak -- *)
+
+let guard_fixture_spec =
+  {
+    Spec.s_name = "fixture";
+    s_kind = "test";
+    s_attribute = "fixture.x";
+    s_metric = "m";
+    s_monotone = Spec.Unordered;
+    s_configs = [ { Spec.c_name = "a"; c_value = 0 }; { Spec.c_name = "b"; c_value = 1 } ];
+    s_initial = 0;
+    s_transitions =
+      [
+        {
+          Spec.t_from = 0;
+          t_cond = Spec.cond 5 ~hi:10;
+          t_target = 1;
+          t_label = "up";
+          t_repeats = 1;
+          t_cost = Adaptive_core.Cost.make ();
+        };
+      ];
+    s_guard =
+      Some
+        {
+          Spec.g_clamp_lo = 0;
+          (* Clamped pathological samples fall below the "up" band, so
+             cooldown samples visibly decide No_change. *)
+          g_clamp_hi = 4;
+          g_wedge = None;
+          g_limit = 2;
+          g_cooldown = 8;
+          g_fallback = 0;
+          g_fallback_label = "fb";
+          g_fallback_cost = Adaptive_core.Cost.make ();
+        };
+  }
+
+let test_guard_retries_after_failed_fallback () =
+  let current = ref 1 and fallback_ok = ref false in
+  let policy =
+    Spec.compile
+      ~read:(fun () -> !current)
+      ~apply:(fun v ->
+        if v = 0 && not !fallback_ok then false
+        else begin
+          current := v;
+          true
+        end)
+      ~metric:(fun (m : int) -> m)
+      guard_fixture_spec
+  in
+  let feed m =
+    match policy m with
+    | Adaptive_core.Policy.No_change -> None
+    | Adaptive_core.Policy.Reconfigure { label; apply; _ } ->
+      ignore (apply ());
+      Some label
+  in
+  (* Two pathological samples reach the streak limit: the guard orders
+     the fallback, whose apply fails (a rolled-back swap). *)
+  Alcotest.(check (option string)) "first pathological sample" None (feed 50);
+  Alcotest.(check (option string)) "streak fires the fallback" (Some "fb") (feed 50);
+  (* Regression: before the fix the failed apply left the guard in
+     cooldown with its streak spent — eight samples of silence, then a
+     fresh full streak. The very next pathological sample must retry. *)
+  Alcotest.(check (option string)) "failed fallback retries immediately" (Some "fb")
+    (feed 50);
+  fallback_ok := true;
+  Alcotest.(check (option string)) "retry succeeds" (Some "fb") (feed 50);
+  Alcotest.(check int) "fallback landed" 0 !current;
+  (* A successful fallback does engage the cooldown. *)
+  Alcotest.(check (option string)) "cooldown after success" None (feed 50)
+
+(* -- swap-window fault kinds: plan round trip, seeded gating, injector -- *)
+
+let test_fault_plan_swap_kinds_roundtrip () =
+  let s = "kill-in-swap@50:obj=*;swap-stall@100:obj=swl,ns=500" in
+  let plan = Faults.Fault_plan.of_string s in
+  Alcotest.(check string) "round trip" s (Faults.Fault_plan.to_string plan);
+  Alcotest.(check int) "two faults" 2 (List.length plan)
+
+let contains_sub s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_fault_plan_swap_gating () =
+  let gen swap_faults seed =
+    Faults.Fault_plan.to_string
+      (Faults.Fault_plan.generate ~swap_faults ~seed ~cfg ~horizon_ns:3_000_000 ())
+  in
+  (* Deterministic either way... *)
+  Alcotest.(check string) "deterministic with swap faults" (gen true 7) (gen true 7);
+  (* ...and the swap kinds are drawn only when asked for. *)
+  for seed = 0 to 49 do
+    let p = gen false seed in
+    if contains_sub p "swap-stall" || contains_sub p "kill-in-swap" then
+      Alcotest.failf "seed %d drew a swap fault without opting in: %s" seed p
+  done;
+  let drew_some =
+    List.exists
+      (fun seed ->
+        let p = gen true seed in
+        contains_sub p "swap-stall" || contains_sub p "kill-in-swap")
+      (List.init 50 (fun i -> i))
+  in
+  Alcotest.(check bool) "opting in draws swap faults" true drew_some
+
+let test_injector_kill_in_swap () =
+  let sim = Sched.create cfg in
+  let plan = Faults.Fault_plan.of_string "kill-in-swap@0:obj=*" in
+  let inj = Faults.Injector.install sim ~plan in
+  let timed_result = ref true and recoveries = ref 0 and epoch = ref (-1) in
+  Sched.run sim (fun () ->
+      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let holder =
+        Cthread.fork ~proc:1 (fun () ->
+            SL.lock lk;
+            Cthread.work 100_000;
+            (* The injector kills us at the swap-begin annotation:
+               the freeze is already set, the word stays held. *)
+            ignore (SL.swap_to lk SL.Mcs);
+            SL.unlock lk)
+      in
+      let late =
+        Cthread.fork ~proc:2 (fun () ->
+            Cthread.delay 200_000;
+            timed_result := SL.lock_timeout lk ~deadline_ns:8_000_000)
+      in
+      Cthread.join holder;
+      Cthread.join late;
+      recoveries := SL.abandoned_recoveries lk;
+      epoch := SL.epoch lk);
+  let fired =
+    List.exists
+      (fun line -> contains_sub line "kill-in-swap" && contains_sub line " kill tid=")
+      (Faults.Injector.applied inj)
+  in
+  Alcotest.(check bool) "kill-in-swap fired" true fired;
+  Alcotest.(check int) "swap never committed" 0 !epoch;
+  Alcotest.(check int) "abandoned freeze recovered" 1 !recoveries;
+  Alcotest.(check bool) "stranded lock expires the timed waiter" false !timed_result
+
+let suite =
+  [
+    Alcotest.test_case "mutex: fixed tas" `Quick (check_mutex "tas" (Some SL.Tas));
+    Alcotest.test_case "mutex: fixed mcs" `Quick (check_mutex "mcs" (Some SL.Mcs));
+    Alcotest.test_case "mutex: fixed blocking" `Quick
+      (check_mutex "blocking" (Some SL.Blocking));
+    Alcotest.test_case "mutex: adaptive" `Quick (check_mutex "adaptive" None);
+    Alcotest.test_case "adapts to the queue under contention" `Quick
+      test_adapts_to_queue_under_contention;
+    Alcotest.test_case "adapts to blocking under long holds" `Quick
+      test_adapts_to_blocking_under_long_holds;
+    Alcotest.test_case "FIFO preserved across a swap" `Quick test_fifo_preserved_across_swap;
+    Alcotest.test_case "killed waiter rolls the swap back" `Quick
+      test_killed_waiter_rolls_swap_back;
+    Alcotest.test_case "abandoned swap is recovered by waiters" `Quick
+      test_abandoned_swap_recovery;
+    Alcotest.test_case "lock_timeout across contention" `Quick test_lock_timeout_semantics;
+    Alcotest.test_case "identical runs are bit-identical" `Quick test_deterministic_replay;
+    Alcotest.test_case "swap-free run performs zero adaptations" `Quick
+      test_swap_free_run_stays_swap_free;
+    Alcotest.test_case "implementation ladder spec validates" `Quick
+      test_policy_spec_validates;
+    Alcotest.test_case "guard retries after a failed fallback" `Quick
+      test_guard_retries_after_failed_fallback;
+    Alcotest.test_case "fault plan: swap kinds round-trip" `Quick
+      test_fault_plan_swap_kinds_roundtrip;
+    Alcotest.test_case "fault plan: swap kinds are opt-in" `Quick
+      test_fault_plan_swap_gating;
+    Alcotest.test_case "injector: kill-in-swap strands the freeze" `Quick
+      test_injector_kill_in_swap;
+  ]
