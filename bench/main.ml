@@ -144,7 +144,7 @@ let bench_switch_swap () =
      live waiter to migrate across the window. *)
   one_sim (fun () ->
       let module SL = Locks.Switch_lock in
-      let lk = SL.create ~fixed:SL.Tas ~home:1 () in
+      let lk = SL.create ~initial:SL.Tas ~home:1 () in
       let holder =
         Cthreads.Cthread.fork ~proc:2 (fun () ->
             SL.lock lk;

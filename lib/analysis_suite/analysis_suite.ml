@@ -111,7 +111,7 @@ let switch_lock_program () =
     Cthread.delay 5_000
   done;
   (* a sleeper kicked awake and migrated across a live swap window *)
-  let mg = SL.create ~name:"switch-migrate" ~fixed:SL.Blocking ~home:1 () in
+  let mg = SL.create ~name:"switch-migrate" ~initial:SL.Blocking ~home:1 () in
   let swapper =
     Cthread.fork ~name:"swapper" ~proc:1 (fun () ->
         SL.lock mg;

@@ -541,11 +541,13 @@ let switch_gate ?(slack_pct = 5.0) rows =
           List.fold_left (fun acc r -> min acc r.sw_total_ns) max_int fixed
         in
         let beats_worst =
-          if adaptive.sw_total_ns < worst then []
+          (* Ties are fine: the adaptive lock must never be *worse*
+             than the worst pinned variant, not strictly faster. *)
+          if adaptive.sw_total_ns <= worst then []
           else
             [
               Printf.sprintf
-                "%s: adaptive (%d ns) does not beat the worst pinned variant (%d ns)"
+                "%s: adaptive (%d ns) is worse than the worst pinned variant (%d ns)"
                 point adaptive.sw_total_ns worst;
             ]
         in

@@ -144,7 +144,7 @@ val switch_locks : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> switch
 
 val switch_gate : ?slack_pct:float -> switch_row list -> string list
 (** The acceptance gate over {!switch_locks} rows: the adaptive
-    variant beats the worst pinned variant at every sweep point and
-    lands within [slack_pct] (default 5%) of the best pinned variant
-    at the sweep extremes. Returns human-readable violations (empty =
-    pass). *)
+    variant is never worse than the worst pinned variant at any sweep
+    point (ties pass) and lands within [slack_pct] (default 5%) of
+    the best pinned variant at the sweep extremes. Returns
+    human-readable violations (empty = pass). *)

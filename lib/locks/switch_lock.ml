@@ -82,6 +82,7 @@ type t = {
   impl_word : Memory.addr;  (* current implementation id, for observers *)
   params : params;
   bug : bug option;
+  pinned : bool;  (* created with [?fixed]: implementation swaps refused *)
   mutable impl : impl;
   mutable epoch : int;  (* committed swaps *)
   mutable swap_seq : int;  (* identifies the kick a waiter acks *)
@@ -282,6 +283,11 @@ let ack_kick t w =
    quiescence means everyone observes the implementation flip between
    two probe iterations, never inside one. *)
 let swap_to t target =
+  if t.pinned then
+    raise
+      (Lock_core.Misuse
+         (Printf.sprintf "lock %s is pinned to %s: implementation swaps are disabled"
+            t.lock_name (impl_label t.impl)));
   (match t.owner with
   | Some tid when tid = Ops.self () -> ()
   | _ ->
@@ -340,11 +346,35 @@ let swap_to t target =
         drain ()
       end
     in
-    if drain () then begin
-      t.impl <- target;
-      t.epoch <- t.epoch + 1;
-      Ops.write t.impl_word (impl_id target);
-      Ops.write t.ctl 0;
+    (* A drained swap must still re-validate ownership of the freeze:
+       a swapper descheduled past deadline+grace inside its own drain
+       (a stall fault in the swap window) resumes to find every ack in
+       — but the waiters have long since aged the freeze out
+       (abandoned-swap recovery), re-entered, and possibly re-parked
+       under the old implementation. Flipping now would strand those
+       sleepers under a release path that never wakes them. The guard
+       holds parking waiters off while the flip lands; a recovery that
+       already cleared [ctl] makes the re-check fail and the swap roll
+       back instead. *)
+    let committed =
+      drain ()
+      && begin
+           guard_lock t;
+           if Ops.read t.ctl = deadline then begin
+             t.impl <- target;
+             t.epoch <- t.epoch + 1;
+             Ops.write t.impl_word (impl_id target);
+             Ops.write t.ctl 0;
+             guard_unlock t;
+             true
+           end
+           else begin
+             guard_unlock t;
+             false
+           end
+         end
+    in
+    if committed then begin
       annotate_swap t ("swap-commit:" ^ label);
       true
     end
@@ -400,22 +430,32 @@ let rec wait_loop t w ~since ~deadline_ns =
         (* The check-then-block is serialized against grants and kicks
            by the guard: either we see the mailbox already set, or the
            writer sees [w_sleeping] and sends the wakeup (sticky, so a
-           wakeup between our guard release and the block is kept). *)
+           wakeup between our guard release and the block is kept).
+           The implementation is re-checked under the same guard: a
+           swap commit (which flips [t.impl] with the guard held) may
+           have slipped in since the dispatch above, and parking under
+           TAS/MCS would sleep behind a release that never wakes us. *)
         guard_lock t;
-        let f = Ops.read w.w_flag in
-        if f = 0 then begin
-          w.w_sleeping <- true;
+        if t.impl <> Blocking then begin
           guard_unlock t;
-          Lock_stats.on_block t.lock_stats;
-          Ops.block ();
-          w.w_sleeping <- false;
-          (* Restoring the thread's library context after a wakeup. *)
-          Ops.work_instrs 800;
           wait_loop t w ~since ~deadline_ns
         end
         else begin
-          guard_unlock t;
-          on_flag t w f ~since ~deadline_ns
+          let f = Ops.read w.w_flag in
+          if f = 0 then begin
+            w.w_sleeping <- true;
+            guard_unlock t;
+            Lock_stats.on_block t.lock_stats;
+            Ops.block ();
+            w.w_sleeping <- false;
+            (* Restoring the thread's library context after a wakeup. *)
+            Ops.work_instrs 800;
+            wait_loop t w ~since ~deadline_ns
+          end
+          else begin
+            guard_unlock t;
+            on_flag t w f ~since ~deadline_ns
+          end
         end
       end
   end
@@ -607,9 +647,13 @@ let lock_timeout t ~deadline_ns =
 
 let set_impl t target =
   lock t;
-  let ok = swap_to t target in
-  unlock t;
-  ok
+  match swap_to t target with
+  | ok ->
+    unlock t;
+    ok
+  | exception e ->
+    unlock t;
+    raise e
 
 (* {1 Construction} *)
 
@@ -618,8 +662,12 @@ let apply_impl t v =
   if target = t.impl then true else swap_to t target
 
 let create ?name ?trace ?(params = default_params) ?(guardrail = default_guardrail)
-    ?fixed ?bug ~home () =
+    ?fixed ?initial ?bug ~home () =
   let name = match name with Some n -> n | None -> "switch-lock" in
+  (match (fixed, initial) with
+  | Some _, Some _ ->
+    invalid_arg "Switch_lock.create: ?fixed and ?initial are mutually exclusive"
+  | _ -> ());
   let words = Ops.alloc ~node:home 6 in
   Ops.mark_sync_words words;
   let t =
@@ -634,7 +682,11 @@ let create ?name ?trace ?(params = default_params) ?(guardrail = default_guardra
       impl_word = words.(5);
       params;
       bug;
-      impl = (match fixed with Some i -> i | None -> Tas);
+      pinned = fixed <> None;
+      impl =
+        (match (fixed, initial) with
+        | Some i, _ | None, Some i -> i
+        | None, None -> Tas);
       epoch = 0;
       swap_seq = 0;
       next_ticket = 0;
@@ -651,9 +703,11 @@ let create ?name ?trace ?(params = default_params) ?(guardrail = default_guardra
     }
   in
   if impl_id t.impl <> 0 then Ops.write t.impl_word (impl_id t.impl);
-  (match fixed with
-  | Some _ -> ()  (* a pinned implementation: no feedback loop at all *)
-  | None ->
+  (match (fixed, initial) with
+  | Some _, _ | _, Some _ ->
+    (* pinned, or explicitly driven via [swap_to]: no feedback loop *)
+    ()
+  | None, None ->
     let sensor =
       Sensor.make ~name:(name ^ ".contention-score") ~period:params.sample_period
         ~overhead_instrs:40

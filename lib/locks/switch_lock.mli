@@ -53,13 +53,19 @@ val create :
   ?params:params ->
   ?guardrail:Guardrail.params ->
   ?fixed:impl ->
+  ?initial:impl ->
   ?bug:bug ->
   home:int ->
   unit ->
   t
-(** [fixed] pins one implementation and builds no feedback loop at
-    all — the fixed variants of the ablation. [guardrail] attaches a
-    {!Guardrail} to the compiled ladder. *)
+(** [fixed] pins one implementation: no feedback loop is built and
+    {!swap_to}/{!set_impl} raise {!Lock_core.Misuse} — the fixed
+    variants of the ablation cannot be hot-swapped out from under
+    their premise. [initial] also starts at the given implementation
+    with no feedback loop, but leaves explicit {!swap_to} available —
+    for manually driven swap windows (fixtures, benchmarks). The two
+    are mutually exclusive. [guardrail] attaches a {!Guardrail} to
+    the compiled ladder. *)
 
 val lock : t -> unit
 val try_lock : t -> bool
@@ -75,8 +81,13 @@ val unlock : t -> unit
 
 val swap_to : t -> impl -> bool
 (** Run the quiescence protocol toward [impl] from inside an owned
-    critical section. True on commit, false on rollback. Raises
-    {!Lock_core.Misuse} when the caller does not hold the lock. *)
+    critical section. True on commit, false on rollback — including
+    when a drain that outlived its grace window finds the freeze
+    already cleared by abandoned-swap recovery (the commit
+    re-validates ownership of the freeze rather than flip over
+    re-parked waiters). Raises {!Lock_core.Misuse} when the caller
+    does not hold the lock, or when the lock was created with
+    [fixed]. *)
 
 val set_impl : t -> impl -> bool
 (** [lock]; {!swap_to}; [unlock] — for explicit reconfiguration. *)

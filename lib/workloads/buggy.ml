@@ -237,7 +237,7 @@ let sleep_with_spin_lock () =
    the registered waiter to actually reach its block point. *)
 let swapped_with_sleeper ~name ~bug () =
   let module SL = Locks.Switch_lock in
-  let lk = SL.create ~name ~bug ~fixed:SL.Blocking ~home:0 () in
+  let lk = SL.create ~name ~bug ~initial:SL.Blocking ~home:0 () in
   let swapper =
     Cthread.fork ~name:"swapper" ~proc:1 (fun () ->
         SL.lock lk;

@@ -89,7 +89,7 @@ let test_fifo_preserved_across_swap () =
   let epoch = ref 0 and rollbacks = ref 0 in
   let (_ : Sched.t) =
     run (fun () ->
-        let lk = SL.create ~fixed:SL.Mcs ~home:0 () in
+        let lk = SL.create ~initial:SL.Mcs ~home:0 () in
         let holder =
           Cthread.fork ~proc:7 (fun () ->
               SL.lock lk;
@@ -134,7 +134,7 @@ let test_killed_waiter_rolls_swap_back () =
   let go_swap = ref false in
   let sim = Sched.create cfg in
   Sched.run sim (fun () ->
-      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let lk = SL.create ~initial:SL.Tas ~home:0 () in
       let holder =
         Cthread.fork ~proc:7 (fun () ->
             SL.lock lk;
@@ -186,7 +186,7 @@ let test_abandoned_swap_recovery () =
   let go_swap = ref false and go_late = ref false in
   let sim = Sched.create cfg in
   Sched.run sim (fun () ->
-      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let lk = SL.create ~initial:SL.Tas ~home:0 () in
       let holder =
         Cthread.fork ~proc:7 (fun () ->
             SL.lock lk;
@@ -234,6 +234,113 @@ let test_abandoned_swap_recovery () =
   Alcotest.(check int) "nobody committed" 0 !epoch;
   Alcotest.(check int) "nobody rolled back (the swapper died)" 0 !rollbacks;
   Alcotest.(check int) "timeout counted" 1 !timeouts
+
+(* -- a swapper stalled past deadline+grace after its kick must not
+   commit over the waiters' abandoned-swap recovery: by the time it
+   resumes, every ack is in but the waiters have aged the freeze out
+   and re-parked under the old implementation — flipping anyway would
+   strand the sleeper behind a release that never wakes it -- *)
+
+let swap_begin_label label =
+  String.length label >= 10 && String.sub label 0 10 = "swap-begin"
+
+let test_stalled_swapper_commit_revalidates () =
+  let params =
+    { SL.default_params with SL.swap_timeout_ns = 600_000; swap_grace_ns = 200_000 }
+  in
+  let swap_result = ref true and victim_done = ref false in
+  let epoch = ref (-1) and rollbacks = ref 0 and recoveries = ref 0 in
+  let final_impl = ref SL.Tas in
+  let sim = Sched.create cfg in
+  (* A penalty cannot build this interleaving: [penalize_thread] only
+     inflates the thread's clock at its next dispatch — the dispatch
+     itself still happens at the pre-penalty queue position, so a
+     "stalled" swapper would sample [ack] before the victim's kicked
+     wakeup ever runs. Descheduling is a dispatch-ORDER property, so
+     steer dispatch directly: once the kick is over, the chooser
+     starves the swapper whenever any other thread is runnable. The
+     kicked victim then acks, polls the freeze out to deadline+grace,
+     recovers it, and re-parks — all strictly inside the swapper's
+     starved window — so the swapper resumes to a fully-acked drain
+     whose freeze is already gone. *)
+  let swapper_tid = ref (-1) in
+  let hold = ref false in
+  Sched.add_annot_hook sim (fun a ->
+      match a.Sched.annotation with
+      | Ops.A_adaptation { kind = "lock-impl"; label; _ } when swap_begin_label label ->
+        swapper_tid := a.Sched.annot_tid;
+        (* The kick's wakeup and guard traffic cost ~200 µs; the kicked
+           victim redispatches ~310 µs in. Start starving between the
+           two, while the swapper is alone in its drain loop. *)
+        Sched.add_timer sim ~at:(a.Sched.annot_time + 250_000) (fun () -> hold := true)
+      | _ -> ());
+  Sched.set_dispatch_chooser sim
+    (Some
+       (fun choices ->
+         if not !hold then -1
+         else begin
+           let pick = ref (-1) in
+           Array.iter
+             (fun c ->
+               if c.Sched.choice_tid <> !swapper_tid && !pick = -1 then
+                 pick := c.Sched.choice_tid)
+             choices;
+           (* Only the swapper runnable: let the default policy run it. *)
+           !pick
+         end));
+  Sched.run sim (fun () ->
+      let lk = SL.create ~initial:SL.Blocking ~params ~home:0 () in
+      let swapper =
+        Cthread.fork ~name:"swapper" ~proc:7 (fun () ->
+            SL.lock lk;
+            while SL.waiting_now lk < 1 do
+              Cthread.delay 10_000
+            done;
+            (* Long enough for the registered victim to actually park. *)
+            Cthread.delay 150_000;
+            swap_result := SL.swap_to lk SL.Tas;
+            SL.unlock lk)
+      in
+      let victim =
+        Cthread.fork ~name:"victim" ~proc:1 (fun () ->
+            SL.lock lk;
+            victim_done := true;
+            SL.unlock lk)
+      in
+      Cthread.join swapper;
+      Cthread.join victim;
+      epoch := SL.epoch lk;
+      rollbacks := SL.swap_rollbacks lk;
+      recoveries := SL.abandoned_recoveries lk;
+      final_impl := SL.current_impl lk);
+  Alcotest.(check bool) "swap reported rollback" false !swap_result;
+  Alcotest.(check int) "no committed swap" 0 !epoch;
+  Alcotest.(check bool) "implementation unchanged" true (!final_impl = SL.Blocking);
+  Alcotest.(check int) "rollback counted" 1 !rollbacks;
+  Alcotest.(check int) "freeze recovered by the waiter" 1 !recoveries;
+  Alcotest.(check bool) "re-parked victim still acquired" true !victim_done
+
+(* -- a pinned variant must stay pinned: the public swap API refuses -- *)
+
+let test_pinned_lock_rejects_swap () =
+  let raised = ref false and set_raised = ref false and final_impl = ref SL.Mcs in
+  let (_ : Sched.t) =
+    run (fun () ->
+        let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+        SL.lock lk;
+        (try ignore (SL.swap_to lk SL.Mcs) with Locks.Lock_core.Misuse _ -> raised := true);
+        SL.unlock lk;
+        (try ignore (SL.set_impl lk SL.Blocking)
+         with Locks.Lock_core.Misuse _ -> set_raised := true);
+        (* set_impl must release on the way out: a plain acquisition
+           still succeeds afterwards. *)
+        SL.lock lk;
+        SL.unlock lk;
+        final_impl := SL.current_impl lk)
+  in
+  Alcotest.(check bool) "swap_to refused" true !raised;
+  Alcotest.(check bool) "set_impl refused" true !set_raised;
+  Alcotest.(check bool) "implementation unchanged" true (!final_impl = SL.Tas)
 
 (* -- timed waiters: expiry while queued, grant within deadline -- *)
 
@@ -452,7 +559,7 @@ let test_injector_kill_in_swap () =
   let inj = Faults.Injector.install sim ~plan in
   let timed_result = ref true and recoveries = ref 0 and epoch = ref (-1) in
   Sched.run sim (fun () ->
-      let lk = SL.create ~fixed:SL.Tas ~home:0 () in
+      let lk = SL.create ~initial:SL.Tas ~home:0 () in
       let holder =
         Cthread.fork ~proc:1 (fun () ->
             SL.lock lk;
@@ -497,6 +604,10 @@ let suite =
       test_killed_waiter_rolls_swap_back;
     Alcotest.test_case "abandoned swap is recovered by waiters" `Quick
       test_abandoned_swap_recovery;
+    Alcotest.test_case "stalled swapper re-validates the freeze at commit" `Quick
+      test_stalled_swapper_commit_revalidates;
+    Alcotest.test_case "pinned lock refuses implementation swaps" `Quick
+      test_pinned_lock_rejects_swap;
     Alcotest.test_case "lock_timeout across contention" `Quick test_lock_timeout_semantics;
     Alcotest.test_case "identical runs are bit-identical" `Quick test_deterministic_replay;
     Alcotest.test_case "swap-free run performs zero adaptations" `Quick
