@@ -20,6 +20,12 @@ let domains =
    [?domains] argument — honours it. *)
 let set_domains n = if n > 0 then Engine.Runner.set_default_domains n
 
+let only =
+  let doc =
+    "Check only the shipped spec/model (or seeded-bad fixture) named $(docv)."
+  in
+  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
+
 let searchers =
   let doc = "Number of searcher threads (dedicated processors) for TSP runs." in
   Arg.(value & opt int Tsp.Parallel.default_spec.Tsp.Parallel.searchers
@@ -222,14 +228,20 @@ let check_policies_cmd =
      fixture misses its expectation. With --csv-dir, writes POLICY_results.json \
      (byte-identical at any --domains)."
   in
-  let run csv_dir domains =
+  let run csv_dir domains only =
     set_domains domains;
     let module PC = Analysis.Policy_check in
-    let ((reports, cross) as shipped) = PC.run (PC.shipped ()) in
+    let keep name = match only with None -> true | Some o -> o = name in
+    let specs =
+      List.filter
+        (fun s -> keep s.Adaptive_core.Policy.Spec.s_name)
+        (PC.shipped ())
+    in
+    let ((reports, cross) as shipped) = PC.run specs in
     let fixtures =
       Engine.Runner.map
         (fun (name, specs, expect) -> PC.check_fixture ~name ~expect specs)
-        (Analysis_suite.policy_fixtures ())
+        (List.filter (fun (n, _, _) -> keep n) (Analysis_suite.policy_fixtures ()))
     in
     List.iter
       (fun r ->
@@ -274,7 +286,90 @@ let check_policies_cmd =
       exit 1
     end
   in
-  Cmd.v (Cmd.info "check-policies" ~doc) Term.(const run $ csv_dir $ domains)
+  Cmd.v (Cmd.info "check-policies" ~doc) Term.(const run $ csv_dir $ domains $ only)
+
+let check_protocols_cmd =
+  let doc =
+    "Exhaustively model-check the concurrency protocols — the quiescence swap \
+     (freeze/kick/drain/commit-or-rollback with abandoned-swap recovery and timed \
+     waiters), MCS queue handoff, and the guardrail streak/cooldown machine — by \
+     explicit-state exploration: mutual exclusion, no lost sleeper, no double grant, \
+     freeze-owned commit, and liveness as absence of wedged states, under a one-crash \
+     budget. Then re-run the checker over the seeded-bad protocol variants \
+     (historical bugs), each of which must produce a counterexample, and lower the \
+     counterexamples with a simulator workload to confirmed witness schedules. Exits \
+     non-zero when a shipped protocol has a violation, a fixture goes undetected, or \
+     a lowering fails to confirm. With --csv-dir, writes PROTO_results.json \
+     (byte-identical at any --domains). With --only, checks just that model/fixture \
+     and skips witness lowering."
+  in
+  let run csv_dir domains only =
+    set_domains domains;
+    let module P = Analysis.Proto_check in
+    let keep name = match only with None -> true | Some o -> o = name in
+    let shipped = P.check_all ?only (Locks.Proto_models.shipped ()) in
+    let fixtures =
+      Engine.Runner.map
+        (fun (name, model, expect) -> P.check_fixture ~name ~expect model)
+        (List.filter (fun (n, _, _) -> keep n) (Analysis_suite.proto_fixtures ()))
+    in
+    let lowered = if only = None then Analysis_suite.proto_lowerings () else [] in
+    List.iter
+      (fun r ->
+        Printf.printf "%-28s %-20s %8d states %9d edges  %s\n" r.P.r_model
+          r.P.r_property r.P.r_states r.P.r_edges
+          (match r.P.r_verdict with
+          | P.Holds -> "holds"
+          | P.Out_of_bounds -> "OUT OF BOUNDS"
+          | P.Violated x ->
+            Printf.sprintf "VIOLATED (%d-step counterexample: %s)"
+              (List.length x.P.x_steps) x.P.x_why))
+      shipped;
+    List.iter
+      (fun f ->
+        Printf.printf "fixture %-24s expects %-42s %s\n" f.P.f_name
+          (String.concat ", " f.P.f_expect)
+          (if f.P.f_missing = [] then "detected"
+           else "MISSED " ^ String.concat ", " f.P.f_missing))
+      fixtures;
+    List.iter
+      (fun l ->
+        Printf.printf "lowered %-24s -> %-28s %s (schedule %d, replay %s)\n"
+          l.P.l_fixture l.P.l_scenario
+          (if l.P.l_confirmed then "Confirmed" else "UNCONFIRMED")
+          l.P.l_schedule_len
+          (if l.P.l_replay_ok then "bit-for-bit" else "DIVERGED"))
+      lowered;
+    (match csv_dir with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let path = Filename.concat dir "PROTO_results.json" in
+      let oc = open_out path in
+      output_string oc (P.to_json ~shipped ~fixtures ~lowered);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    let shipped_clean = P.clean shipped in
+    let fixtures_ok = P.fixtures_ok fixtures in
+    let lowered_ok =
+      List.for_all (fun l -> l.P.l_confirmed && l.P.l_replay_ok) lowered
+    in
+    if shipped_clean && fixtures_ok && lowered_ok then
+      print_endline
+        "protocol check: every shipped protocol verifies clean; every seeded bug \
+         caught"
+    else begin
+      if not shipped_clean then
+        print_endline "protocol check: VIOLATIONS on shipped protocols";
+      if not fixtures_ok then
+        print_endline "protocol check: fixtures MISSED expected violations";
+      if not lowered_ok then
+        print_endline "protocol check: witness lowering FAILED to confirm";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "check-protocols" ~doc) Term.(const run $ csv_dir $ domains $ only)
 
 let analyze_cmd =
   let doc =
@@ -454,8 +549,8 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default info
-          ((all_cmd :: bench_cmd :: analyze_cmd :: check_policies_cmd :: chaos_cmd
-            :: objects_cmd :: fig1_cmd
+          ((all_cmd :: bench_cmd :: analyze_cmd :: check_policies_cmd
+            :: check_protocols_cmd :: chaos_cmd :: objects_cmd :: fig1_cmd
             :: tsp_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds
           @ [ ablation_locks_cmd ])))

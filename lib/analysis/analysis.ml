@@ -8,6 +8,7 @@ module Causality = Causality
 module Predict = Predict
 module Witness = Witness
 module Policy_check = Policy_check
+module Proto_check = Proto_check
 open Butterfly
 
 type report = {

@@ -28,6 +28,7 @@ module Causality = Causality
 module Predict = Predict
 module Witness = Witness
 module Policy_check = Policy_check
+module Proto_check = Proto_check
 
 type report = {
   diags : Diag.t list;  (** all findings, sorted by {!Diag.compare} *)

@@ -1,0 +1,117 @@
+(** Explicit-state model checker for [Protocol] specs.
+
+    Bounded breadth-first exploration with a hashed seen-set — no
+    external tools. Safety properties are judged on every reachable
+    state (or transition, for [Step] properties) as it is discovered;
+    liveness-as-absence-of-wedged-states does one full exploration,
+    then a backward reachability pass from the goal states: any
+    reachable state that cannot reach a goal state is wedged, and the
+    BFS path to the earliest such state is the counterexample.
+
+    Everything is deterministic — exploration order is the spec's
+    declaration order — so state counts, verdicts, counterexample
+    traces and the JSON built from them are identical bytes at any
+    [--domains] count. [check_all] fans one model × property pair per
+    task over [Engine.Runner]. *)
+
+
+module Protocol = Adaptive_core.Protocol
+type counterexample = {
+  x_steps : (string * string) list;  (** (role, label) from the initial state *)
+  x_why : string;  (** what is wrong with the final state/step *)
+  x_state : string;  (** [Protocol.describe] of the violating state *)
+}
+
+type verdict =
+  | Holds
+  | Violated of counterexample
+  | Out_of_bounds  (** exploration hit [max_states] before an answer *)
+
+type report = {
+  r_model : string;
+  r_property : string;
+  r_desc : string;
+  r_states : int;  (** reachable states explored *)
+  r_edges : int;  (** transitions explored *)
+  r_verdict : verdict;
+}
+
+val check : ?max_states:int -> Protocol.t -> Protocol.property -> report
+(** Check one property of one model. [max_states] defaults to
+    2_000_000. *)
+
+val check_all :
+  ?domains:int ->
+  ?max_states:int ->
+  ?only:string ->
+  (Protocol.t * Protocol.property list) list ->
+  report list
+(** Expand to model × property tasks and fan them over
+    [Engine.Runner.map]; [only] keeps just the models with that
+    name. Output order is input order regardless of [domains]. *)
+
+val clean : report list -> bool
+(** No violation and nothing out of bounds. *)
+
+(** {1 Seeded-bad fixtures} *)
+
+type fixture_report = {
+  f_name : string;
+  f_expect : string list;  (** property names that must be violated *)
+  f_found : string list;  (** property names actually violated *)
+  f_missing : string list;  (** expected but not violated — a checker bug *)
+  f_reports : report list;
+}
+
+val check_fixture :
+  ?max_states:int ->
+  name:string ->
+  expect:string list ->
+  Protocol.t * Protocol.property list ->
+  fixture_report
+
+val fixtures_ok : fixture_report list -> bool
+(** Every seeded-bad fixture produced all its expected violations. *)
+
+(** {1 Model fidelity} *)
+
+val replay : Protocol.t -> (string * string) list -> (unit, string) result
+(** Drive the model along a recorded (role, label) sequence from the
+    initial state; [Error] describes the first step the model cannot
+    take — i.e. the point where the implementation's transition log
+    diverges from the model. Real logs carry no clock events, so a
+    step that is only enabled past a deadline is retried after
+    stuttering through ["tick"] system transitions (bounded by the
+    model's clock range). *)
+
+val random_walk :
+  Protocol.t -> seed:int -> steps:int -> (string * string) list * string option
+(** Deterministic pseudo-random walk; returns the (role, label) trace
+    and the first safety complaint found en route when given none —
+    callers pass the trace back through {!replay} or assert on it. The
+    walk stops early at terminal states. *)
+
+val walk_violates :
+  Protocol.t -> Protocol.property list -> seed:int -> steps:int -> string option
+(** Random-walk the model asserting every [Safety]/[Step] property at
+    each step; [Some why] on the first violation. *)
+
+(** {1 Witness lowering} *)
+
+type lowering = {
+  l_fixture : string;  (** seeded-bad fixture the counterexample came from *)
+  l_scenario : string;  (** analysis-suite scenario replayed in the simulator *)
+  l_rule : string;  (** predictive rule expected to confirm *)
+  l_confirmed : bool;  (** simulator manifested the predicted failure *)
+  l_replay_ok : bool;  (** recorded schedule replayed bit-for-bit *)
+  l_schedule_len : int;
+}
+
+(** {1 Report} *)
+
+val to_json :
+  shipped:report list ->
+  fixtures:fixture_report list ->
+  lowered:lowering list ->
+  string
+(** Deterministic JSON document (stable bytes at any domain count). *)

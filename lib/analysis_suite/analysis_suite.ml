@@ -471,6 +471,55 @@ let policy_fixtures () =
     ("swap-no-hysteresis", [ impl_trigger_happy ], [ "swap-no-hysteresis" ]);
   ]
 
+(* -- seeded-bad protocol models: positive controls for the protocol
+   model checker, plus the lowering of their counterexamples into the
+   simulator via the existing swap-window workloads. -- *)
+
+let proto_fixtures () = Locks.Proto_models.seeded_bad ()
+
+let proto_lowerings () =
+  (* Two of the four seeded protocol bugs have a simulator workload
+     that manifests the same violation, so their model counterexamples
+     lower to replayable witness schedules: run the workload under the
+     predictive pass with confirmation on and record the witness. The
+     stolen-freeze and no-age-out fixtures stay model-only — their
+     bugs live in code paths the seeded workloads cannot reach without
+     reintroducing the bug itself. *)
+  let lower l_fixture l_scenario program l_rule =
+    let p =
+      Analysis.check_predictive ~confirm:true
+        (config Workloads.Buggy.processors)
+        program
+    in
+    match
+      List.find_opt (fun c -> c.Analysis.rule = l_rule) (Analysis.confirmed p)
+    with
+    | Some { Analysis.witness = Some w; _ } ->
+      {
+        Analysis.Proto_check.l_fixture;
+        l_scenario;
+        l_rule;
+        l_confirmed = w.Analysis.Witness.w_status = Analysis.Witness.Confirmed;
+        l_replay_ok = w.Analysis.Witness.w_replay_ok;
+        l_schedule_len = List.length w.Analysis.Witness.w_schedule;
+      }
+    | _ ->
+      {
+        Analysis.Proto_check.l_fixture;
+        l_scenario;
+        l_rule;
+        l_confirmed = false;
+        l_replay_ok = false;
+        l_schedule_len = 0;
+      }
+  in
+  [
+    lower "lost-sleeper-on-swap" "predicted-swap-lost-waiter"
+      Workloads.Buggy.swap_lost_waiter "predicted-swap-lost-waiter";
+    lower "double-grant-on-swap" "predicted-swap-double-grant"
+      Workloads.Buggy.swap_double_grant "predicted-swap-double-grant";
+  ]
+
 let check s = Analysis.check s.config s.program
 
 let verdict s report =

@@ -43,6 +43,22 @@ val policy_fixtures :
     {!Analysis.Policy_check} must report). Every shipped spec checks
     clean; these are the checker's positive controls. *)
 
+val proto_fixtures :
+  unit ->
+  (string
+  * (Adaptive_core.Protocol.t * Adaptive_core.Protocol.property list)
+  * string list)
+  list
+(** Seeded-bad protocol models for [repro check-protocols]:
+    {!Locks.Proto_models.seeded_bad} — (fixture name, model, property
+    names {!Analysis.Proto_check} must report violated). *)
+
+val proto_lowerings : unit -> Analysis.Proto_check.lowering list
+(** Lower the model counterexamples that have a matching simulator
+    workload ([swap_lost_waiter], [swap_double_grant]) to replayable
+    witness schedules: each runs under the predictive pass with
+    confirmation and must arrive Confirmed with a bit-for-bit replay. *)
+
 val check : scenario -> Analysis.report
 (** Run the scenario under {!Analysis.check}. *)
 

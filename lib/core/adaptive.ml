@@ -69,7 +69,8 @@ let stats t =
     log = log t;
   }
 
-let create ?(name = "adaptive-object") ?(kind = "object") ~home ~sensor ~policy () =
+let create ?(name = "adaptive-object") ?(kind = "object") ?spec ~home ~sensor ~policy
+    () =
   let scratch = Butterfly.Ops.alloc1 ~node:home () in
   Butterfly.Ops.mark_sync_words [| scratch |];
   let t =
@@ -92,5 +93,5 @@ let create ?(name = "adaptive-object") ?(kind = "object") ~home ~sensor ~policy 
       ~stats:(fun () -> stats t)
       ~subscribe:(fun f -> subscribe t f)
       ~drive:(fun () -> poll t)
-      ();
+      ?spec ();
   t

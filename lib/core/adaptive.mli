@@ -27,6 +27,7 @@ type 'obs t
 val create :
   ?name:string ->
   ?kind:string ->
+  ?spec:Policy.Spec.t ->
   home:int ->
   sensor:'obs Sensor.t ->
   policy:'obs Policy.t ->
@@ -36,7 +37,10 @@ val create :
     charge reconfiguration costs at [home]. [kind] names the object
     family for the registry and annotations (["lock"], ["barrier"],
     ...; default ["object"]). The new loop registers itself in
-    {!Registry}. *)
+    {!Registry}; [spec] — the declarative policy spec the running
+    policy was compiled from — lets the registry formally check the
+    recorded adaptation log against the declared configuration space
+    ({!Registry.validate_log}). *)
 
 val name : 'obs t -> string
 val kind : 'obs t -> string

@@ -64,3 +64,88 @@ let validate s ~initial transitions =
 
 let total_cost transitions =
   List.fold_left (fun acc tr -> Cost.( + ) acc tr.cost) Cost.zero transitions
+
+(* -- bridging Policy.Spec to the paper's formalism: a declared policy
+   spec induces a configuration space (each configuration a gamma, no
+   attributes), and a recorded adaptation log replays as a Ψ chain
+   through it. -- *)
+
+let spec_config_name spec v =
+  match Policy.Spec.find_config spec v with
+  | Some c -> c.Policy.Spec.c_name
+  | None -> string_of_int v
+
+(* The label a transition writes into the log: its own, or the target
+   configuration's name when it declares none (Policy.Spec convention). *)
+let spec_transition_label spec tr =
+  if tr.Policy.Spec.t_label <> "" then tr.Policy.Spec.t_label
+  else spec_config_name spec tr.Policy.Spec.t_target
+
+let space_of_spec spec =
+  let name v = spec_config_name spec v in
+  let configs =
+    List.map (fun c -> config c.Policy.Spec.c_name) spec.Policy.Spec.s_configs
+  in
+  let declared =
+    List.map
+      (fun tr -> (name tr.Policy.Spec.t_from, name tr.Policy.Spec.t_target))
+      spec.Policy.Spec.s_transitions
+  in
+  (* The guardrail fallback is a declared Ψ from anywhere. *)
+  let fallback =
+    match spec.Policy.Spec.s_guard with
+    | None -> []
+    | Some g ->
+      List.map
+        (fun c -> (c.Policy.Spec.c_name, name g.Policy.Spec.g_fallback))
+        spec.Policy.Spec.s_configs
+  in
+  space ~configs ~edges:(declared @ fallback) ()
+
+let check_log spec log =
+  let name v = spec_config_name spec v in
+  let fail fmt = Format.kasprintf (fun msg -> Error msg) fmt in
+  (* Resolve each logged label into the declared transition it claims
+     to be (first match wins, the spec's priority order), building the
+     Ψ chain [validate] then checks against the space. *)
+  let rec resolve current acc = function
+    | [] -> Ok (List.rev acc)
+    | (at, label) :: rest -> (
+      match
+        List.find_opt
+          (fun tr ->
+            tr.Policy.Spec.t_from = current && spec_transition_label spec tr = label)
+          spec.Policy.Spec.s_transitions
+      with
+      | Some tr ->
+        let step =
+          {
+            at;
+            from_ = config (name current);
+            to_ = config (name tr.Policy.Spec.t_target);
+            cost = tr.Policy.Spec.t_cost;
+          }
+        in
+        resolve tr.Policy.Spec.t_target (step :: acc) rest
+      | None -> (
+        match spec.Policy.Spec.s_guard with
+        | Some g when g.Policy.Spec.g_fallback_label = label ->
+          let step =
+            {
+              at;
+              from_ = config (name current);
+              to_ = config (name g.Policy.Spec.g_fallback);
+              cost = g.Policy.Spec.g_fallback_cost;
+            }
+          in
+          resolve g.Policy.Spec.g_fallback (step :: acc) rest
+        | _ ->
+          fail "log entry \"%s\" at t=%d: no declared transition from %s" label at
+            (name current)))
+  in
+  match resolve spec.Policy.Spec.s_initial [] log with
+  | Error _ as e -> e
+  | Ok chain ->
+    validate (space_of_spec spec)
+      ~initial:(config (name spec.Policy.Spec.s_initial))
+      chain

@@ -56,3 +56,17 @@ val validate : space -> initial:config -> transition list -> (unit, string) resu
 
 val total_cost : transition list -> Cost.t
 (** Costs of composite reconfigurations add (§3.1). *)
+
+val space_of_spec : Policy.Spec.t -> space
+(** The configuration space a declared policy spec induces: one member
+    per [s_configs] entry (by name, no pinned attributes), with edges
+    for every declared transition plus — when the spec carries a
+    guardrail — the fallback Ψ from every configuration. *)
+
+val check_log : Policy.Spec.t -> (int * string) list -> (unit, string) result
+(** Replay a recorded adaptation log ((virtual time, label), oldest
+    first — the {!Registry.stats} log) as a Ψ chain: each label must
+    resolve to a declared transition out of the current configuration
+    (or the guardrail fallback), and the resulting chain must
+    {!validate} against {!space_of_spec}. [Error] pinpoints the first
+    label with no declared transition, or the validate failure. *)

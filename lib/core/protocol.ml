@@ -1,0 +1,353 @@
+(* Small-step protocol IR + explicit-state semantics. See the .mli
+   for the model: roles, shared words, guarded atomic rules, generated
+   crash transitions and an abstract clock. Everything is pure and
+   deterministic — successor order is declaration order — so the
+   checker's state counts and counterexamples are stable bytes. *)
+
+module Spec = struct
+  type flavor = Holder | Swapper | Spinning | Queued | Sleeping | Timed | Monitor
+
+  type role = {
+    r_name : string;
+    r_flavor : flavor;
+    r_crashable : bool;
+    r_locals : (string * int) list;
+  }
+
+  type expr =
+    | K of int
+    | S of string
+    | L of string
+    | Me
+    | Clock
+    | Status of string
+    | Add of expr * expr
+    | Sub of expr * expr
+
+  type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+  type guard = T | C of cmp * expr * expr | All of guard list | Any of guard list | Not of guard
+
+  type act =
+    | Read of string * string
+    | Write of string * expr
+    | Set of string * expr
+    | If of guard * act list * act list
+    | Unpark of string
+
+  type rule = {
+    u_role : string;
+    u_from : int;
+    u_label : string;
+    u_guard : guard;
+    u_acts : act list;
+    u_to : int;
+    u_park : bool;
+    u_done : bool;
+    u_timeout : bool;
+  }
+
+  let rule ~role ~from_ ?(park = false) ?(done_ = false) ?(timeout = false) ?(guard = T)
+      ?(acts = []) ~label u_to =
+    { u_role = role; u_from = from_; u_label = label; u_guard = guard; u_acts = acts;
+      u_to; u_park = park; u_done = done_; u_timeout = timeout }
+
+  let cas w ~expect ~set = (C (Eq, S w, expect), Write (w, set))
+
+  type t = {
+    p_name : string;
+    p_shared : (string * int) list;
+    p_roles : role list;
+    p_rules : rule list;
+    p_crash_budget : int;
+    p_clock_max : int;
+  }
+end
+
+exception Ill_formed of string
+
+let ill fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+(* Compiled (indexed) forms: every name resolved to an array slot so
+   evaluation during exploration never touches a string. *)
+
+type cexpr =
+  | CK of int
+  | CS of int
+  | CL of int
+  | CMe
+  | CClock
+  | CStatus of int
+  | CAdd of cexpr * cexpr
+  | CSub of cexpr * cexpr
+
+type cguard =
+  | CT
+  | CC of Spec.cmp * cexpr * cexpr
+  | CAll of cguard list
+  | CAny of cguard list
+  | CNot of cguard
+
+type cact =
+  | CRead of int * int
+  | CWrite of int * cexpr
+  | CSet of int * cexpr
+  | CIf of cguard * cact list * cact list
+  | CUnpark of int
+
+type crule = {
+  c_role : int;
+  c_from : int;
+  c_label : string;
+  c_guard : cguard;
+  c_acts : cact list;
+  c_to : int;
+  c_park : bool;
+  c_done : bool;
+  c_timeout : bool;
+}
+
+type t = {
+  t_spec : Spec.t;
+  t_shared_names : string array;
+  t_shared_init : int array;
+  t_role_names : string array;
+  t_crashable : bool array;
+  t_local_names : string array array;
+  t_local_init : int array array;
+  t_rules : crule array;
+}
+
+(* status codes *)
+let st_running = 0
+let st_parked = 1
+let st_crashed = 2
+let st_done = 3
+
+type status = Running | Parked | Crashed | Done
+
+let status_of_code = function
+  | 0 -> Running
+  | 1 -> Parked
+  | 2 -> Crashed
+  | _ -> Done
+
+let index_of what names n =
+  let rec go i = if i >= Array.length names then ill "%s: unknown name %s" what n
+    else if names.(i) = n then i else go (i + 1)
+  in
+  go 0
+
+let check_dups what names =
+  Array.iteri
+    (fun i n ->
+      Array.iteri (fun j m -> if i < j && n = m then ill "%s: duplicate name %s" what n) names)
+    names
+
+let compile (s : Spec.t) : t =
+  if s.Spec.p_roles = [] then ill "protocol %s: no roles" s.Spec.p_name;
+  if s.Spec.p_crash_budget < 0 then ill "protocol %s: negative crash budget" s.Spec.p_name;
+  if s.Spec.p_clock_max < 0 then ill "protocol %s: negative clock bound" s.Spec.p_name;
+  let shared_names = Array.of_list (List.map fst s.Spec.p_shared) in
+  let shared_init = Array.of_list (List.map snd s.Spec.p_shared) in
+  let role_names = Array.of_list (List.map (fun r -> r.Spec.r_name) s.Spec.p_roles) in
+  let crashable = Array.of_list (List.map (fun r -> r.Spec.r_crashable) s.Spec.p_roles) in
+  let local_names =
+    Array.of_list (List.map (fun r -> Array.of_list (List.map fst r.Spec.r_locals)) s.Spec.p_roles)
+  in
+  let local_init =
+    Array.of_list (List.map (fun r -> Array.of_list (List.map snd r.Spec.r_locals)) s.Spec.p_roles)
+  in
+  check_dups s.Spec.p_name shared_names;
+  check_dups s.Spec.p_name role_names;
+  Array.iter (check_dups s.Spec.p_name) local_names;
+  let shared_ix n = index_of (s.Spec.p_name ^ " shared") shared_names n in
+  let role_ix n = index_of (s.Spec.p_name ^ " role") role_names n in
+  let local_ix role n = index_of (s.Spec.p_name ^ " local") local_names.(role) n in
+  let rec cexpr role = function
+    | Spec.K v -> CK v
+    | Spec.S n -> CS (shared_ix n)
+    | Spec.L n -> CL (local_ix role n)
+    | Spec.Me -> CMe
+    | Spec.Clock -> CClock
+    | Spec.Status n -> CStatus (role_ix n)
+    | Spec.Add (a, b) -> CAdd (cexpr role a, cexpr role b)
+    | Spec.Sub (a, b) -> CSub (cexpr role a, cexpr role b)
+  in
+  let rec cguard role = function
+    | Spec.T -> CT
+    | Spec.C (c, a, b) -> CC (c, cexpr role a, cexpr role b)
+    | Spec.All gs -> CAll (List.map (cguard role) gs)
+    | Spec.Any gs -> CAny (List.map (cguard role) gs)
+    | Spec.Not g -> CNot (cguard role g)
+  in
+  let rec cact role = function
+    | Spec.Read (l, w) -> CRead (local_ix role l, shared_ix w)
+    | Spec.Write (w, e) -> CWrite (shared_ix w, cexpr role e)
+    | Spec.Set (l, e) -> CSet (local_ix role l, cexpr role e)
+    | Spec.If (g, a, b) -> CIf (cguard role g, List.map (cact role) a, List.map (cact role) b)
+    | Spec.Unpark n -> CUnpark (role_ix n)
+  in
+  let crule (u : Spec.rule) =
+    let role = role_ix u.Spec.u_role in
+    if u.Spec.u_park && u.Spec.u_done then
+      ill "%s rule %s: park and done are exclusive" s.Spec.p_name u.Spec.u_label;
+    { c_role = role; c_from = u.Spec.u_from; c_label = u.Spec.u_label;
+      c_guard = cguard role u.Spec.u_guard; c_acts = List.map (cact role) u.Spec.u_acts;
+      c_to = u.Spec.u_to; c_park = u.Spec.u_park; c_done = u.Spec.u_done;
+      c_timeout = u.Spec.u_timeout }
+  in
+  { t_spec = s; t_shared_names = shared_names; t_shared_init = shared_init;
+    t_role_names = role_names; t_crashable = crashable; t_local_names = local_names;
+    t_local_init = local_init; t_rules = Array.of_list (List.map crule s.Spec.p_rules) }
+
+let name t = t.t_spec.Spec.p_name
+let spec t = t.t_spec
+let role_names t = Array.to_list t.t_role_names
+
+type state = {
+  sh : int array;
+  pcs : int array;
+  regs : int array array;
+  sts : int array;
+  wk : int array;
+  clk : int;
+  cr : int;
+}
+
+let init t =
+  let n = Array.length t.t_role_names in
+  { sh = Array.copy t.t_shared_init;
+    pcs = Array.make n 0;
+    regs = Array.map Array.copy t.t_local_init;
+    sts = Array.make n st_running;
+    wk = Array.make n 0;
+    clk = 0;
+    cr = 0 }
+
+let rec eval st me = function
+  | CK v -> v
+  | CS i -> st.sh.(i)
+  | CL i -> st.regs.(me).(i)
+  | CMe -> me + 1
+  | CClock -> st.clk
+  | CStatus r -> st.sts.(r)
+  | CAdd (a, b) -> eval st me a + eval st me b
+  | CSub (a, b) -> eval st me a - eval st me b
+
+let cmp_op : Spec.cmp -> int -> int -> bool = function
+  | Spec.Eq -> ( = )
+  | Spec.Ne -> ( <> )
+  | Spec.Lt -> ( < )
+  | Spec.Le -> ( <= )
+  | Spec.Gt -> ( > )
+  | Spec.Ge -> ( >= )
+
+let rec holds st me = function
+  | CT -> true
+  | CC (c, a, b) -> cmp_op c (eval st me a) (eval st me b)
+  | CAll gs -> List.for_all (holds st me) gs
+  | CAny gs -> List.exists (holds st me) gs
+  | CNot g -> not (holds st me g)
+
+let copy st =
+  { st with sh = Array.copy st.sh; pcs = Array.copy st.pcs;
+    regs = Array.map Array.copy st.regs; sts = Array.copy st.sts; wk = Array.copy st.wk }
+
+(* Actions mutate the copy in order: later actions observe earlier
+   writes within the same atomic rule. *)
+let rec apply_act st me = function
+  | CRead (l, w) -> st.regs.(me).(l) <- st.sh.(w)
+  | CWrite (w, e) -> st.sh.(w) <- eval st me e
+  | CSet (l, e) -> st.regs.(me).(l) <- eval st me e
+  | CIf (g, a, b) -> List.iter (apply_act st me) (if holds st me g then a else b)
+  | CUnpark r ->
+    (* Sticky wakeups: waking a parked role resumes it; waking a
+       running role leaves a token its next park consumes. Crashed and
+       finished roles ignore wakeups. *)
+    if st.sts.(r) = st_parked then st.sts.(r) <- st_running
+    else if st.sts.(r) = st_running then st.wk.(r) <- 1
+
+let fire t st (r : crule) =
+  ignore t;
+  let st' = copy st in
+  List.iter (apply_act st' r.c_role) r.c_acts;
+  st'.pcs.(r.c_role) <- r.c_to;
+  if r.c_done then st'.sts.(r.c_role) <- st_done
+  else if r.c_park then begin
+    if st'.wk.(r.c_role) = 1 then st'.wk.(r.c_role) <- 0
+    else st'.sts.(r.c_role) <- st_parked
+  end;
+  st'
+
+let successors t st =
+  let out = ref [] in
+  Array.iter
+    (fun r ->
+      if st.sts.(r.c_role) = st_running && st.pcs.(r.c_role) = r.c_from
+         && holds st r.c_role r.c_guard
+      then out := (t.t_role_names.(r.c_role), r.c_label, fire t st r) :: !out)
+    t.t_rules;
+  if st.cr < t.t_spec.Spec.p_crash_budget then
+    Array.iteri
+      (fun i crashable ->
+        if crashable && (st.sts.(i) = st_running || st.sts.(i) = st_parked) then begin
+          let st' = copy st in
+          st'.sts.(i) <- st_crashed;
+          out := (t.t_role_names.(i), "crash", { st' with cr = st.cr + 1 }) :: !out
+        end)
+      t.t_crashable;
+  if st.clk < t.t_spec.Spec.p_clock_max then
+    out := ("", "tick", { (copy st) with clk = st.clk + 1 }) :: !out;
+  List.rev !out
+
+let key _t st = Marshal.to_string st []
+
+let shared t st n = st.sh.(index_of "shared" t.t_shared_names n)
+
+let local t st rn n =
+  let r = index_of "role" t.t_role_names rn in
+  st.regs.(r).(index_of "local" t.t_local_names.(r) n)
+
+let pc t st rn = st.pcs.(index_of "role" t.t_role_names rn)
+let status t st rn = status_of_code st.sts.(index_of "role" t.t_role_names rn)
+let wake_pending t st rn = st.wk.(index_of "role" t.t_role_names rn) = 1
+let clock _ st = st.clk
+let crashes _ st = st.cr
+
+let describe t st =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "clk=%d cr=%d" st.clk st.cr);
+  Array.iteri (fun i n -> Buffer.add_string b (Printf.sprintf " %s=%d" n st.sh.(i)))
+    t.t_shared_names;
+  Array.iteri
+    (fun i rn ->
+      let s =
+        match status_of_code st.sts.(i) with
+        | Running -> "run"
+        | Parked -> "parked"
+        | Crashed -> "crashed"
+        | Done -> "done"
+      in
+      Buffer.add_string b (Printf.sprintf " %s@%d:%s" rn st.pcs.(i) s);
+      if st.wk.(i) = 1 then Buffer.add_string b "+wake";
+      Array.iteri
+        (fun j ln -> Buffer.add_string b (Printf.sprintf "[%s=%d]" ln st.regs.(i).(j)))
+        t.t_local_names.(i))
+    t.t_role_names;
+  Buffer.contents b
+
+type property =
+  | Safety of { q_name : string; q_desc : string; q_bad : t -> state -> string option }
+  | Step of {
+      q_name : string;
+      q_desc : string;
+      q_bad : t -> role:string -> label:string -> state -> string option;
+    }
+  | Liveness of { q_name : string; q_desc : string; q_goal : t -> state -> bool }
+
+let property_name = function
+  | Safety { q_name; _ } | Step { q_name; _ } | Liveness { q_name; _ } -> q_name
+
+let property_desc = function
+  | Safety { q_desc; _ } | Step { q_desc; _ } | Liveness { q_desc; _ } -> q_desc

@@ -9,7 +9,13 @@ type stats = {
   log : (int * string) list;
 }
 
-type metrics = { id : int; name : string; kind : string; stats : stats }
+type metrics = {
+  id : int;
+  name : string;
+  kind : string;
+  stats : stats;
+  spec : Policy.Spec.t option;
+}
 
 type entry = {
   e_id : int;
@@ -18,6 +24,7 @@ type entry = {
   e_stats : unit -> stats;
   e_subscribe : (event -> unit) -> unit;
   e_drive : (unit -> bool) option;
+  e_spec : Policy.Spec.t option;
 }
 
 (* Per-domain state, like [Ops.annotations_flag]: each simulation runs
@@ -44,13 +51,13 @@ let reset () =
    remember to do it. *)
 let () = Butterfly.Sched.at_run_start reset
 
-let register ~name ~kind ~stats ?(subscribe = fun _ -> ()) ?drive () =
+let register ~name ~kind ~stats ?(subscribe = fun _ -> ()) ?drive ?spec () =
   let st = state () in
   let id = st.next_id in
   st.next_id <- id + 1;
   st.entries <-
     { e_id = id; e_name = name; e_kind = kind; e_stats = stats;
-      e_subscribe = subscribe; e_drive = drive }
+      e_subscribe = subscribe; e_drive = drive; e_spec = spec }
     :: st.entries;
   id
 
@@ -59,8 +66,15 @@ let size () = List.length (state ()).entries
 
 let snapshot () =
   List.map
-    (fun e -> { id = e.e_id; name = e.e_name; kind = e.e_kind; stats = e.e_stats () })
+    (fun e ->
+      { id = e.e_id; name = e.e_name; kind = e.e_kind; stats = e.e_stats ();
+        spec = e.e_spec })
     (entries ())
+
+(* Formal check (§3.1) of the recorded Ψ log against the declared
+   configuration space; [None] when the object declared no spec. *)
+let validate_log m =
+  match m.spec with None -> None | Some spec -> Some (Formal.check_log spec m.stats.log)
 
 let subscribe_all f = List.iter (fun e -> e.e_subscribe f) (entries ())
 
@@ -126,6 +140,15 @@ let metrics_json m =
         | None -> "null"
         | Some l -> Printf.sprintf "\"%s\"" (json_escape l));
       Printf.sprintf "      \"log\": [%s]" log;
+      Printf.sprintf "      \"policy_valid\": %s"
+        (match validate_log m with
+        | None -> "null"
+        | Some (Ok ()) -> "true"
+        | Some (Error _) -> "false");
+      Printf.sprintf "      \"policy_violation\": %s"
+        (match validate_log m with
+        | Some (Error why) -> Printf.sprintf "\"%s\"" (json_escape why)
+        | None | Some (Ok ()) -> "null");
     ]
 
 let to_json ms =

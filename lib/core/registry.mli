@@ -36,7 +36,16 @@ type stats = {
 }
 (** Typed metrics snapshot of one object's feedback loop. *)
 
-type metrics = { id : int; name : string; kind : string; stats : stats }
+type metrics = {
+  id : int;
+  name : string;
+  kind : string;
+  stats : stats;
+  spec : Policy.Spec.t option;
+      (** the declared adaptation-policy spec, when the object supplied
+          one at registration — what {!validate_log} checks the
+          recorded log against *)
+}
 (** [id] is the registration ordinal within the current run. *)
 
 val reset : unit -> unit
@@ -49,6 +58,7 @@ val register :
   stats:(unit -> stats) ->
   ?subscribe:((event -> unit) -> unit) ->
   ?drive:(unit -> bool) ->
+  ?spec:Policy.Spec.t ->
   unit ->
   int
 (** Register an object; returns its registry id. [stats] is consulted
@@ -63,6 +73,13 @@ val size : unit -> int
 val snapshot : unit -> metrics list
 (** Current metrics of every registered object, in registration
     order. *)
+
+val validate_log : metrics -> (unit, string) result option
+(** {!Formal.check_log} of the object's recorded adaptation log
+    against its declared spec's configuration space ([None] when the
+    object registered without a spec). Surfaced per object in
+    {!to_json} as [policy_valid] / [policy_violation] — how
+    [repro objects] reports protocol-level log violations. *)
 
 val subscribe_all : (event -> unit) -> unit
 (** Attach [f] as an adaptation-event hook on every currently

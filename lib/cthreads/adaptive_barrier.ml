@@ -70,7 +70,9 @@ let create ?node ?(name = "adaptive-barrier") ?(period = 1) ?(spin_if_under = 80
         last_spread = 0;
         spin_ns = Attribute.make_at ~name:"arrival-spin-ns" ~node:home 0;
         loop =
-          Adaptive.create ~name ~kind:"barrier" ~home
+          Adaptive.create ~name ~kind:"barrier"
+            ~spec:(policy_spec ~name ~spin_if_under ~block_if_over ~max_spin_ns ())
+            ~home
             ~sensor:
               (Sensor.make ~name:"arrival-spread" ~period (fun () ->
                    let b = Lazy.force t in

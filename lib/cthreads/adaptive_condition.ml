@@ -80,7 +80,8 @@ let create ?node ?(name = "adaptive-condition") ?(period = 2) ?(broadcast_over =
         spin_ns = Attribute.make_at ~name:"wait-spin-ns" ~node:home 0;
         broadcast_hint = Attribute.make_at ~name:"broadcast-hint" ~node:home false;
         loop =
-          Adaptive.create ~name ~kind:"condition" ~home
+          Adaptive.create ~name ~kind:"condition"
+            ~spec:(policy_spec ~name ~broadcast_over ()) ~home
             ~sensor:
               (Sensor.make ~name:"waiting-at-signal" ~period (fun () ->
                    let c = Lazy.force t in

@@ -51,7 +51,8 @@ let create ?node ?(name = "adaptive-semaphore") ?(period = 2) ?(block_over = 2) 
         waiters = Queue.create ();
         spin_ns = Attribute.make_at ~name:"acquire-spin-ns" ~node:home 0;
         loop =
-          Adaptive.create ~name ~kind:"semaphore" ~home
+          Adaptive.create ~name ~kind:"semaphore"
+            ~spec:(policy_spec ~name ~block_over ()) ~home
             ~sensor:
               (Sensor.make ~name:"waiting-at-release" ~period (fun () ->
                    let s = Lazy.force t in

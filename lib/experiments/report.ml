@@ -447,10 +447,29 @@ let print_objects ?(out = std) ?csv_dir ?domains () =
   Format.fprintf out "%s@."
     (Repro_stats.Table.render
        ~title:"Adaptive-object registry after the sync-objects workload" tbl);
-  Format.fprintf out "objects=%d adaptations=%d total=%s ms@."
+  (* Formal check (§3.1): each recorded adaptation log must stay
+     inside its object's declared configuration space. *)
+  let checked, violations =
+    List.fold_left
+      (fun (n, vs) (m : Adaptive_core.Registry.metrics) ->
+        match Adaptive_core.Registry.validate_log m with
+        | None -> (n, vs)
+        | Some (Ok ()) -> (n + 1, vs)
+        | Some (Error why) ->
+          (n + 1, (m.Adaptive_core.Registry.name, why) :: vs))
+      (0, []) r.Workloads.Sync_objects.snapshot
+  in
+  List.iter
+    (fun (name, why) ->
+      Format.fprintf out "policy-log VIOLATION %s: %s@." name why)
+    (List.rev violations);
+  Format.fprintf out
+    "objects=%d adaptations=%d total=%s ms (logs formally checked: %d, violations: \
+     %d)@."
     (List.length r.Workloads.Sync_objects.snapshot)
     r.Workloads.Sync_objects.adaptations
-    (Repro_stats.Table.ms_of_ns r.Workloads.Sync_objects.total_ns);
+    (Repro_stats.Table.ms_of_ns r.Workloads.Sync_objects.total_ns)
+    checked (List.length violations);
   with_csv csv_dir "OBJECTS_results.json" (fun oc ->
       output_string oc
         (Adaptive_core.Registry.to_json r.Workloads.Sync_objects.snapshot))

@@ -110,7 +110,16 @@ let create ?name ?trace ?sched ?(params = default_params) ?policy ?guardrail ~ho
       ~overhead_instrs:40
       (fun () -> Lock_core.waiting_now core)
   in
-  let loop = Adaptive.create ~name ~kind:"lock" ~home ~sensor ~policy:Policy.no_op () in
+  (* The spec describes the default (possibly guardrailed) simple-adapt
+     policies; a caller-supplied policy is opaque, so no spec — the
+     registry then skips the formal log check rather than judging the
+     log against a space it does not follow. *)
+  let spec =
+    match policy with Some _ -> None | None -> Some (policy_spec ~params ?guardrail ~name ())
+  in
+  let loop =
+    Adaptive.create ~name ~kind:"lock" ?spec ~home ~sensor ~policy:Policy.no_op ()
+  in
   let budget =
     Spin_budget.create ~threshold:params.waiting_threshold ~n:params.n ~cap:params.spin_cap
       ~init:params.n

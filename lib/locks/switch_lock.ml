@@ -96,6 +96,9 @@ type t = {
   mutable abandoned_recoveries : int;
   mutable loop : int Adaptive.t option;
   mutable guard_state : Guardrail.t option;
+  mutable probe : (int -> string -> unit) option;
+      (* conformance instrumentation: one callback per protocol
+         transition, labelled to match [Proto_models.quiescence] *)
   lock_stats : Lock_stats.t;
 }
 
@@ -228,6 +231,15 @@ let annotate_swap t label =
   if Ops.annotations_enabled () then
     Ops.annotate (Ops.A_adaptation { obj_name = t.lock_name; kind = "lock-impl"; label })
 
+(* Transition log for model-conformance tests: each emission is one
+   atomic protocol step, labelled exactly as the corresponding rule of
+   [Proto_models.quiescence]. Emissions from guard-held sections
+   happen while the guard is still held, so the log order is the
+   protocol's linearization order. *)
+let set_transition_probe t probe = t.probe <- probe
+
+let emit t label = match t.probe with Some f -> f (Ops.self ()) label | None -> ()
+
 (* Wait out a freeze window. Returns false when [deadline_ns] (>= 0)
    passes first. A ctl word whose deadline lies more than the grace
    period in the past means the swapper died mid-swap: any waiter may
@@ -240,6 +252,7 @@ let rec await_unfrozen t ~deadline_ns =
   else if Ops.now () > c + t.params.swap_grace_ns then begin
     if Ops.compare_and_swap t.ctl ~expected:c ~desired:0 then begin
       t.abandoned_recoveries <- t.abandoned_recoveries + 1;
+      emit t "recover";
       annotate_swap t "swap-abandoned-recovery"
     end;
     await_unfrozen t ~deadline_ns
@@ -304,6 +317,7 @@ let swap_to t target =
        out. *)
     let deadline = Ops.now () + t.params.swap_timeout_ns in
     Ops.write t.ctl deadline;
+    emit t "freeze";
     annotate_swap t ("swap-begin:" ^ label);
     guard_lock t;
     t.swap_seq <- t.swap_seq + 1;
@@ -337,6 +351,7 @@ let swap_to t target =
         Ops.write w.w_flag 2;
         if w.w_sleeping then Ops.wakeup w.w_tid)
       kicked;
+    emit t "kick";
     guard_unlock t;
     let rec drain () =
       if Ops.read t.ack = 0 then true
@@ -357,7 +372,14 @@ let swap_to t target =
        already cleared [ctl] makes the re-check fail and the swap roll
        back instead. *)
     let committed =
-      drain ()
+      (if drain () then begin
+         emit t "drain-ok";
+         true
+       end
+       else begin
+         emit t "drain-timeout";
+         false
+       end)
       && begin
            guard_lock t;
            if Ops.read t.ctl = deadline then begin
@@ -365,10 +387,12 @@ let swap_to t target =
              t.epoch <- t.epoch + 1;
              Ops.write t.impl_word (impl_id target);
              Ops.write t.ctl 0;
+             emit t "commit";
              guard_unlock t;
              true
            end
            else begin
+             emit t "stolen";
              guard_unlock t;
              false
            end
@@ -382,6 +406,7 @@ let swap_to t target =
       t.swap_rollbacks <- t.swap_rollbacks + 1;
       Ops.write t.ack 0;
       Ops.write t.ctl 0;
+      emit t "rollback";
       annotate_swap t ("swap-rollback:" ^ label);
       false
     end
@@ -405,6 +430,7 @@ let rec wait_loop t w ~since ~deadline_ns =
         (* Won the race on the word: withdraw our registration. *)
         guard_lock t;
         remove_record t w;
+        emit t "acquire";
         guard_unlock t;
         acquired t ~since;
         true
@@ -444,6 +470,7 @@ let rec wait_loop t w ~since ~deadline_ns =
           let f = Ops.read w.w_flag in
           if f = 0 then begin
             w.w_sleeping <- true;
+            emit t "park";
             guard_unlock t;
             Lock_stats.on_block t.lock_stats;
             Ops.block ();
@@ -465,6 +492,7 @@ and on_flag t w f ~since ~deadline_ns =
     (* Granted: the releaser handed the held word directly to us. *)
     guard_lock t;
     remove_record t w;
+    emit t "granted";
     guard_unlock t;
     acquired t ~since;
     true
@@ -477,9 +505,13 @@ and on_flag t w f ~since ~deadline_ns =
     guard_lock t;
     Ops.write w.w_flag 0;
     ack_kick t w;
+    emit t "ack";
     guard_unlock t;
-    ignore (await_unfrozen t ~deadline_ns);
-    wait_loop t w ~since ~deadline_ns
+    if await_unfrozen t ~deadline_ns then begin
+      emit t "unfrozen";
+      wait_loop t w ~since ~deadline_ns
+    end
+    else wait_loop t w ~since ~deadline_ns
   end
 
 and timeout_cleanup t w ~since =
@@ -490,6 +522,7 @@ and timeout_cleanup t w ~since =
        not stall the drain. *)
     if Ops.read w.w_flag = 2 then ack_kick t w;
     remove_record t w;
+    emit t "timeout";
     guard_unlock t;
     leave_waiting t;
     Lock_stats.on_timeout t.lock_stats;
@@ -501,6 +534,7 @@ and timeout_cleanup t w ~since =
        owner — take the lock properly and release it, so the grant is
        neither lost nor doubled. *)
     let f = Ops.read w.w_flag in
+    if f = 1 then emit t "timeout-grant" else emit t "timeout";
     guard_unlock t;
     if f = 1 then begin
       acquired t ~since;
@@ -517,12 +551,15 @@ and timeout_cleanup t w ~since =
 
 and release_via_impl t =
   match t.impl with
-  | Tas -> Ops.write t.word 0
+  | Tas ->
+    Ops.write t.word 0;
+    emit t "free"
   | Mcs | Blocking -> begin
     guard_lock t;
     match t.queue with
     | [] ->
       Ops.write t.word 0;
+      emit t "free";
       guard_unlock t
     | w :: rest ->
       (* Direct handoff to the lowest ticket: the word stays held. *)
@@ -530,6 +567,7 @@ and release_via_impl t =
       Ops.write w.w_flag 1;
       let sleeping = w.w_sleeping in
       t.owner <- Some w.w_tid;
+      emit t "grant";
       guard_unlock t;
       Lock_stats.on_handoff t.lock_stats;
       if sleeping then Ops.wakeup w.w_tid
@@ -575,6 +613,7 @@ let rec contended t ~deadline_ns =
 
 and contended_entry t ~since ~deadline_ns =
   if not (await_unfrozen t ~deadline_ns) then begin
+    emit t "timeout";
     leave_waiting t;
     Lock_stats.on_timeout t.lock_stats;
     false
@@ -586,6 +625,7 @@ and contended_entry t ~since ~deadline_ns =
       contended_entry t ~since ~deadline_ns
     end
     else if Ops.test_and_set t.word then begin
+      emit t "acquire";
       guard_unlock t;
       acquired t ~since;
       true
@@ -604,6 +644,7 @@ and contended_entry t ~since ~deadline_ns =
       t.next_ticket <- t.next_ticket + 1;
       Ops.write flag 0;
       t.queue <- t.queue @ [ w ];
+      emit t "register";
       guard_unlock t;
       wait_loop t w ~since ~deadline_ns
     end
@@ -616,6 +657,7 @@ let lock t =
   if
     Ops.lock_probe ~pre_instrs:(profile t).Lock_costs.lock_overhead_instrs t.word
   then begin
+    emit t "acquire";
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t
   end
@@ -627,6 +669,7 @@ let try_lock t =
     Ops.lock_probe ~pre_instrs:(profile t).Lock_costs.lock_overhead_instrs t.word
   in
   if got then begin
+    emit t "acquire";
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t
   end;
@@ -639,6 +682,7 @@ let lock_timeout t ~deadline_ns =
   if
     Ops.lock_probe ~pre_instrs:(profile t).Lock_costs.lock_overhead_instrs t.word
   then begin
+    emit t "acquire";
     Lock_stats.on_acquired t.lock_stats ~wait_ns:0;
     note_acquired t;
     true
@@ -699,6 +743,7 @@ let create ?name ?trace ?(params = default_params) ?(guardrail = default_guardra
       abandoned_recoveries = 0;
       loop = None;
       guard_state = None;
+      probe = None;
       lock_stats = Lock_stats.create ?trace name;
     }
   in
@@ -713,10 +758,11 @@ let create ?name ?trace ?(params = default_params) ?(guardrail = default_guardra
         ~overhead_instrs:40
         (fun () -> score t)
     in
-    let loop =
-      Adaptive.create ~name ~kind:"lock-impl" ~home ~sensor ~policy:Policy.no_op ()
-    in
     let spec = policy_spec ~params ~guardrail ~name () in
+    let loop =
+      Adaptive.create ~name ~kind:"lock-impl" ~spec ~home ~sensor ~policy:Policy.no_op
+        ()
+    in
     let guard_state = Guardrail.create ~params:guardrail () in
     t.guard_state <- Some guard_state;
     let policy =

@@ -112,6 +112,15 @@ val epoch : t -> int
 
 val swap_rollbacks : t -> int
 val abandoned_recoveries : t -> int
+
+(** Conformance instrumentation: [probe tid label] is called at each
+    protocol transition (labels match the [Proto_models.quiescence]
+    rule vocabulary: freeze, kick, drain-ok, commit, park, granted,
+    …). Emissions inside guard-held sections happen before the guard
+    is released, so the probe sees the real linearization order. For
+    [Analysis.Proto_check] conformance tests only; [None] (the
+    default) costs one branch per transition. *)
+val set_transition_probe : t -> (int -> string -> unit) option -> unit
 val adaptations : t -> int
 val samples : t -> int
 val feedback : t -> int Adaptive_core.Adaptive.t option

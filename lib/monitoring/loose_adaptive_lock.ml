@@ -41,7 +41,7 @@ let create ?(name = "loose-adaptive-lock") ?trace ?(params = AL.default_params)
     else false (* lost the ownership race: nothing changed, don't count it *)
   in
   let loop =
-    Adaptive.create ~name ~kind:"lock" ~home
+    Adaptive.create ~name ~kind:"lock" ~spec:(Locks.Spin_budget.spec_of budget) ~home
       ~sensor:
         (Sensor.make ~name:(name ^ ".no-of-waiting-threads") ~overhead_instrs:40
            (fun () -> waiting_count reconf))

@@ -28,6 +28,7 @@ let () =
       ("faults", Test_faults.suite);
       ("objects", Test_objects.suite);
       ("policy_check", Test_policy_check.suite);
+      ("proto_check", Test_proto_check.suite);
       ("fastpath", Test_fastpath.suite);
       ("switch_lock", Test_switch_lock.suite);
     ]

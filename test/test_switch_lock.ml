@@ -320,6 +320,125 @@ let test_stalled_swapper_commit_revalidates () =
   Alcotest.(check int) "freeze recovered by the waiter" 1 !recoveries;
   Alcotest.(check bool) "re-parked victim still acquired" true !victim_done
 
+(* -- a timed waiter whose deadline fires INSIDE the grace window of an
+   abandoned swap must withdraw without recovering the freeze (now is
+   not yet past deadline+grace, so the swapper may still be alive), and
+   the recovery then falls to the next arrival. The interleaving is
+   steered like the stalled-swapper test: starve the swapper from just
+   after its kick, so the kicked timed waiter acks, polls the frozen
+   ctl, and expires strictly inside the grace window; a rescuer thread
+   then ages the freeze out, and the released swapper finds its freeze
+   stolen and rolls back. -- *)
+
+let test_timed_expiry_races_abandoned_recovery () =
+  let params =
+    { SL.default_params with SL.swap_timeout_ns = 600_000; swap_grace_ns = 200_000 }
+  in
+  let swap_result = ref true and timed_result = ref true in
+  let rescuer_done = ref false in
+  let epoch = ref (-1) and rollbacks = ref 0 and recoveries = ref 0 in
+  let timeouts = ref 0 and final_impl = ref SL.Tas in
+  let freeze_at = ref (-1) and timed_out_at = ref (-1) in
+  let probe_log = ref [] in
+  let sim = Sched.create cfg in
+  let swapper_tid = ref (-1) in
+  let hold = ref false in
+  Sched.add_annot_hook sim (fun a ->
+      match a.Sched.annotation with
+      | Ops.A_adaptation { kind = "lock-impl"; label; _ } when swap_begin_label label ->
+        swapper_tid := a.Sched.annot_tid;
+        freeze_at := a.Sched.annot_time
+      | Ops.A_adaptation { kind = "lock-impl"; label = "swap-abandoned-recovery"; _ } ->
+        (* The rescuer has aged the freeze out: let the swapper resume
+           and discover the theft. *)
+        hold := false
+      | _ -> ());
+  Sched.set_dispatch_chooser sim
+    (Some
+       (fun choices ->
+         if not !hold then -1
+         else begin
+           let pick = ref (-1) in
+           Array.iter
+             (fun c ->
+               if c.Sched.choice_tid <> !swapper_tid && !pick = -1 then
+                 pick := c.Sched.choice_tid)
+             choices;
+           !pick
+         end));
+  let go_rescue = ref false in
+  Sched.run sim (fun () ->
+      let lk = SL.create ~initial:SL.Blocking ~params ~home:0 () in
+      (* The probe doubles as the steering trigger: the timed waiter's
+         kick acknowledgment is the exact point after which the
+         swapper must not run again until the freeze is recovered —
+         the emission is synchronous, so the hold is in place before
+         the swapper's next drain sample can be dispatched. *)
+      SL.set_transition_probe lk
+        (Some
+           (fun tid label ->
+             probe_log := (tid, label) :: !probe_log;
+             if label = "ack" then hold := true));
+      let swapper =
+        Cthread.fork ~name:"swapper" ~proc:7 (fun () ->
+            SL.lock lk;
+            while SL.waiting_now lk < 1 do
+              Cthread.delay 10_000
+            done;
+            Cthread.delay 150_000;
+            swap_result := SL.swap_to lk SL.Tas;
+            SL.unlock lk)
+      in
+      let timed =
+        Cthread.fork ~name:"timed" ~proc:1 (fun () ->
+            (* The deadline lands between the swapper's drain deadline
+               and deadline+grace: the waiter is kicked, acks, and then
+               expires while the abandoned freeze is still inside its
+               grace period. *)
+            timed_result :=
+              SL.lock_timeout lk ~deadline_ns:(Cthread.now () + 880_000);
+            timed_out_at := Cthread.now ())
+      in
+      let rescuer =
+        Cthread.fork ~name:"rescuer" ~proc:2 (fun () ->
+            while not !go_rescue do
+              Cthread.delay 10_000
+            done;
+            SL.lock lk;
+            rescuer_done := true;
+            SL.unlock lk)
+      in
+      Cthread.join timed;
+      go_rescue := true;
+      Cthread.join swapper;
+      Cthread.join rescuer;
+      epoch := SL.epoch lk;
+      rollbacks := SL.swap_rollbacks lk;
+      recoveries := SL.abandoned_recoveries lk;
+      timeouts := Locks.Lock_stats.timeouts (SL.stats lk);
+      final_impl := SL.current_impl lk);
+  Alcotest.(check bool) "timed waiter expired" false !timed_result;
+  (* The expiry really fell inside the grace window: past the drain
+     deadline, short of deadline+grace. *)
+  Alcotest.(check bool) "timeout after the drain deadline" true
+    (!timed_out_at > !freeze_at + params.SL.swap_timeout_ns);
+  Alcotest.(check bool) "timeout inside the grace window" true
+    (!timed_out_at < !freeze_at + params.SL.swap_timeout_ns + params.SL.swap_grace_ns);
+  (* The timed waiter withdrew without recovering; the rescuer did. *)
+  let events = List.rev !probe_log in
+  let index l = Option.get (List.find_index (fun (_, x) -> x = l) events) in
+  Alcotest.(check bool) "timeout precedes recovery" true
+    (index "timeout" < index "recover");
+  Alcotest.(check bool) "recovery not by the timed waiter" true
+    (fst (List.nth events (index "recover")) <> fst (List.nth events (index "timeout")));
+  Alcotest.(check int) "freeze recovered once" 1 !recoveries;
+  Alcotest.(check int) "timeout counted" 1 !timeouts;
+  Alcotest.(check bool) "swap reported rollback" false !swap_result;
+  Alcotest.(check int) "no committed swap" 0 !epoch;
+  Alcotest.(check int) "rollback counted" 1 !rollbacks;
+  Alcotest.(check bool) "implementation unchanged" true (!final_impl = SL.Blocking);
+  Alcotest.(check bool) "rescuer still acquired" true !rescuer_done
+
 (* -- a pinned variant must stay pinned: the public swap API refuses -- *)
 
 let test_pinned_lock_rejects_swap () =
@@ -606,6 +725,8 @@ let suite =
       test_abandoned_swap_recovery;
     Alcotest.test_case "stalled swapper re-validates the freeze at commit" `Quick
       test_stalled_swapper_commit_revalidates;
+    Alcotest.test_case "timed expiry inside the grace window of an abandoned swap"
+      `Quick test_timed_expiry_races_abandoned_recovery;
     Alcotest.test_case "pinned lock refuses implementation swaps" `Quick
       test_pinned_lock_rejects_swap;
     Alcotest.test_case "lock_timeout across contention" `Quick test_lock_timeout_semantics;
