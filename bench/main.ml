@@ -31,6 +31,7 @@ let domains = ref 0 (* 0 = Engine.Runner.default_domains () *)
 let quick = ref false
 let compare_path = ref ""
 let tolerance_pct = ref 15.0
+let store_path = ref "" (* "" = <csv-dir>/store.jsonl (or $REPRO_STORE) *)
 
 let () =
   Arg.parse
@@ -51,6 +52,10 @@ let () =
       ( "--tolerance",
         Arg.Set_float tolerance_pct,
         "PCT  allowed events/sec drop vs the baseline (default 15)" );
+      ( "--store",
+        Arg.Set_string store_path,
+        "FILE  results store to append this run's BENCH record to (default: \
+         <csv-dir>/store.jsonl, or $REPRO_STORE)" );
     ]
     (fun anon -> raise (Arg.Bad (Printf.sprintf "unexpected argument %S" anon)))
     "dune exec bench/main.exe -- [options]"
@@ -389,6 +394,35 @@ let () =
   Experiments.Perf.write_json ~path:json_path ~micros ~comparison:(Some comparison) ();
   Printf.printf "\nbench: done (figure CSVs and BENCH_results.json written to %s/)\n"
     !csv_dir;
+  (* One store record for the whole run: the report-level events/sec
+     (what `repro bench --compare` gates on) plus one eps/ metric per
+     micro-benchmark, with the full BENCH json as the payload. *)
+  let store =
+    if !store_path <> "" then !store_path
+    else Fleet.Emit.default_store ~csv_dir:!csv_dir
+  in
+  let metrics =
+    ( "events_per_sec",
+      comparison.Experiments.Perf.events_base
+      /. Float.max comparison.Experiments.Perf.wall_base_s 1e-9 )
+    :: ( "identical_output",
+         if comparison.Experiments.Perf.identical_output then 1. else 0. )
+    :: List.filter_map
+         (fun m ->
+           if Float.is_nan m.Experiments.Perf.events_per_sec then None
+           else
+             Some ("eps/" ^ m.Experiments.Perf.bench_name, m.Experiments.Perf.events_per_sec))
+         micros
+  in
+  let record =
+    Fleet.Store.make ~driver:"bench" ~kind:"BENCH"
+      ~config:(if !quick then [ ("quick", "true") ] else [])
+      ~metrics
+      ~payload:(Experiments.Perf.to_json ~micros ~comparison:(Some comparison) ())
+      ()
+  in
+  Fleet.Store.append ~path:store [ record ];
+  Printf.printf "bench: appended BENCH record to %s\n" store;
   let gate_ok = gate micros in
   if not comparison.Experiments.Perf.identical_output then exit 1;
   if not soak_identical then exit 1;

@@ -1,30 +1,11 @@
 (* The repro CLI: regenerate any table, figure or ablation of the paper
-   individually, or everything at once. *)
+   individually, or everything at once. Every artifact-producing
+   subcommand also appends one record per artifact to the experiment-
+   fleet results store (Fleet.Store); `repro run` executes declarative
+   sweep specs through the driver catalogue and `repro view` queries
+   the accumulated records. *)
 
 open Cmdliner
-
-let csv_dir =
-  let doc = "Also write figure data as CSV files into $(docv)." in
-  Arg.(value & opt (some string) None & info [ "csv-dir" ] ~docv:"DIR" ~doc)
-
-let domains =
-  let doc =
-    "Host cores (OCaml domains) used to run independent simulations in parallel. \
-     Defaults to every available core; 1 forces fully sequential execution. The \
-     simulated results are identical at any value."
-  in
-  Arg.(value & opt int 0 & info [ "domains" ] ~docv:"N" ~doc)
-
-(* The flag sets the process-wide Runner default, so every experiment
-   below — including ones reached through code without an explicit
-   [?domains] argument — honours it. *)
-let set_domains n = if n > 0 then Engine.Runner.set_default_domains n
-
-let only =
-  let doc =
-    "Check only the shipped spec/model (or seeded-bad fixture) named $(docv)."
-  in
-  Arg.(value & opt (some string) None & info [ "only" ] ~docv:"NAME" ~doc)
 
 let searchers =
   let doc = "Number of searcher threads (dedicated processors) for TSP runs." in
@@ -48,9 +29,9 @@ let simple name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(
       const (fun domains ->
-          set_domains domains;
+          Cli.set_domains domains;
           f ())
-      $ domains)
+      $ Cli.domains)
 
 let table_cmds =
   [
@@ -65,21 +46,29 @@ let table_cmds =
   ]
 
 let fig1_cmd =
-  let run csv_dir domains =
-    set_domains domains;
-    Experiments.Report.print_fig1 ?csv_dir ()
+  let run c =
+    Experiments.Report.print_fig1 ?csv_dir:c.Cli.csv_dir
+      ~emit:(Cli.report_hook c ~config:[]) ()
   in
   Cmd.v (Cmd.info "fig1" ~doc:"Figure 1: critical-section sweep")
-    Term.(const run $ csv_dir $ domains)
+    Term.(const run $ Cli.common)
 
 let tsp_cmd =
   let doc = "Tables 1-3 and Figures 4-9 (the TSP evaluation)" in
-  let run csv_dir searchers cities seed domains =
-    set_domains domains;
-    Experiments.Report.print_tsp ?csv_dir ~spec:(tsp_spec searchers cities seed) ()
+  let run c searchers cities seed =
+    let config =
+      [
+        ("searchers", string_of_int searchers);
+        ("cities", string_of_int cities);
+        ("seed", string_of_int seed);
+      ]
+    in
+    Experiments.Report.print_tsp ?csv_dir:c.Cli.csv_dir
+      ~emit:(Cli.report_hook c ~config)
+      ~spec:(tsp_spec searchers cities seed) ()
   in
   Cmd.v (Cmd.info "tsp" ~doc)
-    Term.(const run $ csv_dir $ searchers $ cities $ instance_seed $ domains)
+    Term.(const run $ Cli.common $ searchers $ cities $ instance_seed)
 
 let single_fig_cmds =
   List.map
@@ -87,7 +76,7 @@ let single_fig_cmds =
       let name = Printf.sprintf "fig%d" number in
       let doc = Experiments.Tsp_experiments.figure_description ~impl ~lock in
       let run searchers cities seed domains =
-        set_domains domains;
+        Cli.set_domains domains;
         let t =
           Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
         in
@@ -97,14 +86,14 @@ let single_fig_cmds =
           Printf.printf "Figure %d: %s\n%s\n" number doc (Repro_stats.Plot.series series)
       in
       Cmd.v (Cmd.info name ~doc)
-        Term.(const run $ searchers $ cities $ instance_seed $ domains))
+        Term.(const run $ searchers $ cities $ instance_seed $ Cli.domains))
     Experiments.Tsp_experiments.all_figures
 
 let single_table_cmds =
   List.map
     (fun (name, doc, impl) ->
       let run searchers cities seed domains =
-        set_domains domains;
+        Cli.set_domains domains;
         let t =
           Experiments.Tsp_experiments.run_all ~spec:(tsp_spec searchers cities seed) ()
         in
@@ -117,7 +106,7 @@ let single_table_cmds =
           row.Experiments.Tsp_experiments.improvement_pct
       in
       Cmd.v (Cmd.info name ~doc)
-        Term.(const run $ searchers $ cities $ instance_seed $ domains))
+        Term.(const run $ searchers $ cities $ instance_seed $ Cli.domains))
     [
       ("table1", "Table 1: centralized TSP", Tsp.Parallel.Centralized);
       ("table2", "Table 2: distributed TSP", Tsp.Parallel.Distributed);
@@ -153,50 +142,68 @@ let ablation_locks_cmd =
      With --csv-dir, writes ABLATION_LOCKS_results.json (byte-identical at any \
      --domains)."
   in
-  let run csv_dir domains =
-    set_domains domains;
-    let ok = Experiments.Report.print_switch_locks ?csv_dir () in
-    (match csv_dir with
+  let run c =
+    let ok =
+      Experiments.Report.print_switch_locks ?csv_dir:c.Cli.csv_dir
+        ~emit:(Cli.report_hook c ~config:[]) ()
+    in
+    (match c.Cli.csv_dir with
     | Some dir ->
       Printf.printf "wrote %s\n" (Filename.concat dir "ABLATION_LOCKS_results.json")
     | None -> ());
     if not ok then exit 1
   in
-  Cmd.v (Cmd.info "ablation-locks" ~doc) Term.(const run $ csv_dir $ domains)
+  Cmd.v (Cmd.info "ablation-locks" ~doc) Term.(const run $ Cli.common)
 
 let objects_cmd =
   let doc =
     "Run the sync-objects workload (one of each adaptive object: lock, rw-lock, \
      barrier, condition, semaphore) and dump the adaptive-object registry — per-object \
      samples, policy runs, adaptations, charged cost and transition log. With \
-     --csv-dir, also writes OBJECTS_results.json (byte-identical at any --domains)."
+     --csv-dir, also writes OBJECTS_results.json (byte-identical at any --domains). \
+     With --only, restricts the dump to the object with that registry name."
   in
-  let run csv_dir domains =
-    set_domains domains;
-    Experiments.Report.print_objects ?csv_dir ();
-    match csv_dir with
+  let run c only =
+    let config = match only with None -> [] | Some o -> [ ("only", o) ] in
+    Experiments.Report.print_objects ?csv_dir:c.Cli.csv_dir
+      ~emit:(Cli.report_hook c ~config) ?only ();
+    match c.Cli.csv_dir with
     | Some dir -> Printf.printf "wrote %s\n" (Filename.concat dir "OBJECTS_results.json")
     | None -> ()
   in
-  Cmd.v (Cmd.info "objects" ~doc) Term.(const run $ csv_dir $ domains)
+  Cmd.v (Cmd.info "objects" ~doc) Term.(const run $ Cli.common $ Cli.only)
 
 let all_cmd =
-  let run csv_dir domains =
-    set_domains domains;
-    Experiments.Report.print_everything ?csv_dir ()
+  let run c =
+    Experiments.Report.print_everything ?csv_dir:c.Cli.csv_dir
+      ~emit:(Cli.report_hook c ~config:[]) ()
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table, figure and ablation in paper order")
-    Term.(const run $ csv_dir $ domains)
+    Term.(const run $ Cli.common)
 
 let bench_cmd =
   let doc =
     "Time full report generation at domains=1 vs domains=N, check the outputs are \
      byte-identical, and write a machine-readable BENCH_results.json (no Bechamel \
-     micro-benchmarks; use bench/main.exe for those)."
+     micro-benchmarks; use bench/main.exe for those). With --compare, gate the \
+     report-level events/sec against the most recent BENCH record in the store \
+     (same host preferred) — or against the store file named as the option value."
   in
-  let run csv_dir domains =
-    set_domains domains;
+  let compare_arg =
+    let doc =
+      "Gate events/sec against a stored baseline. Without a value, uses the most \
+       recent same-host BENCH record of the command's own store; with one, reads \
+       the given store file."
+    in
+    Arg.(value & opt ~vopt:(Some "") (some string) None
+         & info [ "compare" ] ~docv:"STORE" ~doc)
+  in
+  let tolerance =
+    let doc = "Allowed events/sec drop, in percent, before --compare fails." in
+    Arg.(value & opt float 40.0 & info [ "tolerance" ] ~docv:"PCT" ~doc)
+  in
+  let run c compare_to tolerance =
     let n = Engine.Runner.default_domains () in
     let comparison, _report = Experiments.Perf.compare_report_generation ~domains:n () in
     Printf.printf
@@ -207,16 +214,76 @@ let bench_cmd =
       /. Float.max comparison.Experiments.Perf.wall_parallel_s 1e-9)
       (if comparison.Experiments.Perf.identical_output then "byte-identical"
        else "DIFFERS (BUG)");
-    (match csv_dir with
+    let eps =
+      comparison.Experiments.Perf.events_base
+      /. Float.max comparison.Experiments.Perf.wall_base_s 1e-9
+    in
+    (* Resolve the baseline before this run's record lands in the
+       store, so a run never gates against itself. *)
+    let baseline =
+      match compare_to with
+      | None -> None
+      | Some arg ->
+        let path = if arg = "" then Cli.store_path c else arg in
+        (match Fleet.Store.load ~path with
+        | Error e ->
+          prerr_endline ("bench --compare: " ^ e);
+          exit 2
+        | Ok records ->
+          let host = try Unix.gethostname () with _ -> "unknown" in
+          let candidates =
+            List.filter
+              (fun r ->
+                r.Fleet.Store.r_kind = "BENCH"
+                && List.mem_assoc "events_per_sec" r.Fleet.Store.r_metrics)
+              records
+          in
+          let last l = match List.rev l with [] -> None | r :: _ -> Some r in
+          let pick =
+            match last (List.filter (fun r -> r.Fleet.Store.r_host = host) candidates)
+            with
+            | Some r -> Some r
+            | None -> last candidates
+          in
+          Some (path, pick))
+    in
+    (match c.Cli.csv_dir with
     | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir "BENCH_results.json" in
-      Experiments.Perf.write_json ~path ~micros:[] ~comparison:(Some comparison) ();
-      Printf.printf "wrote %s\n" path);
+    | Some _ ->
+      Cli.emit_artifact c ~driver:"bench" ~kind:"BENCH" ~legacy:"BENCH_results.json"
+        ~config:[]
+        ~metrics:
+          [
+            ("events_per_sec", eps);
+            ("events_base", comparison.Experiments.Perf.events_base);
+            ("wall_base_s", comparison.Experiments.Perf.wall_base_s);
+            ("wall_parallel_s", comparison.Experiments.Perf.wall_parallel_s);
+            ( "identical_output",
+              if comparison.Experiments.Perf.identical_output then 1. else 0. );
+          ]
+        ~payload:
+          (Experiments.Perf.to_json ~micros:[] ~comparison:(Some comparison) ()));
+    (match baseline with
+    | None -> ()
+    | Some (path, None) ->
+      Printf.printf "bench gate: no BENCH baseline in %s; skipping comparison\n" path
+    | Some (_, Some b) ->
+      let base_eps = List.assoc "events_per_sec" b.Fleet.Store.r_metrics in
+      let floor = base_eps *. (1. -. (tolerance /. 100.)) in
+      let rev = b.Fleet.Store.r_rev in
+      let rev = if String.length rev > 7 then String.sub rev 0 7 else rev in
+      Printf.printf
+        "bench gate: %.3g events/s vs baseline %.3g (host %s, rev %s, tolerance \
+         %g%%)\n"
+        eps base_eps b.Fleet.Store.r_host rev tolerance;
+      if eps < floor then begin
+        print_endline "bench gate: REGRESSION (events/sec below tolerated floor)";
+        exit 1
+      end
+      else print_endline "bench gate: ok");
     if not comparison.Experiments.Perf.identical_output then exit 1
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ csv_dir $ domains)
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ Cli.common $ compare_arg $ tolerance)
 
 let check_policies_cmd =
   let doc =
@@ -228,8 +295,7 @@ let check_policies_cmd =
      fixture misses its expectation. With --csv-dir, writes POLICY_results.json \
      (byte-identical at any --domains)."
   in
-  let run csv_dir domains only =
-    set_domains domains;
+  let run c only =
     let module PC = Analysis.Policy_check in
     let keep name = match only with None -> true | Some o -> o = name in
     let specs =
@@ -264,16 +330,24 @@ let check_policies_cmd =
           (if x.PC.x_missing = [] then "flagged"
            else "MISSED " ^ String.concat ", " x.PC.x_missing))
       fixtures;
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir "POLICY_results.json" in
-      let oc = open_out path in
-      output_string oc (PC.to_json ~shipped ~fixtures);
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n" path);
+    let findings =
+      List.fold_left (fun acc r -> acc + List.length r.PC.sr_findings) 0 reports
+      + List.length cross
+    in
+    let missed =
+      List.fold_left (fun acc x -> acc + List.length x.PC.x_missing) 0 fixtures
+    in
+    Cli.emit_artifact c ~driver:"check-policies" ~kind:"POLICY"
+      ~legacy:"POLICY_results.json"
+      ~config:(match only with None -> [] | Some o -> [ ("only", o) ])
+      ~metrics:
+        [
+          ("specs", float_of_int (List.length reports));
+          ("findings", float_of_int findings);
+          ("fixtures", float_of_int (List.length fixtures));
+          ("missed", float_of_int missed);
+        ]
+      ~payload:(PC.to_json ~shipped ~fixtures ^ "\n");
     let shipped_clean = PC.clean shipped in
     let fixtures_ok = List.for_all (fun x -> x.PC.x_missing = []) fixtures in
     if shipped_clean && fixtures_ok then
@@ -286,7 +360,7 @@ let check_policies_cmd =
       exit 1
     end
   in
-  Cmd.v (Cmd.info "check-policies" ~doc) Term.(const run $ csv_dir $ domains $ only)
+  Cmd.v (Cmd.info "check-policies" ~doc) Term.(const run $ Cli.common $ Cli.only)
 
 let check_protocols_cmd =
   let doc =
@@ -303,8 +377,7 @@ let check_protocols_cmd =
      (byte-identical at any --domains). With --only, checks just that model/fixture \
      and skips witness lowering."
   in
-  let run csv_dir domains only =
-    set_domains domains;
+  let run c only =
     let module P = Analysis.Proto_check in
     let keep name = match only with None -> true | Some o -> o = name in
     let shipped = P.check_all ?only (Locks.Proto_models.shipped ()) in
@@ -340,16 +413,32 @@ let check_protocols_cmd =
           l.P.l_schedule_len
           (if l.P.l_replay_ok then "bit-for-bit" else "DIVERGED"))
       lowered;
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir "PROTO_results.json" in
-      let oc = open_out path in
-      output_string oc (P.to_json ~shipped ~fixtures ~lowered);
-      output_char oc '\n';
-      close_out oc;
-      Printf.printf "wrote %s\n" path);
+    let violations =
+      List.length
+        (List.filter
+           (fun r -> match r.P.r_verdict with P.Violated _ -> true | _ -> false)
+           shipped)
+    in
+    let missed =
+      List.fold_left (fun acc f -> acc + List.length f.P.f_missing) 0 fixtures
+    in
+    Cli.emit_artifact c ~driver:"check-protocols" ~kind:"PROTO"
+      ~legacy:"PROTO_results.json"
+      ~config:(match only with None -> [] | Some o -> [ ("only", o) ])
+      ~metrics:
+        [
+          ("checks", float_of_int (List.length shipped));
+          ("violations", float_of_int violations);
+          ("fixtures", float_of_int (List.length fixtures));
+          ("missed", float_of_int missed);
+          ("lowered", float_of_int (List.length lowered));
+          ( "confirmed",
+            float_of_int
+              (List.length
+                 (List.filter (fun l -> l.P.l_confirmed && l.P.l_replay_ok) lowered))
+          );
+        ]
+      ~payload:(P.to_json ~shipped ~fixtures ~lowered ^ "\n");
     let shipped_clean = P.clean shipped in
     let fixtures_ok = P.fixtures_ok fixtures in
     let lowered_ok =
@@ -369,7 +458,7 @@ let check_protocols_cmd =
       exit 1
     end
   in
-  Cmd.v (Cmd.info "check-protocols" ~doc) Term.(const run $ csv_dir $ domains $ only)
+  Cmd.v (Cmd.info "check-protocols" ~doc) Term.(const run $ Cli.common $ Cli.only)
 
 let analyze_cmd =
   let doc =
@@ -402,8 +491,7 @@ let analyze_cmd =
          & info [ "no-fail" ]
              ~doc:"Always exit 0, even when a scenario misses its expectation.")
   in
-  let run verbose predict confirm no_fail csv_dir domains =
-    set_domains domains;
+  let run verbose predict confirm no_fail c =
     let predict = predict || confirm in
     let results =
       Analysis_suite.run_all ~predict ~confirm (Analysis_suite.all ())
@@ -428,22 +516,32 @@ let analyze_cmd =
           List.map (fun e -> (r.Analysis_suite.r_name, e)) r.Analysis_suite.r_failures)
         results
     in
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir "ANALYSIS_results.json" in
-      let oc = open_out path in
-      output_string oc (Analysis_suite.to_json results);
-      close_out oc;
-      Printf.printf "wrote %s\n" path);
+    let predictions =
+      List.fold_left
+        (fun acc r -> acc + List.length r.Analysis_suite.r_predictions)
+        0 results
+    in
+    Cli.emit_artifact c ~driver:"analyze" ~kind:"ANALYSIS"
+      ~legacy:"ANALYSIS_results.json"
+      ~config:
+        [
+          ("predict", string_of_bool predict);
+          ("confirm", string_of_bool confirm);
+        ]
+      ~metrics:
+        [
+          ("scenarios", float_of_int (List.length results));
+          ("failures", float_of_int (List.length failures));
+          ("predictions", float_of_int predictions);
+        ]
+      ~payload:(Analysis_suite.to_json results);
     (match failures with
     | [] -> print_endline "analysis: all scenarios behaved as expected"
     | _ -> List.iter (fun (name, e) -> Printf.printf "FAIL %s: %s\n" name e) failures);
     if failures <> [] && not no_fail then exit 1
   in
   Cmd.v (Cmd.info "analyze" ~doc)
-    Term.(const run $ verbose $ predict $ confirm $ no_fail $ csv_dir $ domains)
+    Term.(const run $ verbose $ predict $ confirm $ no_fail $ Cli.common)
 
 let chaos_cmd =
   let doc =
@@ -472,7 +570,8 @@ let chaos_cmd =
   in
   let scenario_filter =
     Arg.(value & opt (some string) None
-         & info [ "scenario" ] ~docv:"NAME" ~doc:"Restrict the sweep to one scenario.")
+         & info [ "scenario" ] ~docv:"NAME"
+             ~doc:"Restrict the sweep to one scenario (alias of --only).")
   in
   let swap_faults =
     Arg.(value & flag
@@ -481,8 +580,8 @@ let chaos_cmd =
                "Also draw swap-window faults (drain stalls and kills timed to land \
                 inside a switch-lock implementation swap) into the generated plans.")
   in
-  let run seeds quick plan scenario_name swap_faults csv_dir domains =
-    set_domains domains;
+  let run seeds quick plan scenario_name swap_faults c only =
+    let scenario_name = match only with Some _ -> only | None -> scenario_name in
     let scenarios = Analysis_suite.shipped () in
     let scenarios =
       match scenario_name with
@@ -490,7 +589,7 @@ let chaos_cmd =
       | Some n -> List.filter (fun s -> s.Analysis_suite.scenario_name = n) scenarios
     in
     if scenarios = [] then begin
-      prerr_endline "chaos: no scenario matches --scenario";
+      prerr_endline "chaos: no scenario matches --scenario/--only";
       exit 2
     end;
     let results =
@@ -511,36 +610,160 @@ let chaos_cmd =
           | fs -> "FAIL: " ^ String.concat "; " fs))
       results;
     print_endline (Chaos.summary_line results);
-    (match csv_dir with
-    | None -> ()
-    | Some dir ->
-      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-      let path = Filename.concat dir "CHAOS_results.json" in
+    let config =
+      (match plan with
+      | Some spec -> [ ("plan", spec) ]
+      | None ->
+        [ ("seeds", string_of_int (if quick then 2 else max 1 seeds)) ])
+      @ [ ("swap_faults", string_of_bool swap_faults) ]
+      @ (match scenario_name with None -> [] | Some n -> [ ("scenario", n) ])
+    in
+    let sum f = float_of_int (List.fold_left (fun acc r -> acc + f r) 0 results) in
+    let failing = List.filter (fun r -> not (Chaos.passed r)) results in
+    Cli.emit_artifact c ~driver:"chaos" ~kind:"CHAOS" ~legacy:"CHAOS_results.json"
+      ~config
+      ~metrics:
+        [
+          ("runs", float_of_int (List.length results));
+          ("failures", float_of_int (List.length failing));
+          ("events", sum (fun r -> r.Chaos.events));
+          ("accesses", sum (fun r -> r.Chaos.accesses));
+          ("injected", sum (fun r -> List.length r.Chaos.injected));
+        ]
+      ~payload:(Chaos.to_json results);
+    (match c.Cli.csv_dir with
+    | Some dir when failing <> [] ->
+      let path = Filename.concat dir "CHAOS_failing_plans.txt" in
       let oc = open_out path in
-      output_string oc (Chaos.to_json results);
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "%s seed=%d plan=%s%s\n" r.Chaos.scenario r.Chaos.seed
+            r.Chaos.plan
+            (match r.Chaos.pinned_schedule with
+            | None -> ""
+            | Some s -> " schedule=" ^ s))
+        failing;
       close_out oc;
-      Printf.printf "wrote %s\n" path;
-      let failing = List.filter (fun r -> not (Chaos.passed r)) results in
-      if failing <> [] then begin
-        let path = Filename.concat dir "CHAOS_failing_plans.txt" in
-        let oc = open_out path in
-        List.iter
-          (fun r ->
-            Printf.fprintf oc "%s seed=%d plan=%s%s\n" r.Chaos.scenario r.Chaos.seed
-              r.Chaos.plan
-              (match r.Chaos.pinned_schedule with
-              | None -> ""
-              | Some s -> " schedule=" ^ s))
-          failing;
-        close_out oc;
-        Printf.printf "wrote %s\n" path
-      end);
-    if List.exists (fun r -> not (Chaos.passed r)) results then exit 1
+      Printf.printf "wrote %s\n" path
+    | _ -> ());
+    if failing <> [] then exit 1
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(
-      const run $ seeds $ quick $ plan $ scenario_filter $ swap_faults $ csv_dir
-      $ domains)
+      const run $ seeds $ quick $ plan $ scenario_filter $ swap_faults $ Cli.common
+      $ Cli.only)
+
+let run_cmd =
+  let doc =
+    "Execute an experiment-fleet spec: a JSON declaration of a cross-product sweep \
+     (axes x values) over one of the catalogue drivers, validated up front, run \
+     through the deterministic domain-parallel runner, with one store record \
+     appended per config. The store is byte-identical at any --domains. See \
+     --catalogue for the drivers and their axes."
+  in
+  let spec_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"SPEC.json" ~doc:"Spec file (one spec object or an array).")
+  in
+  let dry =
+    Arg.(value & flag
+         & info [ "dry-run" ]
+             ~doc:"Validate and print the expanded configs without running anything.")
+  in
+  let catalogue =
+    Arg.(value & flag
+         & info [ "catalogue" ] ~doc:"Print the driver catalogue and exit.")
+  in
+  let run c spec_path dry catalogue =
+    if catalogue then print_string (Fleet.Catalogue.describe ())
+    else
+      match spec_path with
+      | None ->
+        prerr_endline "repro run: a SPEC.json argument is required (or --catalogue)";
+        exit 2
+      | Some path -> (
+        match Fleet.Spec.of_file path with
+        | Error e ->
+          prerr_endline ("repro run: " ^ e);
+          exit 2
+        | Ok specs ->
+          List.iter
+            (fun s ->
+              match Fleet.Catalogue.validate s with
+              | Ok () -> ()
+              | Error e ->
+                prerr_endline ("repro run: " ^ e);
+                exit 2)
+            specs;
+          let store = Cli.store_path c in
+          List.iter
+            (fun s ->
+              let driver =
+                match Fleet.Catalogue.find s.Fleet.Spec.sp_driver with
+                | Some d -> d
+                | None -> assert false (* validate checked *)
+              in
+              let configs = Fleet.Spec.expand s in
+              if dry then begin
+                Printf.printf "spec %s: driver %s, %d configs\n" s.Fleet.Spec.sp_id
+                  driver.Fleet.Catalogue.d_name (List.length configs);
+                List.iter
+                  (fun config ->
+                    print_endline
+                      ("  "
+                      ^ String.concat ","
+                          (List.map (fun (k, v) -> k ^ "=" ^ v) config)))
+                  configs
+              end
+              else begin
+                let outcomes =
+                  Engine.Runner.map
+                    (fun config -> Fleet.Catalogue.run_config driver config)
+                    configs
+                in
+                let records =
+                  List.map2
+                    (fun config (metrics, payload) ->
+                      Fleet.Store.make ~spec:s.Fleet.Spec.sp_id
+                        ~driver:driver.Fleet.Catalogue.d_name
+                        ~kind:driver.Fleet.Catalogue.d_kind ~config ~metrics ~payload
+                        ())
+                    configs outcomes
+                in
+                Fleet.Store.append ~path:store records;
+                Printf.printf "spec %-20s driver %-12s %4d configs -> %s\n"
+                  s.Fleet.Spec.sp_id driver.Fleet.Catalogue.d_name
+                  (List.length records) store
+              end)
+            specs)
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ Cli.common $ spec_arg $ dry $ catalogue)
+
+let view_cmd =
+  let doc =
+    "Query the results store: `top N by METRIC [where K=V ...]`, `mean|sum|min|max| \
+     count METRIC [group by driver|kind|rev|spec|config:KEY]`, `regressions since \
+     REV [tolerance PCT]` (REV may be `earliest`/`latest`/a prefix), or `list \
+     drivers|kinds|revs|specs`. Output is deterministic and byte-identical at any \
+     --domains."
+  in
+  let query_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"The query.")
+  in
+  let run c query =
+    let path = Cli.store_path c in
+    match Fleet.Store.load ~path with
+    | Error e ->
+      prerr_endline ("repro view: " ^ e);
+      exit 2
+    | Ok records -> (
+      match Fleet.Query.parse query with
+      | Error e ->
+        prerr_endline ("repro view: " ^ e);
+        exit 2
+      | Ok q -> print_string (Fleet.Query.run records q))
+  in
+  Cmd.v (Cmd.info "view" ~doc) Term.(const run $ Cli.common $ query_arg)
 
 let () =
   let doc = "Reproduce the tables and figures of Mukherjee & Schwan, GIT-CC-93/17" in
@@ -551,6 +774,6 @@ let () =
        (Cmd.group ~default info
           ((all_cmd :: bench_cmd :: analyze_cmd :: check_policies_cmd
             :: check_protocols_cmd :: chaos_cmd :: objects_cmd :: fig1_cmd
-            :: tsp_cmd :: table_cmds)
+            :: tsp_cmd :: run_cmd :: view_cmd :: table_cmds)
           @ single_table_cmds @ single_fig_cmds @ ablation_cmds
           @ [ ablation_locks_cmd ])))

@@ -95,10 +95,11 @@ let resample s ~buckets =
     out
   end
 
-let output_csv oc series =
-  output_string oc "time";
-  List.iter (fun s -> Printf.fprintf oc ",%s" s.series_name) series;
-  output_char oc '\n';
+let csv_string series =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "time";
+  List.iter (fun s -> Printf.bprintf buf ",%s" s.series_name) series;
+  Buffer.add_char buf '\n';
   (* Merge by time: advance a cursor per series, carrying values forward. *)
   let cursors = Array.make (List.length series) 0 in
   let arr = Array.of_list series in
@@ -128,12 +129,15 @@ let output_csv oc series =
             cursors.(i) <- cursors.(i) + 1
           done)
         arr;
-      Printf.fprintf oc "%d" t;
+      Printf.bprintf buf "%d" t;
       Array.iter
         (fun v ->
-          if Float.is_nan v then output_string oc "," else Printf.fprintf oc ",%g" v)
+          if Float.is_nan v then Buffer.add_char buf ',' else Printf.bprintf buf ",%g" v)
         current;
-      output_char oc '\n';
+      Buffer.add_char buf '\n';
       emit ()
   in
-  emit ()
+  emit ();
+  Buffer.contents buf
+
+let output_csv oc series = output_string oc (csv_string series)

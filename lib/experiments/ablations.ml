@@ -471,19 +471,15 @@ let switch_points =
     ("long-hold", 8, 4, 16, 700_000, 10_000);
   ]
 
-let switch_locks ?machine ?domains () =
+let switch_machine machine =
   let cfg =
     match machine with Some c -> c | None -> { Config.default with Config.processors = 8 }
   in
-  let cfg = { cfg with Config.processors = max cfg.Config.processors 8 } in
-  let variants =
-    [
-      ("fixed tas", Some Locks.Switch_lock.Tas);
-      ("fixed mcs", Some Locks.Switch_lock.Mcs);
-      ("fixed blocking", Some Locks.Switch_lock.Blocking);
-      ("adaptive", None);
-    ]
-  in
+  { cfg with Config.processors = max cfg.Config.processors 8 }
+
+let switch_one ?machine ~point ~workers ~processors:procs ~iterations:iters ~cs_ns
+    ~think_ns ~variant ~fixed () =
+  let cfg = switch_machine machine in
   let run_one ((point, workers, procs, iters, cs_ns, think_ns), (variant, fixed)) =
     let module SL = Locks.Switch_lock in
     let sim = Sched.create cfg in
@@ -521,10 +517,25 @@ let switch_locks ?machine ?domains () =
       sw_final_impl = Locks.Switch_lock.impl_label !final;
     }
   in
+  run_one ((point, workers, procs, iters, cs_ns, think_ns), (variant, fixed))
+
+let switch_variants =
+  [
+    ("fixed tas", Some Locks.Switch_lock.Tas);
+    ("fixed mcs", Some Locks.Switch_lock.Mcs);
+    ("fixed blocking", Some Locks.Switch_lock.Blocking);
+    ("adaptive", None);
+  ]
+
+let switch_locks ?machine ?domains () =
   let grid =
-    List.concat_map (fun p -> List.map (fun v -> (p, v)) variants) switch_points
+    List.concat_map (fun p -> List.map (fun v -> (p, v)) switch_variants) switch_points
   in
-  Engine.Runner.map ?domains run_one grid
+  Engine.Runner.map ?domains
+    (fun ((point, workers, procs, iters, cs_ns, think_ns), (variant, fixed)) ->
+      switch_one ?machine ~point ~workers ~processors:procs ~iterations:iters ~cs_ns
+        ~think_ns ~variant ~fixed ())
+    grid
 
 let switch_gate ?(slack_pct = 5.0) rows =
   let points = List.map (fun (p, _, _, _, _, _) -> p) switch_points in

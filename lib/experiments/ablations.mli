@@ -135,6 +135,24 @@ val switch_points : (string * int * int * int * int * int) list
     processor, where spinning through a long ownership span starves
     the co-located holder. *)
 
+val switch_one :
+  ?machine:Butterfly.Config.t ->
+  point:string ->
+  workers:int ->
+  processors:int ->
+  iterations:int ->
+  cs_ns:int ->
+  think_ns:int ->
+  variant:string ->
+  fixed:Locks.Switch_lock.impl option ->
+  unit ->
+  switch_row
+(** One cell of the implementation-as-attribute ablation: [workers]
+    threads hammering one switch lock for [iterations] critical
+    sections of [cs_ns] with [think_ns] between entries, pinned to
+    [fixed] (or adaptive when [None]). The unit the experiment-fleet
+    [switch-lock] driver runs per config. *)
+
 val switch_locks : ?machine:Butterfly.Config.t -> ?domains:int -> unit -> switch_row list
 (** The implementation-as-attribute ablation ({!Locks.Switch_lock}):
     every contention regime of {!switch_points} under each pinned

@@ -67,16 +67,20 @@ let to_plot curves =
   Repro_stats.Plot.lines ~x_label:"critical section (us)" ~y_label:"execution time (ms)"
     named
 
-let to_csv curves oc =
-  output_string oc "cs_ns";
-  List.iter (fun c -> Printf.fprintf oc ",%s" (Locks.Lock.kind_name c.kind)) curves;
-  output_char oc '\n';
-  match curves with
+let csv_string curves =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "cs_ns";
+  List.iter (fun c -> Printf.bprintf buf ",%s" (Locks.Lock.kind_name c.kind)) curves;
+  Buffer.add_char buf '\n';
+  (match curves with
   | [] -> ()
   | first :: _ ->
     List.iter
       (fun p ->
-        Printf.fprintf oc "%d" p.cs_ns;
-        List.iter (fun c -> Printf.fprintf oc ",%d" (time_at c p.cs_ns)) curves;
-        output_char oc '\n')
-      first.points
+        Printf.bprintf buf "%d" p.cs_ns;
+        List.iter (fun c -> Printf.bprintf buf ",%d" (time_at c p.cs_ns)) curves;
+        Buffer.add_char buf '\n')
+      first.points);
+  Buffer.contents buf
+
+let to_csv curves oc = output_string oc (csv_string curves)

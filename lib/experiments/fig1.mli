@@ -27,4 +27,8 @@ val crossover_summary : curve list -> string
 val to_plot : curve list -> string
 (** ASCII rendering of the figure. *)
 
+val csv_string : curve list -> string
+(** The CSV rendering of the figure — the exact bytes {!to_csv}
+    writes. *)
+
 val to_csv : curve list -> out_channel -> unit

@@ -12,6 +12,7 @@ type comparison = {
   wall_base_s : float;
   wall_parallel_s : float;
   identical_output : bool;
+  events_base : float;
 }
 
 let wall_clock_s f =
@@ -27,7 +28,14 @@ let render_report ~domains () =
   Buffer.contents buf
 
 let compare_report_generation ?(domains = Engine.Runner.default_domains ()) () =
+  (* The sequential leg runs entirely on the calling domain, so the
+     domain event odometer brackets exactly the simulation events one
+     full report generation executes — the numerator of the
+     report-level events/sec metric the store-backed bench gate
+     tracks. *)
+  let events0 = Butterfly.Sched.domain_events_total () in
   let base_out, wall_base_s = wall_clock_s (render_report ~domains:1) in
+  let events_base = float_of_int (Butterfly.Sched.domain_events_total () - events0) in
   let par_out, wall_parallel_s = wall_clock_s (render_report ~domains) in
   ( {
       domains_base = 1;
@@ -35,6 +43,7 @@ let compare_report_generation ?(domains = Engine.Runner.default_domains ()) () =
       wall_base_s;
       wall_parallel_s;
       identical_output = String.equal base_out par_out;
+      events_base;
     },
     base_out )
 

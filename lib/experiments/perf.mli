@@ -28,6 +28,10 @@ type comparison = {
   identical_output : bool;
       (** whether both renderings produced the same bytes — must be
           [true]; anything else is a determinism bug in the runner *)
+  events_base : float;
+      (** simulation events executed by the sequential leg — a
+          deterministic count, so [events_base /. wall_base_s] is the
+          report-level events/sec the store-backed bench gate tracks *)
 }
 
 val wall_clock_s : (unit -> 'a) -> 'a * float

@@ -60,13 +60,38 @@ let with_csv csv_dir name f =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
 
-let print_fig1 ?(out = std) ?csv_dir ?domains () =
+type emit = name:string -> metrics:(string * float) list -> payload:string -> unit
+
+(* Every artifact-producing section funnels through [deliver]: the
+   legacy file under --csv-dir is written from the exact payload bytes,
+   and the same bytes (plus a flat metric projection) are handed to the
+   caller's [emit] hook — the repro CLI points that hook at the
+   experiment-fleet store, so store records and legacy artifacts can
+   never drift apart. *)
+let deliver ?csv_dir ?emit ~name ~metrics payload =
+  with_csv csv_dir name (fun oc -> output_string oc payload);
+  match emit with
+  | None -> ()
+  | Some f -> f ~name ~metrics ~payload
+
+let print_fig1 ?(out = std) ?csv_dir ?emit ?domains () =
   let curves = Fig1.run ?domains () in
   Format.fprintf out
     "Figure 1: critical-section length vs application execution time@.%s@."
     (Fig1.to_plot curves);
   Format.fprintf out "Claims check:@.%s@." (Fig1.crossover_summary curves);
-  with_csv csv_dir "fig1.csv" (Fig1.to_csv curves)
+  let metrics =
+    List.concat_map
+      (fun (c : Fig1.curve) ->
+        List.map
+          (fun (p : Fig1.point) ->
+            ( Printf.sprintf "%s/cs_ns=%d/total_ns" (Locks.Lock.kind_name c.Fig1.kind)
+                p.Fig1.cs_ns,
+              float_of_int p.Fig1.total_ns ))
+          c.Fig1.points)
+      curves
+  in
+  deliver ?csv_dir ?emit ~name:"fig1.csv" ~metrics (Fig1.csv_string curves)
 
 let tsp_table_title = function
   | Tsp.Parallel.Centralized -> "Table 1: centralized implementation"
@@ -111,7 +136,7 @@ let print_tsp_table out (row : Tsp_experiments.table) =
   Format.fprintf out "%s@."
     (Repro_stats.Table.render ~title:(tsp_table_title row.Tsp_experiments.impl) tbl)
 
-let print_tsp ?(out = std) ?csv_dir ?spec ?domains () =
+let print_tsp ?(out = std) ?csv_dir ?emit ?spec ?domains () =
   let t = Tsp_experiments.run_all ?spec ?domains () in
   Format.fprintf out
     "TSP setup: %d cities (seed %d), %d searchers, optimum %d, sequential expanded %d \
@@ -153,9 +178,15 @@ let print_tsp ?(out = std) ?csv_dir ?spec ?domains () =
         in
         Format.fprintf out "  peak waiting=%.0f, time-weighted mean=%.2f, samples=%d@.@."
           waiting_max waiting_mean (Engine.Series.length series);
-        with_csv csv_dir
-          (Printf.sprintf "fig%d.csv" number)
-          (fun oc -> Engine.Series.output_csv oc [ series ]))
+        deliver ?csv_dir ?emit
+          ~name:(Printf.sprintf "fig%d.csv" number)
+          ~metrics:
+            [
+              ("peak_waiting", waiting_max);
+              ("mean_waiting", waiting_mean);
+              ("samples", float_of_int (Engine.Series.length series));
+            ]
+          (Engine.Series.csv_string [ series ]))
     Tsp_experiments.all_figures
 
 let print_schedulers ?(out = std) ?domains () =
@@ -339,7 +370,7 @@ let print_barriers ?(out = std) ?domains () =
           fixed spin/block)"
        tbl)
 
-let print_switch_locks ?(out = std) ?csv_dir ?domains () =
+let print_switch_locks ?(out = std) ?csv_dir ?emit ?domains () =
   let rows = Ablations.switch_locks ?domains () in
   let tbl =
     Repro_stats.Table.create
@@ -376,7 +407,7 @@ let print_switch_locks ?(out = std) ?csv_dir ?domains () =
       "gate: adaptive beats the worst pinned variant at every regime and stays within \
        5%% of the best at the extremes@."
   | vs -> List.iter (fun v -> Format.fprintf out "gate VIOLATION: %s@." v) vs);
-  with_csv csv_dir "ABLATION_LOCKS_results.json" (fun oc ->
+  let payload =
       let b = Buffer.create 2048 in
       Buffer.add_string b "{\n  \"points\": [\n";
       List.iteri
@@ -408,15 +439,45 @@ let print_switch_locks ?(out = std) ?csv_dir ?domains () =
            (violations = [])
            (String.concat ", " (List.map (Printf.sprintf "%S") violations)));
       Buffer.add_string b "}\n";
-      output_string oc (Buffer.contents b));
+      Buffer.contents b
+  in
+  let metrics =
+    (("gate_ok", if violations = [] then 1.0 else 0.0)
+    :: List.concat_map
+         (fun (r : Ablations.switch_row) ->
+           [
+             ( Printf.sprintf "%s/%s/total_ns" r.Ablations.sw_point r.Ablations.sw_variant,
+               float_of_int r.Ablations.sw_total_ns );
+             ( Printf.sprintf "%s/%s/mean_wait_us" r.Ablations.sw_point
+                 r.Ablations.sw_variant,
+               r.Ablations.sw_mean_wait_us );
+           ])
+         rows)
+  in
+  deliver ?csv_dir ?emit ~name:"ABLATION_LOCKS_results.json" ~metrics payload;
   violations = []
 
-let print_objects ?(out = std) ?csv_dir ?domains () =
+let print_objects ?(out = std) ?csv_dir ?emit ?only ?domains () =
   let r =
     List.hd
       (Engine.Runner.map ?domains
          (fun spec -> Workloads.Sync_objects.run spec)
          [ Workloads.Sync_objects.default ])
+  in
+  (* [only] filters the registry dump (and its JSON) to one object by
+     name — the same --only contract the checker subcommands have. *)
+  let r =
+    match only with
+    | None -> r
+    | Some name ->
+      {
+        r with
+        Workloads.Sync_objects.snapshot =
+          List.filter
+            (fun (m : Adaptive_core.Registry.metrics) ->
+              m.Adaptive_core.Registry.name = name)
+            r.Workloads.Sync_objects.snapshot;
+      }
   in
   let tbl =
     Repro_stats.Table.create
@@ -470,11 +531,23 @@ let print_objects ?(out = std) ?csv_dir ?domains () =
     r.Workloads.Sync_objects.adaptations
     (Repro_stats.Table.ms_of_ns r.Workloads.Sync_objects.total_ns)
     checked (List.length violations);
-  with_csv csv_dir "OBJECTS_results.json" (fun oc ->
-      output_string oc
-        (Adaptive_core.Registry.to_json r.Workloads.Sync_objects.snapshot))
+  let metrics =
+    ("objects", float_of_int (List.length r.Workloads.Sync_objects.snapshot))
+    :: ("adaptations", float_of_int r.Workloads.Sync_objects.adaptations)
+    :: ("total_ns", float_of_int r.Workloads.Sync_objects.total_ns)
+    :: ("policy_violations", float_of_int (List.length violations))
+    :: List.map
+         (fun (m : Adaptive_core.Registry.metrics) ->
+           ( Printf.sprintf "%s:%s/adaptations" m.Adaptive_core.Registry.kind
+               m.Adaptive_core.Registry.name,
+             float_of_int
+               m.Adaptive_core.Registry.stats.Adaptive_core.Registry.adaptations ))
+         r.Workloads.Sync_objects.snapshot
+  in
+  deliver ?csv_dir ?emit ~name:"OBJECTS_results.json" ~metrics
+    (Adaptive_core.Registry.to_json r.Workloads.Sync_objects.snapshot)
 
-let print_everything ?(out = std) ?csv_dir ?domains () =
+let print_everything ?(out = std) ?csv_dir ?emit ?domains () =
   (* Sections render in paper order; inside each section the
      simulations fan out across domains. Rendering stays on the
      calling domain, so output bytes are independent of [domains]. *)
@@ -485,9 +558,9 @@ let print_everything ?(out = std) ?csv_dir ?domains () =
   print_table7 ~out ();
   print_table8 ~out ();
   Format.fprintf out "=== Figure 1 ===@.@.";
-  print_fig1 ~out ?csv_dir ?domains ();
+  print_fig1 ~out ?csv_dir ?emit ?domains ();
   Format.fprintf out "=== TSP application (Tables 1-3, Figures 4-9) ===@.@.";
-  print_tsp ~out ?csv_dir ?domains ();
+  print_tsp ~out ?csv_dir ?emit ?domains ();
   Format.fprintf out "=== Ablations ===@.@.";
   print_schedulers ~out ?domains ();
   print_coupling ~out ?domains ();
@@ -497,7 +570,7 @@ let print_everything ?(out = std) ?csv_dir ?domains () =
   print_barriers ~out ?domains ();
   print_advisory ~out ?domains ();
   print_architecture ~out ?domains ();
-  (let (_ : bool) = print_switch_locks ~out ?csv_dir ?domains () in
+  (let (_ : bool) = print_switch_locks ~out ?csv_dir ?emit ?domains () in
    ());
   Format.fprintf out "=== Adaptive-object registry ===@.@.";
-  print_objects ~out ?csv_dir ?domains ()
+  print_objects ~out ?csv_dir ?emit ?domains ()

@@ -13,11 +13,20 @@ val print_table6 : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_table7 : ?out:Format.formatter -> unit -> unit
 val print_table8 : ?out:Format.formatter -> unit -> unit
 
-val print_fig1 : ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
+type emit = name:string -> metrics:(string * float) list -> payload:string -> unit
+(** Artifact hook: called once per produced artifact with its file
+    name, a flat metric projection, and the {e exact} bytes the legacy
+    [csv_dir] file is written from. The repro CLI points this at the
+    experiment-fleet results store, so store records and legacy
+    artifacts can never drift apart. *)
+
+val print_fig1 :
+  ?out:Format.formatter -> ?csv_dir:string -> ?emit:emit -> ?domains:int -> unit -> unit
 
 val print_tsp :
   ?out:Format.formatter ->
   ?csv_dir:string ->
+  ?emit:emit ->
   ?spec:Tsp.Parallel.spec ->
   ?domains:int ->
   unit ->
@@ -35,20 +44,28 @@ val print_architecture : ?out:Format.formatter -> ?domains:int -> unit -> unit
 val print_barriers : ?out:Format.formatter -> ?domains:int -> unit -> unit
 
 val print_switch_locks :
-  ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> bool
+  ?out:Format.formatter -> ?csv_dir:string -> ?emit:emit -> ?domains:int -> unit -> bool
 (** The implementation-as-attribute ablation ({!Ablations.switch_locks})
     as a table plus its acceptance gate; with [csv_dir], also write
     [ABLATION_LOCKS_results.json] (byte-identical at any [domains]).
     Returns whether the gate passed. *)
 
 val print_objects :
-  ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
+  ?out:Format.formatter ->
+  ?csv_dir:string ->
+  ?emit:emit ->
+  ?only:string ->
+  ?domains:int ->
+  unit ->
+  unit
 (** Run the sync-objects workload and dump the adaptive-object registry
     as a table; with [csv_dir], also write [OBJECTS_results.json]
     ({!Adaptive_core.Registry.to_json} — byte-identical at any
-    [domains]). *)
+    [domains]). [only] restricts the dump (and its JSON) to the object
+    with that registry name. *)
 
-val print_everything : ?out:Format.formatter -> ?csv_dir:string -> ?domains:int -> unit -> unit
+val print_everything :
+  ?out:Format.formatter -> ?csv_dir:string -> ?emit:emit -> ?domains:int -> unit -> unit
 (** All tables, figures and ablations, in paper order. The independent
     simulations inside each section run in parallel across up to
     [domains] host cores (default {!Engine.Runner.default_domains});

@@ -1,0 +1,333 @@
+type axis_kind = Int | Enum of string list
+type axis = { ax_name : string; ax_kind : axis_kind; ax_default : string }
+type outcome = { o_metrics : (string * float) list; o_payload : string }
+
+type driver = {
+  d_name : string;
+  d_kind : string;
+  d_doc : string;
+  d_axes : axis list;
+  d_run : lookup:(string -> string) -> outcome;
+}
+
+let axis name kind default = { ax_name = name; ax_kind = kind; ax_default = default }
+let int_of ~lookup name = int_of_string (lookup name)
+let bool_of ~lookup name = lookup name = "true"
+
+(* Per-config payload for fleet-native drivers: the config echoed next
+   to its metrics as one canonical JSON line. *)
+let payload_json config metrics =
+  Jsonv.to_string
+    (Jsonv.canonical
+       (Jsonv.Obj
+          [
+            ("config", Jsonv.Obj (List.map (fun (k, v) -> (k, Jsonv.Str v)) config));
+            ("metrics", Jsonv.Obj (List.map (fun (k, v) -> (k, Jsonv.Num v)) metrics));
+          ]))
+
+(* ------------------------------------------------------------------ *)
+(* csweep: the Figure-1 workload as a sweepable driver                *)
+
+let csweep_locks =
+  [
+    ("spin", Locks.Lock.Spin);
+    ("backoff", Locks.Lock.Backoff);
+    ("blocking", Locks.Lock.Blocking);
+    ("combined1", Locks.Lock.Combined 1);
+    ("combined10", Locks.Lock.Combined 10);
+    ("combined50", Locks.Lock.Combined 50);
+    ("advisory", Locks.Lock.Advisory);
+    ("adaptive", Locks.Lock.adaptive_default);
+  ]
+
+let csweep_driver =
+  {
+    d_name = "csweep";
+    d_kind = "CSWEEP";
+    d_doc = "critical-section sweep: threads hammering one lock (Figure 1 workload)";
+    d_axes =
+      [
+        axis "processors" Int "4";
+        axis "threads_per_proc" Int "3";
+        axis "iterations" Int "40";
+        axis "cs_ns" Int "20000";
+        axis "think_ns" Int "30000";
+        axis "latency_ratio" Int "4";
+        axis "lock" (Enum (List.map fst csweep_locks)) "spin";
+        axis "seed" Int "1";
+      ];
+    d_run =
+      (fun ~lookup ->
+        let processors = int_of ~lookup "processors" in
+        let ratio = int_of ~lookup "latency_ratio" in
+        let machine =
+          let base = Butterfly.Config.with_processors processors Butterfly.Config.default in
+          {
+            base with
+            Butterfly.Config.remote_read_ns = base.Butterfly.Config.local_read_ns * ratio;
+            remote_write_ns = base.Butterfly.Config.local_write_ns * ratio;
+          }
+        in
+        let spec =
+          {
+            Workloads.Csweep.processors;
+            threads_per_proc = int_of ~lookup "threads_per_proc";
+            iterations = int_of ~lookup "iterations";
+            cs_ns = int_of ~lookup "cs_ns";
+            think_ns = int_of ~lookup "think_ns";
+            lock_kind = List.assoc (lookup "lock") csweep_locks;
+            seed = int_of ~lookup "seed";
+          }
+        in
+        let r = Workloads.Csweep.run ~machine spec in
+        let metrics =
+          [
+            ("total_ns", float_of_int r.Workloads.Csweep.total_ns);
+            ("mean_wait_us", r.Workloads.Csweep.mean_wait_ns /. 1e3);
+            ("contended", float_of_int r.Workloads.Csweep.contended);
+            ("blocks", float_of_int r.Workloads.Csweep.blocks);
+            ("spin_probes", float_of_int r.Workloads.Csweep.spin_probes);
+            ("adaptations", float_of_int r.Workloads.Csweep.adaptations);
+          ]
+        in
+        let config =
+          List.map
+            (fun name -> (name, lookup name))
+            [
+              "processors"; "threads_per_proc"; "iterations"; "cs_ns"; "think_ns";
+              "latency_ratio"; "lock"; "seed";
+            ]
+        in
+        { o_metrics = metrics; o_payload = payload_json config metrics });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* switch-lock: one cell of the implementation-as-attribute ablation  *)
+
+let switch_variants =
+  [
+    ("tas", Some Locks.Switch_lock.Tas);
+    ("mcs", Some Locks.Switch_lock.Mcs);
+    ("blocking", Some Locks.Switch_lock.Blocking);
+    ("adaptive", None);
+  ]
+
+let switch_driver =
+  {
+    d_name = "switch-lock";
+    d_kind = "SWITCH";
+    d_doc = "one cell of the switch-lock ablation: pinned TAS/MCS/blocking or adaptive";
+    d_axes =
+      [
+        axis "workers" Int "5";
+        axis "processors" Int "7";
+        axis "iterations" Int "30";
+        axis "cs_ns" Int "15000";
+        axis "think_ns" Int "8000";
+        axis "variant" (Enum (List.map fst switch_variants)) "adaptive";
+      ];
+    d_run =
+      (fun ~lookup ->
+        let processors = int_of ~lookup "processors" in
+        let machine =
+          Butterfly.Config.with_processors (max 8 processors) Butterfly.Config.default
+        in
+        let variant = lookup "variant" in
+        let r =
+          Experiments.Ablations.switch_one ~machine ~point:"fleet"
+            ~workers:(int_of ~lookup "workers") ~processors
+            ~iterations:(int_of ~lookup "iterations") ~cs_ns:(int_of ~lookup "cs_ns")
+            ~think_ns:(int_of ~lookup "think_ns") ~variant
+            ~fixed:(List.assoc variant switch_variants)
+            ()
+        in
+        let metrics =
+          [
+            ("total_ns", float_of_int r.Experiments.Ablations.sw_total_ns);
+            ("mean_wait_us", r.Experiments.Ablations.sw_mean_wait_us);
+            ("blocks", float_of_int r.Experiments.Ablations.sw_blocks);
+            ("spin_probes", float_of_int r.Experiments.Ablations.sw_spin_probes);
+            ("swaps", float_of_int r.Experiments.Ablations.sw_swaps);
+          ]
+        in
+        let config =
+          List.map
+            (fun name -> (name, lookup name))
+            [ "workers"; "processors"; "iterations"; "cs_ns"; "think_ns"; "variant" ]
+        in
+        let payload =
+          Jsonv.to_string
+            (Jsonv.canonical
+               (Jsonv.Obj
+                  [
+                    ( "config",
+                      Jsonv.Obj (List.map (fun (k, v) -> (k, Jsonv.Str v)) config) );
+                    ( "metrics",
+                      Jsonv.Obj (List.map (fun (k, v) -> (k, Jsonv.Num v)) metrics) );
+                    ( "final_impl",
+                      Jsonv.Str r.Experiments.Ablations.sw_final_impl );
+                  ]))
+        in
+        { o_metrics = metrics; o_payload = payload });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* chaos: one seeded fault-injection run of a shipped scenario        *)
+
+let chaos_driver () =
+  let scenario_names =
+    List.map
+      (fun s -> s.Analysis_suite.scenario_name)
+      (Analysis_suite.shipped ())
+  in
+  {
+    d_name = "chaos";
+    d_kind = "CHAOS";
+    d_doc = "one seeded chaos run of a shipped scenario under a generated fault plan";
+    d_axes =
+      [
+        axis "scenario" (Enum scenario_names) (List.hd scenario_names);
+        axis "seed" Int "1";
+        axis "swap_faults" (Enum [ "false"; "true" ]) "false";
+      ];
+    d_run =
+      (fun ~lookup ->
+        let name = lookup "scenario" in
+        let scenario =
+          List.find
+            (fun s -> s.Analysis_suite.scenario_name = name)
+            (Analysis_suite.shipped ())
+        in
+        let r =
+          Chaos.run_scenario
+            ~swap_faults:(bool_of ~lookup "swap_faults")
+            ~scenario ~seed:(int_of ~lookup "seed") ()
+        in
+        let metrics =
+          [
+            ("events", float_of_int r.Chaos.events);
+            ("accesses", float_of_int r.Chaos.accesses);
+            ("final_time_ns", float_of_int r.Chaos.final_time_ns);
+            ("completed", if r.Chaos.outcome = "completed" then 1. else 0.);
+            ("invariant_failures", float_of_int (List.length r.Chaos.invariant_failures));
+            ("injected", float_of_int (List.length r.Chaos.injected));
+          ]
+        in
+        { o_metrics = metrics; o_payload = Chaos.to_json [ r ] });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* objects: the sync-objects workload + registry snapshot             *)
+
+let objects_driver =
+  {
+    d_name = "objects";
+    d_kind = "OBJECTS";
+    d_doc = "sync-objects workload; payload is the adaptive-object registry dump";
+    d_axes =
+      [
+        axis "processors" Int "4";
+        axis "workers" Int "6";
+        axis "rounds" Int "5";
+        axis "items_each" Int "20";
+        axis "seed" Int "1";
+      ];
+    d_run =
+      (fun ~lookup ->
+        let spec =
+          {
+            Workloads.Sync_objects.processors = int_of ~lookup "processors";
+            workers = int_of ~lookup "workers";
+            rounds = int_of ~lookup "rounds";
+            items_each = int_of ~lookup "items_each";
+            seed = int_of ~lookup "seed";
+          }
+        in
+        let r = Workloads.Sync_objects.run spec in
+        let metrics =
+          [
+            ("total_ns", float_of_int r.Workloads.Sync_objects.total_ns);
+            ("adaptations", float_of_int r.Workloads.Sync_objects.adaptations);
+            ( "objects",
+              float_of_int (List.length r.Workloads.Sync_objects.snapshot) );
+          ]
+        in
+        {
+          o_metrics = metrics;
+          o_payload = Adaptive_core.Registry.to_json r.Workloads.Sync_objects.snapshot;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let drivers () = [ csweep_driver; switch_driver; chaos_driver (); objects_driver ]
+let find name = List.find_opt (fun d -> d.d_name = name) (drivers ())
+
+let validate (spec : Spec.t) =
+  match find spec.Spec.sp_driver with
+  | None ->
+    Error
+      (Printf.sprintf "spec %S: unknown driver %S (catalogue: %s)" spec.Spec.sp_id
+         spec.Spec.sp_driver
+         (String.concat ", " (List.map (fun d -> d.d_name) (drivers ()))))
+  | Some d ->
+    let check_axis (name, values) =
+      match List.find_opt (fun a -> a.ax_name = name) d.d_axes with
+      | None ->
+        Error
+          (Printf.sprintf "spec %S: driver %S has no axis %S (axes: %s)"
+             spec.Spec.sp_id d.d_name name
+             (String.concat ", " (List.map (fun a -> a.ax_name) d.d_axes)))
+      | Some a ->
+        let check_value v =
+          match a.ax_kind with
+          | Int ->
+            if int_of_string_opt v = None then
+              Error
+                (Printf.sprintf "spec %S: axis %S value %S is not an integer"
+                   spec.Spec.sp_id name v)
+            else Ok ()
+          | Enum allowed ->
+            if List.mem v allowed then Ok ()
+            else
+              Error
+                (Printf.sprintf "spec %S: axis %S value %S not in {%s}"
+                   spec.Spec.sp_id name v
+                   (String.concat "; " allowed))
+        in
+        List.fold_left
+          (fun acc v -> Result.bind acc (fun () -> check_value v))
+          (Ok ()) values
+    in
+    List.fold_left
+      (fun acc ax -> Result.bind acc (fun () -> check_axis ax))
+      (Ok ()) spec.Spec.sp_axes
+
+let run_config d config =
+  let lookup name =
+    match List.assoc_opt name config with
+    | Some v -> v
+    | None -> (
+      match List.find_opt (fun a -> a.ax_name = name) d.d_axes with
+      | Some a -> a.ax_default
+      | None -> invalid_arg (Printf.sprintf "driver %s: unknown axis %s" d.d_name name))
+  in
+  let o = d.d_run ~lookup in
+  (o.o_metrics, o.o_payload)
+
+let describe () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun d ->
+      Printf.bprintf buf "%s (kind %s): %s\n" d.d_name d.d_kind d.d_doc;
+      List.iter
+        (fun a ->
+          let kind =
+            match a.ax_kind with
+            | Int -> "int"
+            | Enum vs -> Printf.sprintf "{%s}" (String.concat "|" vs)
+          in
+          Printf.bprintf buf "  %-16s %-10s default %s\n" a.ax_name kind a.ax_default)
+        d.d_axes)
+    (drivers ());
+  Buffer.contents buf

@@ -1,0 +1,51 @@
+(** The driver catalogue: what an experiment spec may ask for.
+
+    Each driver names the axes it understands (with kinds and
+    defaults) and knows how to execute one config — one point of a
+    spec's cross product — on a fresh simulated machine, returning a
+    flat metric projection plus the exact bytes of the legacy artifact
+    that config stands for. {!validate} checks a spec against the
+    catalogue {e before} anything runs, so a typo fails fast instead
+    of three axes into a sweep. *)
+
+type axis_kind =
+  | Int  (** decimal integer *)
+  | Enum of string list  (** closed value set *)
+
+type axis = {
+  ax_name : string;
+  ax_kind : axis_kind;
+  ax_default : string;  (** used when the spec omits the axis *)
+}
+
+type outcome = {
+  o_metrics : (string * float) list;
+  o_payload : string;  (** legacy-artifact bytes for this one config *)
+}
+
+type driver = {
+  d_name : string;
+  d_kind : string;  (** store artifact kind its records carry *)
+  d_doc : string;
+  d_axes : axis list;
+  d_run : lookup:(string -> string) -> outcome;
+      (** [lookup axis] is total over [d_axes] (defaults filled in). *)
+}
+
+val drivers : unit -> driver list
+(** The registered drivers: [csweep], [switch-lock], [chaos],
+    [objects]. *)
+
+val find : string -> driver option
+
+val validate : Spec.t -> (unit, string) result
+(** Driver exists; every spec axis is declared by the driver; every
+    value parses ([Int]) or is a member ([Enum]). *)
+
+val run_config :
+  driver -> (string * string) list -> (string * float) list * string
+(** Execute one expanded config (defaults applied for omitted axes);
+    returns (metrics, payload). Assumes {!validate} passed. *)
+
+val describe : unit -> string
+(** Human-readable catalogue listing for [repro run --catalogue]. *)

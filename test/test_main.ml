@@ -31,4 +31,5 @@ let () =
       ("proto_check", Test_proto_check.suite);
       ("fastpath", Test_fastpath.suite);
       ("switch_lock", Test_switch_lock.suite);
+      ("fleet", Test_fleet.suite);
     ]
